@@ -1,0 +1,53 @@
+// Ablation A6: cache effects on the data-touching costs.
+//
+// §1.2: "One disadvantage of this approach, however, is that our
+// measurements include cache effects" — the paper's 40000-iteration loops
+// ran warm. This ablation scales only the per-byte (data-touching) costs —
+// checksums and copies — to ask how the headline results shift if the
+// caches had been colder or warmer, leaving per-packet bookkeeping alone.
+
+#include <cstdio>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/table.h"
+#include "src/core/testbed.h"
+
+namespace tcplat {
+namespace {
+
+double Rtt(double cache_factor, ChecksumMode mode, size_t size) {
+  TestbedConfig cfg;
+  cfg.profile = CostProfile::Decstation5000_200().WithCacheFactor(cache_factor);
+  cfg.tcp.checksum = mode;
+  Testbed tb(cfg);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = 100;
+  return RunRpcBenchmark(tb, opt).MeanRtt().micros();
+}
+
+void Run() {
+  std::printf("Ablation A6: cache factor on data-touching costs (calibrated = 1.0x, warm)\n\n");
+  TextTable t({"Cache factor", "4B RTT", "1400B RTT", "8000B RTT", "8000B cksum-elim saving"});
+  for (double f : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    const double r8000 = Rtt(f, ChecksumMode::kStandard, 8000);
+    const double n8000 = Rtt(f, ChecksumMode::kNone, 8000);
+    t.AddRow({TextTable::Num(f, 1) + "x", TextTable::Us(Rtt(f, ChecksumMode::kStandard, 4)),
+              TextTable::Us(Rtt(f, ChecksumMode::kStandard, 1400)), TextTable::Us(r8000),
+              TextTable::Pct(100.0 * (r8000 - n8000) / r8000, 1)});
+  }
+  t.Print();
+  std::printf("\nReadings: small-message latency is nearly cache-insensitive (per-packet\n"
+              "bookkeeping dominates), while the large-transfer rows and the checksum-\n"
+              "elimination saving both scale with memory-system speed — colder caches\n"
+              "would have *strengthened* the paper's §4 argument. The calibrated 1.0x\n"
+              "profile embeds the warm-loop behavior the paper measured.\n");
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main() {
+  tcplat::Run();
+  return 0;
+}

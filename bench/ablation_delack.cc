@@ -1,0 +1,111 @@
+// Ablation A5: delayed-ACK timeout and Nagle interactions.
+//
+// The RPC workload the paper measures never waits on the delayed-ACK timer —
+// every ACK rides a reply (§2.2 shows no 200 ms cliffs anywhere). This
+// ablation demonstrates how delicately that depends on the traffic shape:
+// the echo RTT is flat across delack settings, while a request whose
+// response comes from a *different* connection (or no response at all)
+// pays the full timer, and the 8000-byte case's Nagle-held second segment
+// is released by the window update, not the timer.
+
+#include <cstdio>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/table.h"
+#include "src/core/testbed.h"
+#include "src/os/task.h"
+
+namespace tcplat {
+namespace {
+
+double EchoRtt(SimDuration delack, size_t size) {
+  TestbedConfig cfg;
+  cfg.tcp.delack_timeout = delack;
+  Testbed tb(cfg);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = 100;
+  return RunRpcBenchmark(tb, opt).MeanRtt().micros();
+}
+
+// One-way request/no-response: how long until the sender's buffer is
+// acknowledged (and a second Nagle-held write can leave)?
+struct OneWay {
+  double second_write_delay_us = 0;
+  bool done = false;
+};
+
+SimTask OneWaySender(Testbed* tb, OneWay* out) {
+  Socket* s = tb->client_tcp().Connect(SockAddr{kServerAddr, kEchoPort});
+  while (!s->connected() && !s->has_error()) {
+    co_await s->WaitConnected();
+  }
+  std::vector<uint8_t> msg(600, 1);
+  s->Write(msg);  // goes out immediately (idle)
+  const SimTime t0 = tb->client_host().CurrentTime();
+  s->Write(msg);  // Nagle-held until the first is ACKed
+  // Wait until everything is acknowledged (send buffer drains).
+  while (s->snd().cc() > 0) {
+    co_await tb->client_host().SleepFor(SimDuration::FromMillis(1));
+  }
+  out->second_write_delay_us = (tb->client_host().CurrentTime() - t0).micros();
+  out->done = true;
+}
+
+SimTask OneWaySink(Testbed* tb, size_t expect) {
+  Socket* listener = tb->server_tcp().Listen(kEchoPort);
+  Socket* s = nullptr;
+  while (s == nullptr) {
+    s = listener->Accept();
+    if (s == nullptr) {
+      co_await listener->WaitAcceptable();
+    }
+  }
+  std::vector<uint8_t> buf(4096);
+  size_t got = 0;
+  while (got < expect) {
+    const size_t n = s->Read(buf);
+    if (n > 0) {
+      got += n;
+    } else {
+      co_await s->WaitReadable();
+    }
+  }
+}
+
+double OneWayDelay(SimDuration delack) {
+  TestbedConfig cfg;
+  cfg.tcp.delack_timeout = delack;
+  Testbed tb(cfg);
+  OneWay result;
+  tb.server_host().Spawn("sink", OneWaySink(&tb, 1200));
+  tb.client_host().Spawn("sender", OneWaySender(&tb, &result));
+  tb.sim().RunToCompletion();
+  return result.done ? result.second_write_delay_us : -1;
+}
+
+void Run() {
+  std::printf("Ablation A5: delayed-ACK timeout vs workload shape\n\n");
+  TextTable t({"delack timeout", "200B echo RTT (us)", "8000B echo RTT (us)",
+               "one-way Nagle release (us)"});
+  for (double ms : {50.0, 100.0, 200.0, 500.0}) {
+    const SimDuration d = SimDuration::FromMillis(ms);
+    t.AddRow({TextTable::Num(ms, 0) + " ms", TextTable::Us(EchoRtt(d, 200)),
+              TextTable::Us(EchoRtt(d, 8000)), TextTable::Us(OneWayDelay(d))});
+  }
+  t.Print();
+  std::printf(
+      "\nReadings: the echo RTT is independent of the timer — replies (and, at\n"
+      "8000 bytes, the half-buffer window update) carry every ACK, which is why\n"
+      "the paper's tables show no delayed-ACK cliffs. A sender with no reverse\n"
+      "traffic waits the full timer before Nagle releases its second small\n"
+      "write: request/response protocols got this right by construction.\n");
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main() {
+  tcplat::Run();
+  return 0;
+}

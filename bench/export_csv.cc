@@ -1,0 +1,87 @@
+// Machine-readable export: sweeps the paper's size range across every stack
+// configuration and emits tidy CSV (one row per measurement) for plotting
+// pipelines — regenerate Figures 1 and 2 in your plotting tool of choice.
+//
+//   $ ./export_csv > sweep.csv
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/paper_data.h"
+#include "src/core/rpc_benchmark.h"
+#include "src/core/table.h"
+#include "src/core/testbed.h"
+
+namespace tcplat {
+namespace {
+
+const char* ModeName(ChecksumMode mode) {
+  switch (mode) {
+    case ChecksumMode::kStandard:
+      return "standard";
+    case ChecksumMode::kCombined:
+      return "combined";
+    case ChecksumMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+void Run() {
+  TextTable csv({"network", "checksum", "prediction", "dma", "size_bytes", "rtt_us",
+                 "rtt_p99_us", "tx_cksum_us", "rx_cksum_us", "tx_driver_us", "rx_driver_us",
+                 "ipq_us", "wakeup_us"});
+
+  const struct {
+    NetworkKind net;
+    ChecksumMode mode;
+    bool prediction;
+    bool dma;
+  } configs[] = {
+      {NetworkKind::kAtm, ChecksumMode::kStandard, true, false},
+      {NetworkKind::kAtm, ChecksumMode::kStandard, false, false},
+      {NetworkKind::kAtm, ChecksumMode::kCombined, true, false},
+      {NetworkKind::kAtm, ChecksumMode::kNone, true, false},
+      {NetworkKind::kAtm, ChecksumMode::kStandard, true, true},
+      {NetworkKind::kAtm, ChecksumMode::kNone, true, true},
+      {NetworkKind::kEthernet, ChecksumMode::kStandard, true, false},
+      {NetworkKind::kEthernet, ChecksumMode::kNone, true, false},
+  };
+
+  for (const auto& c : configs) {
+    for (size_t size : paper::kSizes) {
+      TestbedConfig cfg;
+      cfg.network = c.net;
+      cfg.tcp.checksum = c.mode;
+      cfg.tcp.header_prediction = c.prediction;
+      Testbed tb(cfg);
+      if (c.dma && c.net == NetworkKind::kAtm) {
+        tb.client_atm()->set_dma(true);
+        tb.server_atm()->set_dma(true);
+      }
+      RpcOptions opt;
+      opt.size = size;
+      opt.iterations = 120;
+      const RpcResult r = RunRpcBenchmark(tb, opt);
+      csv.AddRow({c.net == NetworkKind::kAtm ? "atm" : "ethernet", ModeName(c.mode),
+                  c.prediction ? "on" : "off", c.dma ? "on" : "off", std::to_string(size),
+                  TextTable::Us(r.MeanRtt().micros(), 1),
+                  TextTable::Us(r.rtt.Percentile(99).micros(), 1),
+                  TextTable::Us(r.SpanMean(SpanId::kTxTcpChecksum).micros(), 2),
+                  TextTable::Us(r.SpanMean(SpanId::kRxTcpChecksum).micros(), 2),
+                  TextTable::Us(r.SpanMean(SpanId::kTxDriver).micros(), 2),
+                  TextTable::Us(r.SpanMean(SpanId::kRxDriver).micros(), 2),
+                  TextTable::Us(r.SpanMean(SpanId::kRxIpq).micros(), 2),
+                  TextTable::Us(r.SpanMean(SpanId::kRxWakeup).micros(), 2)});
+    }
+  }
+  std::fputs(csv.ToCsv().c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main() {
+  tcplat::Run();
+  return 0;
+}

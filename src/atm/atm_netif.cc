@@ -1,0 +1,136 @@
+#include "src/atm/atm_netif.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+namespace {
+constexpr uint16_t kMid = 1;  // single VC between the two hosts
+}  // namespace
+
+AtmNetIf::AtmNetIf(IpStack* ip, Tca100* device, uint16_t vci)
+    : ip_(ip), device_(device), vci_(vci) {
+  TCPLAT_CHECK(ip != nullptr);
+  TCPLAT_CHECK(device != nullptr);
+  ip_->AttachNetIf(this);
+  device_->set_rx_interrupt([this] { RxInterrupt(); });
+}
+
+void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
+  Host& host = device_->host();
+  Cpu& cpu = host.cpu();
+  const size_t len = ChainLength(packet.get());
+  TCPLAT_CHECK_LE(len, mtu()) << "packet exceeds ATM MTU";
+
+  // Driver time is measured as a wall interval (it includes FIFO stalls),
+  // so charges inside are muted to avoid double counting.
+  ScopedSpan mute(&host.tracker(), SpanId::kMuted);
+  const SimTime t0 = cpu.cursor();
+  cpu.Charge(cpu.profile().atm_tx_fixed);
+
+  const std::vector<uint8_t> flat = ChainToVector(packet.get());
+  const std::vector<uint8_t> cpcs = BuildCpcsPdu(flat, next_btag_++);
+  const std::vector<AtmCell> cells = SegmentCpcsPdu(cpcs, vci_, kMid, &tx_sn_);
+  if (dma_) {
+    // One descriptor setup; the adapter fetches the data itself.
+    cpu.Charge(cpu.profile().dma_setup);
+    for (const AtmCell& cell : cells) {
+      device_->TxCellDma(cell);
+    }
+  } else {
+    for (const AtmCell& cell : cells) {
+      device_->TxCell(cell);  // charges per-cell copy; stalls when FIFO fills
+    }
+    device_->FlushTx();  // store-and-forward ablation only; no-op normally
+  }
+  ++stats_.pdus_sent;
+  // "We only measure up to when the ATM adapter is signaled to send the
+  // last byte of data" — everything after this point overlaps transmission.
+  host.tracker().AddInterval(SpanId::kTxDriver, cpu.cursor() - t0);
+
+  host.pool().FreeChain(std::move(packet));
+}
+
+void AtmNetIf::RxInterrupt() {
+  Host& host = device_->host();
+  Cpu& cpu = host.cpu();
+  ScopedSpan mute(&host.tracker(), SpanId::kMuted);
+  cpu.Charge(cpu.profile().atm_rx_fixed);
+
+  Tca100::RxEntry entry;
+  while (device_->PopRxCell(&entry)) {
+    if (dma_) {
+      // The adapter reassembled and DMAed the cell into host memory; the
+      // driver only walks the completion ring.
+    } else {
+      cpu.Charge(rx_integrated_cksum_ ? cpu.profile().atm_rx_per_cell_cksum
+                                      : cpu.profile().atm_rx_per_cell);
+    }
+    auto pdu = reassembler_.Feed(entry.cell, entry.crc_ok);
+    if (pdu.has_value()) {
+      if (dma_) {
+        cpu.Charge(cpu.profile().dma_setup);
+      }
+      DeliverPdu(std::move(*pdu), entry.arrival);
+    }
+  }
+}
+
+void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
+  Host& host = device_->host();
+  if (payload.size() < kIpv4HeaderBytes) {
+    ++stats_.short_pdus;
+    return;
+  }
+  // Controller-copy corruption (§4.2.1 error source 2). In the standard
+  // kernel, in_cksum later reads the corrupted kernel memory, so TCP
+  // detects the damage. In the integrated copy+checksum kernel the sum is
+  // accumulated from the words *read* out of device memory while the
+  // corrupted values land in kernel memory — the checksum verifies yet the
+  // data is wrong, so only an end-to-end application check can catch it.
+  std::vector<uint8_t> sum_source;
+  if (controller_fault_) {
+    if (rx_integrated_cksum_) {
+      sum_source = payload;  // the good words the copy loop reads
+    }
+    controller_fault_(payload);
+  }
+  ++stats_.pdus_received;
+
+  // IP header into a leading small mbuf; the (checksummed) transport region
+  // into data mbufs — small ones below the cluster threshold, clusters
+  // above, mirroring the socket-layer policy.
+  MbufPtr head = host.pool().GetHeader();
+  std::memcpy(head->Append(kIpv4HeaderBytes).data(), payload.data(), kIpv4HeaderBytes);
+
+  const size_t data_len = payload.size() - kIpv4HeaderBytes;
+  const bool use_clusters = data_len > kClusterThreshold;
+  size_t off = kIpv4HeaderBytes;
+  while (off < payload.size()) {
+    MbufPtr m = use_clusters ? host.pool().GetCluster() : host.pool().Get();
+    const size_t chunk = std::min(m->capacity(), payload.size() - off);
+    std::span<uint8_t> dst = m->Append(chunk);
+    std::span<const uint8_t> src(payload.data() + off, chunk);
+    if (rx_integrated_cksum_) {
+      if (sum_source.empty()) {
+        // One pass: move the bytes and accumulate their partial checksum
+        // (the copy cost difference is charged per cell in RxInterrupt).
+        m->set_partial_cksum(IntegratedCopyPartial(dst, src));
+      } else {
+        std::memcpy(dst.data(), src.data(), chunk);
+        m->set_partial_cksum(
+            ComputePartial(std::span<const uint8_t>(sum_source.data() + off, chunk)));
+      }
+    } else {
+      std::memcpy(dst.data(), src.data(), chunk);
+    }
+    off += chunk;
+    ChainAppend(&head, std::move(m));
+  }
+
+  ip_->InputFromDriver(std::move(head));
+  host.tracker().AddInterval(SpanId::kRxDriver, host.cpu().cursor() - eom_arrival);
+}
+
+}  // namespace tcplat

@@ -1,0 +1,88 @@
+// The ATM network driver: the software half of the Class 3/4 AAL.
+//
+// Transmit: wraps an IP packet in a CPCS-PDU, segments it into cells, and
+// copies them into the TCA-100's transmit FIFO (stalling when it fills).
+// The paper's Table 2 "ATM" row is the wall interval from driver entry to
+// the last byte being handed to the adapter; operations after that overlap
+// network transmission and are excluded.
+//
+// Receive: on the adapter's per-PDU interrupt, drains the receive FIFO,
+// reassembles the CPCS-PDU, builds an mbuf chain (IP header in a leading
+// small mbuf so the combined copy+checksum can skip it), and enqueues it on
+// the IP input queue. The Table 3 "ATM" row is the interval from the
+// EOM cell's arrival to that enqueue.
+//
+// The §4.1.1 receive-side *combined copy + checksum* lives here: when
+// enabled, the device-memory-to-mbuf copy simultaneously computes per-mbuf
+// partial checksums that TCP input later combines instead of running
+// in_cksum over the data again.
+
+#ifndef SRC_ATM_ATM_NETIF_H_
+#define SRC_ATM_ATM_NETIF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/atm/aal34.h"
+#include "src/atm/tca100.h"
+#include "src/ip/ip_stack.h"
+#include "src/ip/netif.h"
+
+namespace tcplat {
+
+struct AtmNetIfStats {
+  uint64_t pdus_sent = 0;
+  uint64_t pdus_received = 0;
+  uint64_t short_pdus = 0;  // reassembled PDU too small to hold an IP header
+};
+
+class AtmNetIf : public NetIf {
+ public:
+  AtmNetIf(IpStack* ip, Tca100* device, uint16_t vci);
+
+  // Enables the receive-side integrated copy + checksum (Table 6 kernel).
+  void set_rx_integrated_checksum(bool enabled) { rx_integrated_cksum_ = enabled; }
+  bool rx_integrated_checksum() const { return rx_integrated_cksum_; }
+
+  // Enables the hypothetical DMA adapter of §2.2.3/§4.2: data moves between
+  // host memory and the adapter without per-cell CPU copies (one descriptor
+  // setup per PDU on each side). Combine with ChecksumMode::kNone for the
+  // paper's "near bus bandwidth" endpoint.
+  void set_dma(bool enabled) { dma_ = enabled; }
+  bool dma() const { return dma_; }
+
+  // Fault hook: mutates the reassembled PDU bytes after the per-cell CRC
+  // check but before the copy into kernel memory — the "errors introduced
+  // by the network controllers in moving data between host and controller
+  // memories" source of §4.2.1.
+  void set_controller_fault_hook(std::function<void(std::vector<uint8_t>&)> hook) {
+    controller_fault_ = std::move(hook);
+  }
+
+  std::string name() const override { return "fa0"; }
+  size_t mtu() const override { return kAtmMtu; }
+  void Output(MbufPtr packet, Ipv4Addr next_hop) override;
+
+  const AtmNetIfStats& stats() const { return stats_; }
+  const SarReassemblerStats& sar_stats() const { return reassembler_.stats(); }
+
+ private:
+  void RxInterrupt();
+  void DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival);
+
+  IpStack* ip_;
+  Tca100* device_;
+  uint16_t vci_;
+  uint8_t tx_sn_ = 0;
+  uint8_t next_btag_ = 0;
+  SarReassembler reassembler_;
+  bool rx_integrated_cksum_ = false;
+  bool dma_ = false;
+  std::function<void(std::vector<uint8_t>&)> controller_fault_;
+  AtmNetIfStats stats_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_ATM_ATM_NETIF_H_

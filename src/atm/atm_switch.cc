@@ -1,0 +1,66 @@
+#include "src/atm/atm_switch.h"
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+
+namespace tcplat {
+
+AtmSwitch::AtmSwitch(Simulator* sim, double bits_per_second, SimDuration propagation,
+                     SimDuration per_cell_latency)
+    : sim_(sim), bits_per_second_(bits_per_second), propagation_(propagation),
+      per_cell_latency_(per_cell_latency) {
+  TCPLAT_CHECK(sim != nullptr);
+}
+
+void AtmSwitch::AttachOutput(int port, CellSink* sink) {
+  TCPLAT_CHECK(sink != nullptr);
+  TCPLAT_CHECK(outputs_.find(port) == outputs_.end()) << "output port in use";
+  OutputPort out;
+  out.wire = std::make_unique<Wire>(sim_, bits_per_second_, propagation_);
+  out.sink = sink;
+  outputs_[port] = std::move(out);
+}
+
+CellSink* AtmSwitch::input(int port) {
+  auto it = inputs_.find(port);
+  if (it == inputs_.end()) {
+    it = inputs_.emplace(port, std::make_unique<InputPort>(this, port)).first;
+  }
+  return it->second.get();
+}
+
+void AtmSwitch::AddRoute(uint16_t vci, int out_port) {
+  TCPLAT_CHECK(outputs_.find(out_port) != outputs_.end()) << "route to unattached port";
+  routes_[vci] = out_port;
+}
+
+void AtmSwitch::SwitchCell(int /*in_port*/, SimTime arrival, std::vector<uint8_t> wire_bytes) {
+  TCPLAT_CHECK_EQ(wire_bytes.size(), kAtmCellBytes);
+  const uint16_t vci = LoadBe16(&wire_bytes[1]);
+  auto route = routes_.find(vci);
+  if (route == routes_.end()) {
+    ++stats_.no_route;
+    return;
+  }
+  OutputPort& out = outputs_.at(route->second);
+  ++stats_.cells_switched;
+
+  if (fabric_corrupt_) {
+    fabric_corrupt_(wire_bytes);
+  }
+
+  // Hardware pipeline: no host CPU involved. The cell re-serializes on the
+  // output fiber after the fabric latency (the wire handles head-of-line
+  // queueing when cells from several inputs converge on one output).
+  CellSink* sink = out.sink;
+  Wire* wire = out.wire.get();
+  const SimTime ready = arrival + per_cell_latency_;
+  sim_->ScheduleAt(ready, [wire, sink, ready, bytes = std::move(wire_bytes)]() mutable {
+    wire->Transmit(ready, std::move(bytes),
+                   [sink](SimTime t, std::vector<uint8_t> data) {
+                     sink->DeliverCell(t, std::move(data));
+                   });
+  });
+}
+
+}  // namespace tcplat

@@ -1,0 +1,93 @@
+// A small output-buffered ATM cell switch.
+//
+// The paper's testbed was deliberately switchless ("a switchless private
+// ATM network"), but §4.2.1's first candidate error source is "errors
+// introduced by switches in transferring data between their input and
+// output ports" — dismissed because "AAL payload checksums are end-to-end,
+// i.e., intermediate switches do not recompute the checksum". This model
+// makes that argument checkable: insert the switch between the hosts
+// (TestbedConfig::switched), inject corruption at a port, and watch the
+// end-to-end CRC-10 catch it without any help from TCP.
+//
+// The switch is hardware: it consumes no host CPU. Each cell is looked up
+// by VCI, delayed by a fixed switching latency, and serialized onto the
+// output port's own fiber (contention between inputs for one output is
+// resolved by the output wire's queue — output buffering).
+
+#ifndef SRC_ATM_ATM_SWITCH_H_
+#define SRC_ATM_ATM_SWITCH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/atm/tca100.h"
+#include "src/link/wire.h"
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+
+struct AtmSwitchStats {
+  uint64_t cells_switched = 0;
+  uint64_t no_route = 0;
+};
+
+class AtmSwitch {
+ public:
+  // `per_cell_latency` models the input-to-output transfer (a few cell
+  // times in first-generation switches).
+  AtmSwitch(Simulator* sim, double bits_per_second, SimDuration propagation,
+            SimDuration per_cell_latency);
+
+  // Creates output port `port` feeding `sink` over the port's own fiber.
+  void AttachOutput(int port, CellSink* sink);
+
+  // The sink to hand to the upstream transmitter for a given input port.
+  CellSink* input(int port);
+
+  // Static VC routing: cells with `vci` leave through `out_port`.
+  void AddRoute(uint16_t vci, int out_port);
+
+  // §4.2.1 source (1): corruption in the input->output transfer of one
+  // port's hardware. Applied after the cell is received (the input fiber
+  // was fine) and before it is re-serialized (the output fiber will carry
+  // the damaged cell faithfully).
+  void set_fabric_corrupt_hook(CorruptFn hook) { fabric_corrupt_ = std::move(hook); }
+
+  const AtmSwitchStats& stats() const { return stats_; }
+
+ private:
+  class InputPort : public CellSink {
+   public:
+    InputPort(AtmSwitch* parent, int port) : parent_(parent), port_(port) {}
+    void DeliverCell(SimTime arrival, std::vector<uint8_t> wire_bytes) override {
+      parent_->SwitchCell(port_, arrival, std::move(wire_bytes));
+    }
+
+   private:
+    AtmSwitch* parent_;
+    int port_;
+  };
+
+  struct OutputPort {
+    std::unique_ptr<Wire> wire;
+    CellSink* sink = nullptr;
+  };
+
+  void SwitchCell(int in_port, SimTime arrival, std::vector<uint8_t> wire_bytes);
+
+  Simulator* sim_;
+  double bits_per_second_;
+  SimDuration propagation_;
+  SimDuration per_cell_latency_;
+  std::map<int, std::unique_ptr<InputPort>> inputs_;
+  std::map<int, OutputPort> outputs_;
+  std::map<uint16_t, int> routes_;
+  CorruptFn fabric_corrupt_;
+  AtmSwitchStats stats_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_ATM_ATM_SWITCH_H_

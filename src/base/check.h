@@ -1,0 +1,70 @@
+// Lightweight assertion macros used throughout the library.
+//
+// These are always-on invariant checks (not compiled out in release builds):
+// a protocol stack that silently corrupts an mbuf chain is worse than one
+// that aborts with a message. Hot paths that need debug-only checks use
+// TCPLAT_DCHECK.
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace tcplat {
+
+// Terminates the program with a formatted message. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace check_internal {
+
+// Stream-capture helper so call sites can write
+//   TCPLAT_CHECK(x > 0) << "x was " << x;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+
+#define TCPLAT_CHECK(expr)                                                 \
+  if (expr) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::tcplat::check_internal::CheckMessage(__FILE__, __LINE__, #expr)
+
+#define TCPLAT_CHECK_EQ(a, b) TCPLAT_CHECK((a) == (b))
+#define TCPLAT_CHECK_NE(a, b) TCPLAT_CHECK((a) != (b))
+#define TCPLAT_CHECK_LE(a, b) TCPLAT_CHECK((a) <= (b))
+#define TCPLAT_CHECK_LT(a, b) TCPLAT_CHECK((a) < (b))
+#define TCPLAT_CHECK_GE(a, b) TCPLAT_CHECK((a) >= (b))
+#define TCPLAT_CHECK_GT(a, b) TCPLAT_CHECK((a) > (b))
+
+#ifdef NDEBUG
+#define TCPLAT_DCHECK(expr) \
+  if (true) {               \
+  } else /* NOLINT */       \
+    ::tcplat::check_internal::CheckMessage(__FILE__, __LINE__, #expr)
+#else
+#define TCPLAT_DCHECK(expr) TCPLAT_CHECK(expr)
+#endif
+
+}  // namespace tcplat
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for simulation use.
+//
+// Simulations must be reproducible run-to-run, so all randomness flows
+// through an explicitly seeded xoshiro256** generator rather than
+// std::random_device or rand().
+
+#ifndef SRC_BASE_RANDOM_H_
+#define SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace tcplat {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+// seeded via splitmix64 so that any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_BASE_RANDOM_H_

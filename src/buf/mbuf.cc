@@ -1,0 +1,284 @@
+#include "src/buf/mbuf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+const uint8_t* Mbuf::data() const {
+  return cluster_ ? cluster_->data() + offset_ : storage_.data() + offset_;
+}
+
+uint8_t* Mbuf::data() {
+  return cluster_ ? cluster_->data() + offset_ : storage_.data() + offset_;
+}
+
+std::span<uint8_t> Mbuf::Prepend(size_t n) {
+  TCPLAT_CHECK_GE(leading_space(), n) << "no leading space for prepend";
+  offset_ -= n;
+  len_ += n;
+  partial_cksum_.reset();  // cached sum no longer covers the data region
+  return {data(), n};
+}
+
+std::span<uint8_t> Mbuf::Append(size_t n) {
+  TCPLAT_CHECK_GE(trailing_space(), n) << "no trailing space for append";
+  uint8_t* start = data() + len_;
+  len_ += n;
+  partial_cksum_.reset();  // cached sum no longer covers the data region
+  return {start, n};
+}
+
+void Mbuf::TrimFront(size_t n) {
+  TCPLAT_CHECK_LE(n, len_);
+  offset_ += n;
+  len_ -= n;
+  partial_cksum_.reset();
+}
+
+void Mbuf::TrimBack(size_t n) {
+  TCPLAT_CHECK_LE(n, len_);
+  len_ -= n;
+  partial_cksum_.reset();
+}
+
+MbufPool::MbufPool(Cpu* cpu) : cpu_(cpu) { TCPLAT_CHECK(cpu != nullptr); }
+
+MbufPtr MbufPool::NewSmall(size_t leading) {
+  auto m = std::make_unique<Mbuf>();
+  m->storage_.resize(kMbufDataBytes);
+  m->offset_ = leading;
+  m->len_ = 0;
+  ++stats_.small_allocs;
+  ++stats_.in_use;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  cpu_->Charge(cpu_->profile().mbuf_alloc);
+  return m;
+}
+
+MbufPtr MbufPool::Get() { return NewSmall(0); }
+
+MbufPtr MbufPool::GetHeader(size_t leading) {
+  // A packet-header mbuf has MHLEN total data bytes; `leading` of them are
+  // reserved for prepended lower-layer headers (max_linkhdr and friends).
+  // With TCP's link+IP reservation of 36 and a 20-byte TCP header this
+  // leaves 44 bytes for inline data — the BSD threshold that makes 4- and
+  // 20-byte sends use m_copydata while 80 bytes and up use m_copym
+  // (visible as the jump in the paper's Table 2 mcopy row).
+  TCPLAT_CHECK_LT(leading, kMbufHdrDataBytes);
+  MbufPtr m = NewSmall(leading);
+  m->storage_.resize(kMbufHdrDataBytes);
+  return m;
+}
+
+MbufPtr MbufPool::GetCluster() {
+  auto m = std::make_unique<Mbuf>();
+  m->cluster_ = std::make_shared<std::vector<uint8_t>>(kClusterBytes);
+  m->offset_ = 0;
+  m->len_ = 0;
+  ++stats_.cluster_allocs;
+  ++stats_.in_use;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  // MGET for the mbuf header plus MCLGET for the page.
+  cpu_->Charge(cpu_->profile().mbuf_alloc);
+  return m;
+}
+
+void MbufPool::FreeChain(MbufPtr chain) {
+  while (chain != nullptr) {
+    MbufPtr next = chain->TakeNext();
+    ++stats_.frees;
+    --stats_.in_use;
+    cpu_->Charge(cpu_->profile().mbuf_free);
+    chain.reset();
+    chain = std::move(next);
+  }
+}
+
+MbufPtr MbufPool::CopyRange(const Mbuf* chain, size_t off, size_t len) {
+  TCPLAT_CHECK(chain != nullptr);
+  TCPLAT_CHECK_GT(len, 0u);
+  ++stats_.copym_calls;
+  cpu_->Charge(cpu_->profile().m_copym_fixed);
+
+  // Walk to the mbuf containing `off`.
+  const Mbuf* m = chain;
+  while (m != nullptr && off >= m->len()) {
+    off -= m->len();
+    m = m->next();
+  }
+  TCPLAT_CHECK(m != nullptr) << "offset beyond chain";
+
+  MbufPtr head;
+  Mbuf* tail = nullptr;
+  while (len > 0) {
+    TCPLAT_CHECK(m != nullptr) << "length beyond chain";
+    const size_t take = std::min(len, m->len() - off);
+    MbufPtr copy;
+    if (m->is_cluster()) {
+      // Cluster mbufs "copy" by reference count: no storage allocated, no
+      // data moved (§2.2.1).
+      copy = std::make_unique<Mbuf>();
+      copy->cluster_ = m->cluster_;
+      copy->offset_ = m->offset_ + off;
+      copy->len_ = take;
+      if (off == 0 && take == m->len()) {
+        copy->partial_cksum_ = m->partial_cksum_;
+      }
+      ++stats_.cluster_refs;
+      ++stats_.in_use;
+      stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+      cpu_->Charge(cpu_->profile().cluster_ref);
+    } else {
+      // Small mbufs are deep-copied: allocate and bcopy.
+      copy = NewSmall(0);
+      copy->storage_.resize(std::max(copy->storage_.size(), take));
+      std::memcpy(copy->data(), m->data() + off, take);
+      copy->len_ = take;
+      if (off == 0 && take == m->len()) {
+        copy->partial_cksum_ = m->partial_cksum_;
+      }
+      stats_.bytes_copied += take;
+      cpu_->Charge(cpu_->profile().m_copym_per_mbuf);
+      cpu_->Charge(cpu_->profile().kernel_bcopy, take);
+    }
+    if (tail == nullptr) {
+      head = std::move(copy);
+      tail = head.get();
+    } else {
+      Mbuf* raw = copy.get();
+      tail->SetNext(std::move(copy));
+      tail = raw;
+    }
+    len -= take;
+    off = 0;
+    m = m->next();
+  }
+  return head;
+}
+
+size_t ChainLength(const Mbuf* chain) {
+  size_t total = 0;
+  for (const Mbuf* m = chain; m != nullptr; m = m->next()) {
+    total += m->len();
+  }
+  return total;
+}
+
+size_t ChainCount(const Mbuf* chain) {
+  size_t n = 0;
+  for (const Mbuf* m = chain; m != nullptr; m = m->next()) {
+    ++n;
+  }
+  return n;
+}
+
+void ChainCopyOut(const Mbuf* chain, size_t off, std::span<uint8_t> out) {
+  const Mbuf* m = chain;
+  while (m != nullptr && off >= m->len()) {
+    off -= m->len();
+    m = m->next();
+  }
+  size_t written = 0;
+  while (written < out.size()) {
+    TCPLAT_CHECK(m != nullptr) << "copy-out beyond chain";
+    const size_t take = std::min(out.size() - written, m->len() - off);
+    std::memcpy(out.data() + written, m->data() + off, take);
+    written += take;
+    off = 0;
+    m = m->next();
+  }
+}
+
+std::vector<uint8_t> ChainToVector(const Mbuf* chain) {
+  std::vector<uint8_t> out(ChainLength(chain));
+  if (!out.empty()) {
+    ChainCopyOut(chain, 0, out);
+  }
+  return out;
+}
+
+void ChainAppend(MbufPtr* head, MbufPtr tail) {
+  TCPLAT_CHECK(head != nullptr);
+  if (*head == nullptr) {
+    *head = std::move(tail);
+    return;
+  }
+  Mbuf* m = head->get();
+  while (m->next() != nullptr) {
+    m = m->next();
+  }
+  m->SetNext(std::move(tail));
+}
+
+void ChainAdjHead(MbufPool* pool, MbufPtr* head, size_t n) {
+  while (n > 0 && *head != nullptr) {
+    Mbuf* m = head->get();
+    if (n < m->len()) {
+      m->TrimFront(n);
+      return;
+    }
+    n -= m->len();
+    MbufPtr rest = m->TakeNext();
+    MbufPtr dead = std::move(*head);
+    *head = std::move(rest);
+    dead->SetNext(nullptr);
+    pool->FreeChain(std::move(dead));
+  }
+  TCPLAT_CHECK_EQ(n, 0u) << "adj beyond chain length";
+}
+
+bool ChainPullup(MbufPool* pool, MbufPtr* head, size_t n) {
+  TCPLAT_CHECK(pool != nullptr);
+  TCPLAT_CHECK(head != nullptr && *head != nullptr);
+  if (n > kMbufDataBytes || ChainLength(head->get()) < n) {
+    return false;
+  }
+  if ((*head)->len() >= n) {
+    return true;  // already contiguous
+  }
+  Cpu& cpu = pool->cpu();
+  Mbuf* first = head->get();
+  // If the head mbuf can absorb the needed bytes, pull them in place;
+  // otherwise start a fresh small mbuf, as m_pullup does.
+  MbufPtr fresh;
+  Mbuf* target = first;
+  size_t have = first->len();
+  if (first->is_cluster() || have + first->trailing_space() < n) {
+    fresh = pool->Get();
+    target = fresh.get();
+    have = 0;
+  }
+  // Copy bytes from the chain (starting after what `target` already holds)
+  // until the target holds n.
+  std::vector<uint8_t> scratch(n - have);
+  {
+    // Locate offset `have` relative to the original chain.
+    const Mbuf* src = head->get();
+    size_t off = have + (target == first ? 0 : 0);
+    if (target == first) {
+      off = first->len();
+    } else {
+      off = 0;
+    }
+    ChainCopyOut(src, off, scratch);
+  }
+  cpu.Charge(cpu.profile().kernel_bcopy, scratch.size());
+  std::memcpy(target->Append(scratch.size()).data(), scratch.data(), scratch.size());
+
+  // Trim the copied bytes out of the rest of the chain.
+  if (target == first) {
+    MbufPtr rest = first->TakeNext();
+    ChainAdjHead(pool, &rest, scratch.size());
+    first->SetNext(std::move(rest));
+  } else {
+    ChainAdjHead(pool, head, scratch.size());
+    fresh->SetNext(std::move(*head));
+    *head = std::move(fresh);
+  }
+  return true;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,158 @@
+// BSD-style mbuf buffer management.
+//
+// The paper attributes several latency artifacts to this layer (§2.2.1):
+// transfers under 1 KB ride in chains of small 108-byte mbufs, larger
+// transfers in 4 KB page-sized *cluster* mbufs; copying a small-mbuf chain
+// (m_copym) really copies the data, while copying a cluster mbuf only bumps
+// a reference count. This module reproduces those mechanics with real byte
+// storage, and charges each operation's calibrated cost to the owning
+// host's CPU.
+
+#ifndef SRC_BUF_MBUF_H_
+#define SRC_BUF_MBUF_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+#include "src/net/checksum.h"
+
+namespace tcplat {
+
+// Geometry of the ULTRIX 4.2A / BSD mbuf world on the DECstation.
+inline constexpr size_t kMbufSize = 128;       // MSIZE
+inline constexpr size_t kMbufDataBytes = 108;  // MLEN: data bytes in a small mbuf
+inline constexpr size_t kMbufHdrDataBytes = 100;  // MHLEN: packet-header mbuf
+inline constexpr size_t kClusterBytes = 4096;  // MCLBYTES: one memory page
+// sosend switches from small mbufs to clusters above this size (§2.2.1:
+// "Once the data transfer size grows above 1 KB, ULTRIX uses cluster
+// mbufs").
+inline constexpr size_t kClusterThreshold = 1024;
+// Leading space reserved in packet-header mbufs for link-layer headers.
+inline constexpr size_t kMaxLinkHeader = 16;
+
+class Mbuf;
+using MbufPtr = std::unique_ptr<Mbuf>;
+
+// One mbuf: either inline small storage or a view onto a shared cluster.
+class Mbuf {
+ public:
+  // Use MbufPool to allocate; constructors are public only for the pool.
+  Mbuf() = default;
+
+  bool is_cluster() const { return cluster_ != nullptr; }
+  // Number of other mbufs sharing this cluster (1 = exclusive).
+  long cluster_refs() const { return cluster_ ? cluster_.use_count() : 0; }
+
+  const uint8_t* data() const;
+  uint8_t* data();
+  size_t len() const { return len_; }
+
+  std::span<const uint8_t> bytes() const { return {data(), len_}; }
+  std::span<uint8_t> bytes() { return {data(), len_}; }
+
+  size_t capacity() const { return cluster_ ? kClusterBytes : storage_.size(); }
+  size_t leading_space() const { return offset_; }
+  size_t trailing_space() const { return capacity() - offset_ - len_; }
+
+  // Extends the data region `n` bytes backwards into leading space and
+  // returns a span over the newly exposed bytes. Requires leading_space >= n.
+  std::span<uint8_t> Prepend(size_t n);
+
+  // Extends the data region `n` bytes forwards; returns the new bytes.
+  std::span<uint8_t> Append(size_t n);
+
+  // Drops `n` bytes from the front / back of this mbuf's data.
+  void TrimFront(size_t n);
+  void TrimBack(size_t n);
+
+  Mbuf* next() { return next_.get(); }
+  const Mbuf* next() const { return next_.get(); }
+  MbufPtr TakeNext() { return std::move(next_); }
+  void SetNext(MbufPtr next) { next_ = std::move(next); }
+
+  // Partial checksum of this mbuf's current data, if one was computed when
+  // the data was copied in (the §4.1.1 combined copy+checksum path).
+  const std::optional<PartialChecksum>& partial_cksum() const { return partial_cksum_; }
+  void set_partial_cksum(std::optional<PartialChecksum> p) { partial_cksum_ = std::move(p); }
+
+ private:
+  friend class MbufPool;
+
+  MbufPtr next_;  // next mbuf in this chain
+  std::vector<uint8_t> storage_;                      // small mbuf storage
+  std::shared_ptr<std::vector<uint8_t>> cluster_;     // or shared cluster
+  size_t offset_ = 0;  // data start within storage/cluster
+  size_t len_ = 0;     // valid data bytes
+  std::optional<PartialChecksum> partial_cksum_;
+};
+
+struct MbufStats {
+  uint64_t small_allocs = 0;
+  uint64_t cluster_allocs = 0;
+  uint64_t cluster_refs = 0;  // reference-count "copies"
+  uint64_t frees = 0;
+  uint64_t copym_calls = 0;
+  uint64_t bytes_copied = 0;  // data actually moved by chain copies
+  int64_t in_use = 0;
+  int64_t peak_in_use = 0;
+};
+
+// Allocator + chain operations, bound to one host CPU for cost charging.
+class MbufPool {
+ public:
+  explicit MbufPool(Cpu* cpu);
+
+  // MGET: a small mbuf with no leading space reserved.
+  MbufPtr Get();
+  // MGETHDR: a small packet-header mbuf with `leading` bytes reserved at the
+  // front for lower-layer headers (TCP passes link + IP header room).
+  MbufPtr GetHeader(size_t leading = kMaxLinkHeader);
+  // MGET + MCLGET: a cluster mbuf.
+  MbufPtr GetCluster();
+
+  // m_free/m_freem: charges per-mbuf free cost and destroys the chain.
+  void FreeChain(MbufPtr chain);
+
+  // m_copym: copies `len` bytes starting `off` bytes into `chain` into a new
+  // chain. Small mbufs are deep-copied (alloc + bcopy); cluster mbufs are
+  // reference-shared. Requires off+len <= chain length.
+  MbufPtr CopyRange(const Mbuf* chain, size_t off, size_t len);
+
+  const MbufStats& stats() const { return stats_; }
+  Cpu& cpu() { return *cpu_; }
+
+ private:
+  MbufPtr NewSmall(size_t leading);
+  Cpu* cpu_;
+  MbufStats stats_;
+};
+
+// --- chain utilities (no cost charged; bookkeeping only) ---
+
+// Total data bytes in the chain.
+size_t ChainLength(const Mbuf* chain);
+// Number of mbufs in the chain.
+size_t ChainCount(const Mbuf* chain);
+// Copies chain data [off, off+out.size()) into `out`.
+void ChainCopyOut(const Mbuf* chain, size_t off, std::span<uint8_t> out);
+// Flattens the whole chain into a vector (test/diagnostic helper).
+std::vector<uint8_t> ChainToVector(const Mbuf* chain);
+// Appends `tail` to the end of `head` (head must be non-null).
+void ChainAppend(MbufPtr* head, MbufPtr tail);
+// Drops `n` bytes from the front of the chain, returning fully-consumed
+// mbufs to `pool` (charging frees). Used by sbdrop.
+void ChainAdjHead(MbufPool* pool, MbufPtr* head, size_t n);
+// m_pullup: rearranges the chain so its first `n` data bytes are contiguous
+// in the head mbuf (allocating a fresh small mbuf when the current head
+// cannot hold them). Charges allocation and copy costs. Returns false —
+// leaving the chain untouched — if the chain is shorter than `n` or `n`
+// exceeds a small mbuf's capacity.
+bool ChainPullup(MbufPool* pool, MbufPtr* head, size_t n);
+
+}  // namespace tcplat
+
+#endif  // SRC_BUF_MBUF_H_

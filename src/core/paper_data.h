@@ -1,0 +1,88 @@
+// The published numbers from Wolman, Voelker & Thekkath, "Latency Analysis
+// of TCP on an ATM Network", USENIX Winter 1994 — used by the bench binaries
+// to print measured-vs-paper comparisons, and by EXPERIMENTS.md.
+//
+// All times in microseconds; sizes in bytes.
+
+#ifndef SRC_CORE_PAPER_DATA_H_
+#define SRC_CORE_PAPER_DATA_H_
+
+#include <array>
+#include <cstddef>
+
+namespace tcplat {
+namespace paper {
+
+inline constexpr std::array<size_t, 8> kSizes = {4, 20, 80, 200, 500, 1400, 4000, 8000};
+
+// Table 1: round-trip times, Ethernet vs ATM.
+inline constexpr std::array<double, 8> kTable1Ethernet = {1940, 2337, 2590,  2804,
+                                                          4101, 6554, 13168, 22141};
+inline constexpr std::array<double, 8> kTable1Atm = {1021, 1039, 1289, 1520,
+                                                     2140, 2976, 5891, 10636};
+
+// Table 2: transmit-side breakdown over ATM.
+inline constexpr std::array<double, 8> kTable2User = {45, 45, 48, 67, 121, 99, 174, 400};
+inline constexpr std::array<double, 8> kTable2Checksum = {10, 12, 23, 42, 90, 209, 576, 1149};
+inline constexpr std::array<double, 8> kTable2Mcopy = {5.1, 5.7, 26, 41, 80, 29, 30, 41};
+inline constexpr std::array<double, 8> kTable2Segment = {62, 65, 63, 65, 71, 63, 65, 72};
+inline constexpr std::array<double, 8> kTable2TcpTotal = {77, 81, 112, 148, 241, 301, 671, 1262};
+inline constexpr std::array<double, 8> kTable2Ip = {35, 34, 35, 35, 36, 36, 38, 36};
+inline constexpr std::array<double, 8> kTable2Atm = {23, 24, 39, 47, 71, 96, 215, 498};
+inline constexpr std::array<double, 8> kTable2Total = {180, 184, 234, 297, 469, 532, 1098, 2196};
+
+// Table 3: receive-side breakdown over ATM.
+inline constexpr std::array<double, 8> kTable3Atm = {46, 46, 70, 99, 164, 363, 920, 1783};
+inline constexpr std::array<double, 8> kTable3Ipq = {22, 22, 22, 22, 23, 45, 46, 50};
+inline constexpr std::array<double, 8> kTable3Ip = {40, 40, 62, 62, 62, 53, 54, 43};
+inline constexpr std::array<double, 8> kTable3Checksum = {10, 12, 23, 40, 82, 211, 578, 1172};
+inline constexpr std::array<double, 8> kTable3Segment = {135, 135, 138, 141, 158, 142, 143, 59};
+inline constexpr std::array<double, 8> kTable3TcpTotal = {145, 147, 161, 181,
+                                                          240, 353, 721, 1231};
+inline constexpr std::array<double, 8> kTable3Wakeup = {46, 47, 47, 50, 49, 51, 58, 67};
+inline constexpr std::array<double, 8> kTable3User = {64, 65, 89, 81, 102, 124, 199, 468};
+inline constexpr std::array<double, 8> kTable3Total = {363, 367, 451, 495,
+                                                       640, 989, 1998, 3642};
+
+// Table 4 / Figure 1: header prediction disabled vs enabled.
+inline constexpr std::array<double, 8> kTable4NoPrediction = {1110, 1127, 1324, 1560,
+                                                              2186, 2962, 5950, 11477};
+inline constexpr std::array<double, 8> kTable4Prediction = {1021, 1039, 1289, 1520,
+                                                            2140, 2976, 5891, 10636};
+
+// §3: PCB linear search — 20 entries took 26 us, 1000 took 1280 us,
+// "just less than 1.3 us" per element.
+inline constexpr double kPcbSearchPerEntryUs = 1.3;
+inline constexpr double kPcbSearch20Us = 26;
+inline constexpr double kPcbSearch1000Us = 1280;
+
+// Table 5 / Figure 2: user-level copy & checksum costs.
+inline constexpr std::array<double, 8> kTable5UltrixCksum = {5, 7, 20, 43, 104, 283, 807, 1605};
+inline constexpr std::array<double, 8> kTable5UltrixBcopy = {4, 5, 11, 20, 47, 124, 350, 698};
+inline constexpr std::array<double, 8> kTable5OptCksum = {3, 4, 9, 21, 49, 134, 378, 754};
+inline constexpr std::array<double, 8> kTable5Integrated = {3, 5, 10, 24, 56, 153, 430, 864};
+
+// §4.1: Clark et al. Sun-3 numbers at 1 KB.
+inline constexpr double kSun3Checksum1K = 130;
+inline constexpr double kSun3Copy1K = 140;
+inline constexpr double kSun3Combined1K = 200;
+inline constexpr double kDec1KOptCksum = 96;
+inline constexpr double kDec1KCopy = 91;
+inline constexpr double kDec1KCombined = 111;
+
+// Table 6: standard checksum vs kernel combined copy+checksum.
+inline constexpr std::array<double, 8> kTable6Standard = {1021, 1039, 1289, 1520,
+                                                          2140, 2976, 5891, 10636};
+inline constexpr std::array<double, 8> kTable6Combined = {1249, 1256, 1477, 1707,
+                                                          2222, 2691, 4644, 8062};
+
+// Table 7: with vs without the TCP checksum.
+inline constexpr std::array<double, 8> kTable7Checksum = {1021, 1039, 1289, 1520,
+                                                          2140, 2976, 5891, 10636};
+inline constexpr std::array<double, 8> kTable7NoChecksum = {1020, 1020, 1233, 1392,
+                                                            1808, 2083, 3633, 6233};
+
+}  // namespace paper
+}  // namespace tcplat
+
+#endif  // SRC_CORE_PAPER_DATA_H_

@@ -1,0 +1,74 @@
+// A three-host routed topology: client — gateway — server across two
+// Ethernet segments, with the middle host forwarding IP.
+//
+// The paper defines local-area traffic as "packets that go from source host
+// to destination host without passing through any IP routers" (§4.2) and
+// reserves checksum elimination for exactly that case; this testbed is the
+// *other* case — the one where §4.2.1's source-(3) errors (corruption
+// inside a gateway) make the TCP checksum non-negotiable.
+
+#ifndef SRC_CORE_ROUTED_TESTBED_H_
+#define SRC_CORE_ROUTED_TESTBED_H_
+
+#include <memory>
+
+#include "src/ether/ether_netif.h"
+#include "src/ip/ip_stack.h"
+#include "src/os/host.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/tcp_stack.h"
+
+namespace tcplat {
+
+inline constexpr Ipv4Addr kRoutedClientAddr = MakeAddr(10, 0, 1, 1);
+inline constexpr Ipv4Addr kRoutedGatewayLeft = MakeAddr(10, 0, 1, 254);
+inline constexpr Ipv4Addr kRoutedGatewayRight = MakeAddr(10, 0, 2, 254);
+inline constexpr Ipv4Addr kRoutedServerAddr = MakeAddr(10, 0, 2, 1);
+
+struct RoutedTestbedConfig {
+  TcpConfig tcp;
+  uint64_t seed = 1;
+  SimDuration propagation = SimDuration::FromNanos(300);
+  CostProfile profile = CostProfile::Decstation5000_200();
+};
+
+class RoutedTestbed {
+ public:
+  explicit RoutedTestbed(RoutedTestbedConfig config = {});
+  RoutedTestbed(const RoutedTestbed&) = delete;
+  RoutedTestbed& operator=(const RoutedTestbed&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Host& client_host() { return *client_host_; }
+  Host& gateway_host() { return *gw_host_; }
+  Host& server_host() { return *server_host_; }
+  IpStack& client_ip() { return *client_ip_; }
+  IpStack& gateway_ip() { return *gw_ip_; }
+  IpStack& server_ip() { return *server_ip_; }
+  TcpStack& client_tcp() { return *client_tcp_; }
+  TcpStack& server_tcp() { return *server_tcp_; }
+  EtherSegment& left_segment() { return *left_; }
+  EtherSegment& right_segment() { return *right_; }
+
+ private:
+  RoutedTestbedConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Host> client_host_;
+  std::unique_ptr<Host> gw_host_;
+  std::unique_ptr<Host> server_host_;
+  std::unique_ptr<IpStack> client_ip_;
+  std::unique_ptr<IpStack> gw_ip_;
+  std::unique_ptr<IpStack> server_ip_;
+  std::unique_ptr<EtherSegment> left_;
+  std::unique_ptr<EtherSegment> right_;
+  std::unique_ptr<EtherNetIf> client_if_;
+  std::unique_ptr<EtherNetIf> gw_left_if_;
+  std::unique_ptr<EtherNetIf> gw_right_if_;
+  std::unique_ptr<EtherNetIf> server_if_;
+  std::unique_ptr<TcpStack> client_tcp_;
+  std::unique_ptr<TcpStack> server_tcp_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_CORE_ROUTED_TESTBED_H_

@@ -1,0 +1,52 @@
+// The paper's measurement workload (§1.2): two user-level processes in a
+// client/server arrangement. The client connects with TCP, then repeatedly
+// sends `size` bytes and waits to receive `size` bytes back, timing each
+// round trip with the mapped real-time clock.
+
+#ifndef SRC_CORE_RPC_BENCHMARK_H_
+#define SRC_CORE_RPC_BENCHMARK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/testbed.h"
+#include "src/trace/latency_stats.h"
+#include "src/trace/span.h"
+
+namespace tcplat {
+
+struct RpcOptions {
+  size_t size = 4;
+  int iterations = 200;  // measured round trips (paper: 40000; the simulator
+                         // is deterministic, so a few hundred converge)
+  int warmup = 32;       // untimed round trips first (opens cwnd, warms PCBs)
+  bool verify_data = true;
+};
+
+struct RpcResult {
+  LatencyStats rtt;
+  uint64_t iterations = 0;
+  uint64_t data_mismatches = 0;  // end-to-end application check failures
+  // Total span time accumulated across both hosts during the measured
+  // region. Each iteration contains two transfers (request + reply), so the
+  // per-transfer mean of a row is spans[id] / (2 * iterations).
+  std::array<SimDuration, static_cast<size_t>(SpanId::kCount)> spans{};
+  TcpStats client_tcp;
+  TcpStats server_tcp;
+
+  SimDuration MeanRtt() const { return rtt.Mean(); }
+  // Per-transfer mean for one span row (the paper's Tables 2/3 cells).
+  SimDuration SpanMean(SpanId id) const {
+    const int64_t n = static_cast<int64_t>(2 * iterations);
+    return n == 0 ? SimDuration()
+                  : SimDuration::FromNanos(spans[static_cast<size_t>(id)].nanos() / n);
+  }
+};
+
+// Runs the echo benchmark on an existing testbed. Drives the simulator to
+// completion; the testbed can be reused for further runs.
+RpcResult RunRpcBenchmark(Testbed& testbed, const RpcOptions& options);
+
+}  // namespace tcplat
+
+#endif  // SRC_CORE_RPC_BENCHMARK_H_

@@ -1,0 +1,109 @@
+#include "src/core/stats_report.h"
+
+#include <cstdio>
+
+namespace tcplat {
+namespace {
+
+void Row(std::string* out, const char* label, uint64_t value) {
+  if (value == 0) {
+    return;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %-28s %llu\n", label,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string DumpTcpStats(const TcpStats& s) {
+  std::string out = "tcp:\n";
+  Row(&out, "segments sent", s.segs_sent);
+  Row(&out, "  data segments", s.data_segs_sent);
+  Row(&out, "  data bytes", s.bytes_sent);
+  Row(&out, "  retransmitted", s.retransmits);
+  Row(&out, "  RSTs", s.rst_sent);
+  Row(&out, "  keepalive probes", s.keepalive_probes_sent);
+  Row(&out, "segments received", s.segs_received);
+  Row(&out, "  fast path (pure ACK)", s.predict_ack_hits);
+  Row(&out, "  fast path (pure data)", s.predict_data_hits);
+  Row(&out, "  prediction misses", s.predict_misses);
+  Row(&out, "  bad checksum", s.checksum_errors);
+  Row(&out, "  out of order", s.out_of_order_segs);
+  Row(&out, "  no matching PCB", s.dropped_no_pcb);
+  Row(&out, "  RSTs", s.rst_received);
+  Row(&out, "combined-cksum fallbacks", s.checksum_fallbacks);
+  Row(&out, "rexmt timeouts", s.rexmt_timeouts);
+  Row(&out, "delayed ACKs fired", s.delayed_acks_fired);
+  Row(&out, "connections established", s.conns_established);
+  Row(&out, "connections dropped", s.conns_dropped);
+  Row(&out, "keepalive drops", s.keepalive_drops);
+  return out;
+}
+
+std::string DumpIpStats(const IpStats& s) {
+  std::string out = "ip:\n";
+  Row(&out, "packets sent", s.packets_sent);
+  Row(&out, "packets received", s.packets_received);
+  Row(&out, "fragments sent", s.fragments_sent);
+  Row(&out, "fragments received", s.fragments_received);
+  Row(&out, "datagrams reassembled", s.reassembled);
+  Row(&out, "forwarded", s.forwarded);
+  Row(&out, "bad header checksum", s.header_checksum_errors);
+  Row(&out, "unknown protocol", s.no_protocol);
+  Row(&out, "bad length", s.bad_length);
+  Row(&out, "not for us", s.not_for_us);
+  Row(&out, "no route", s.no_route);
+  Row(&out, "TTL expired", s.ttl_expired);
+  return out;
+}
+
+std::string DumpUdpStats(const UdpStats& s) {
+  std::string out = "udp:\n";
+  Row(&out, "datagrams sent", s.datagrams_sent);
+  Row(&out, "datagrams received", s.datagrams_received);
+  Row(&out, "bad checksum", s.checksum_errors);
+  Row(&out, "no port", s.no_port);
+  Row(&out, "truncated", s.truncated);
+  Row(&out, "queue drops", s.queue_drops);
+  return out;
+}
+
+std::string DumpMbufStats(const MbufStats& s) {
+  std::string out = "mbufs:\n";
+  Row(&out, "small allocations", s.small_allocs);
+  Row(&out, "cluster allocations", s.cluster_allocs);
+  Row(&out, "cluster ref copies", s.cluster_refs);
+  Row(&out, "frees", s.frees);
+  Row(&out, "m_copym calls", s.copym_calls);
+  Row(&out, "bytes deep-copied", s.bytes_copied);
+  Row(&out, "peak in use", static_cast<uint64_t>(s.peak_in_use));
+  if (s.in_use != 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %-28s %lld  (leak?)\n", "still in use",
+                  static_cast<long long>(s.in_use));
+    out += buf;
+  }
+  return out;
+}
+
+std::string DumpHostReport(const std::string& name, const TcpStats& tcp, const IpStats& ip,
+                           const MbufStats& mbufs) {
+  std::string out = "=== " + name + " ===\n";
+  out += DumpTcpStats(tcp);
+  out += DumpIpStats(ip);
+  out += DumpMbufStats(mbufs);
+  return out;
+}
+
+std::string DumpTestbedReport(Testbed& testbed) {
+  std::string out = DumpHostReport("client", testbed.client_tcp().stats(),
+                                   testbed.client_ip().stats(),
+                                   testbed.client_host().pool().stats());
+  out += DumpHostReport("server", testbed.server_tcp().stats(), testbed.server_ip().stats(),
+                        testbed.server_host().pool().stats());
+  return out;
+}
+
+}  // namespace tcplat

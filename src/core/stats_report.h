@@ -1,0 +1,32 @@
+// Human-readable renderings of the per-layer statistics structs — netstat
+// for the simulated stack. Used by examples and by post-mortem debugging;
+// each Dump* returns a compact multi-line block and omits all-zero rows.
+
+#ifndef SRC_CORE_STATS_REPORT_H_
+#define SRC_CORE_STATS_REPORT_H_
+
+#include <string>
+
+#include "src/buf/mbuf.h"
+#include "src/core/testbed.h"
+#include "src/ip/ip_stack.h"
+#include "src/tcp/tcp_stack.h"
+#include "src/udp/udp.h"
+
+namespace tcplat {
+
+std::string DumpTcpStats(const TcpStats& s);
+std::string DumpIpStats(const IpStats& s);
+std::string DumpUdpStats(const UdpStats& s);
+std::string DumpMbufStats(const MbufStats& s);
+
+// Everything about one host's stack, netstat-style.
+std::string DumpHostReport(const std::string& name, const TcpStats& tcp, const IpStats& ip,
+                           const MbufStats& mbufs);
+
+// Both hosts of a testbed.
+std::string DumpTestbedReport(Testbed& testbed);
+
+}  // namespace tcplat
+
+#endif  // SRC_CORE_STATS_REPORT_H_

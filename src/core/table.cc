@@ -1,0 +1,107 @@
+#include "src/core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  TCPLAT_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      const size_t pad = widths[c] - row[c].size();
+      line.append(pad, ' ');
+      line += row[c];
+      if (c + 1 != row.size()) {
+        line += "  ";
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TextTable::ToCsv() const {
+  auto render_cell = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto render_row = [&render_cell](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        line += ',';
+      }
+      line += render_cell(row[i]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TextTable::Us(double microseconds, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, microseconds);
+  return buf;
+}
+
+std::string TextTable::Pct(double percent, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, percent);
+  return buf;
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,38 @@
+// Minimal fixed-width table printer for the bench binaries, so every
+// regenerated table looks like the paper's.
+
+#ifndef SRC_CORE_TABLE_H_
+#define SRC_CORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tcplat {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with columns padded to their widest cell, a rule under the
+  // header, and two spaces between columns.
+  std::string ToString() const;
+  void Print() const;  // ToString() to stdout
+
+  // Comma-separated rendering (header row first) for plotting pipelines.
+  // Cells containing commas or quotes are quoted per RFC 4180.
+  std::string ToCsv() const;
+
+  // Formatting helpers.
+  static std::string Us(double microseconds, int precision = 0);
+  static std::string Pct(double percent, int precision = 0);
+  static std::string Num(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_CORE_TABLE_H_

@@ -1,0 +1,106 @@
+// The two-workstation testbed of §1.1: a pair of DECstation 5000/200s
+// connected either by FORE TCA-100 adapters over a switchless private ATM
+// fiber, or by a private 10 Mbit/s Ethernet segment (the Table 1 baseline).
+
+#ifndef SRC_CORE_TESTBED_H_
+#define SRC_CORE_TESTBED_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/atm/atm_netif.h"
+#include "src/atm/atm_switch.h"
+#include "src/atm/tca100.h"
+#include "src/ether/ether_netif.h"
+#include "src/ip/ip_stack.h"
+#include "src/link/wire.h"
+#include "src/os/host.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/tcp_stack.h"
+#include "src/udp/udp.h"
+
+namespace tcplat {
+
+enum class NetworkKind { kAtm, kEthernet };
+
+struct TestbedConfig {
+  NetworkKind network = NetworkKind::kAtm;
+  // Insert a cell switch between the hosts (the paper's testbed was
+  // switchless; this enables the §4.2.1 source-(1) experiments).
+  bool switched = false;
+  SimDuration switch_latency = SimDuration::FromMicros(10);
+  TcpConfig tcp;  // applied to both stacks
+  // "our machines are only running the standard ULTRIX daemons and our test
+  // program" — inert PCBs ahead of the benchmark connection in the list.
+  size_t background_pcbs = 13;
+  uint64_t seed = 1;
+  SimDuration propagation = SimDuration::FromNanos(300);
+  CostProfile profile = CostProfile::Decstation5000_200();
+};
+
+inline constexpr Ipv4Addr kClientAddr = MakeAddr(10, 0, 0, 1);
+inline constexpr Ipv4Addr kServerAddr = MakeAddr(10, 0, 0, 2);
+inline constexpr uint16_t kEchoPort = 5001;
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  const TestbedConfig& config() const { return config_; }
+  Simulator& sim() { return sim_; }
+  Host& client_host() { return *client_host_; }
+  Host& server_host() { return *server_host_; }
+  TcpStack& client_tcp() { return *client_tcp_; }
+  TcpStack& server_tcp() { return *server_tcp_; }
+  UdpStack& client_udp() { return *client_udp_; }
+  UdpStack& server_udp() { return *server_udp_; }
+  IpStack& client_ip() { return *client_ip_; }
+  IpStack& server_ip() { return *server_ip_; }
+
+  // Device access (null for hosts on the other network kind).
+  AtmNetIf* client_atm() { return client_atm_if_.get(); }
+  AtmNetIf* server_atm() { return server_atm_if_.get(); }
+  Tca100* client_adapter() { return client_adapter_.get(); }
+  Tca100* server_adapter() { return server_adapter_.get(); }
+  EtherNetIf* client_ether() { return client_ether_if_.get(); }
+  EtherNetIf* server_ether() { return server_ether_if_.get(); }
+  DuplexLink* atm_link() { return atm_link_.get(); }
+  AtmSwitch* atm_switch() { return atm_switch_.get(); }
+  EtherSegment* ether_segment() { return ether_segment_.get(); }
+
+  // Clears both hosts' span trackers (start of a measured region).
+  void ResetTrackers();
+
+  // Sum of one span's accumulation across both hosts.
+  SimDuration SpanTotal(SpanId id) const;
+
+ private:
+  TestbedConfig config_;
+  Simulator sim_;  // first member: destroyed last, after all schedulers
+  std::unique_ptr<Host> client_host_;
+  std::unique_ptr<Host> server_host_;
+  std::unique_ptr<IpStack> client_ip_;
+  std::unique_ptr<IpStack> server_ip_;
+
+  std::unique_ptr<DuplexLink> atm_link_;
+  std::unique_ptr<AtmSwitch> atm_switch_;
+  std::unique_ptr<Tca100> client_adapter_;
+  std::unique_ptr<Tca100> server_adapter_;
+  std::unique_ptr<AtmNetIf> client_atm_if_;
+  std::unique_ptr<AtmNetIf> server_atm_if_;
+
+  std::unique_ptr<EtherSegment> ether_segment_;
+  std::unique_ptr<EtherNetIf> client_ether_if_;
+  std::unique_ptr<EtherNetIf> server_ether_if_;
+
+  std::unique_ptr<TcpStack> client_tcp_;
+  std::unique_ptr<TcpStack> server_tcp_;
+  std::unique_ptr<UdpStack> client_udp_;
+  std::unique_ptr<UdpStack> server_udp_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_CORE_TESTBED_H_

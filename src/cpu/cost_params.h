@@ -1,0 +1,35 @@
+// Cost of one machine primitive, as an affine model in data size and chunk
+// count.
+//
+// Every data-touching or bookkeeping operation in the simulated stack is
+// assigned a named CostParams in the machine's CostProfile. The model is
+//
+//     cost(bytes, chunks) = fixed + per_byte * bytes + per_chunk * chunks
+//
+// in microseconds. Chunks are operation-specific units: mbufs for a chain
+// walk, cells for a SAR loop, PCB entries for a list search.
+
+#ifndef SRC_CPU_COST_PARAMS_H_
+#define SRC_CPU_COST_PARAMS_H_
+
+#include <cstddef>
+
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+struct CostParams {
+  double fixed_us = 0.0;
+  double per_byte_us = 0.0;
+  double per_chunk_us = 0.0;
+
+  constexpr SimDuration Eval(size_t bytes = 0, size_t chunks = 0) const {
+    const double us = fixed_us + per_byte_us * static_cast<double>(bytes) +
+                      per_chunk_us * static_cast<double>(chunks);
+    return SimDuration::FromMicros(us);
+  }
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_CPU_COST_PARAMS_H_

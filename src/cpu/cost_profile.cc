@@ -1,0 +1,171 @@
+#include "src/cpu/cost_profile.h"
+
+namespace tcplat {
+
+// All constants in microseconds. Each is annotated with the paper data it was
+// fitted against. "Fit" means a least-squares / endpoint affine fit over the
+// eight transfer sizes {4, 20, 80, 200, 500, 1400, 4000, 8000}.
+CostProfile CostProfile::Decstation5000_200() {
+  CostProfile p;
+  p.name = "DECstation 5000/200 (25 MHz R3000, ULTRIX 4.2A, BSD 4.4 alpha TCP)";
+
+  // Table 5 column "ULTRIX Checksum": 4 B -> 5 us ... 8000 B -> 1605 us.
+  // Slope (1605-5)/7996 = 0.200 us/B; intercept 4.2. Fits all rows within 2%.
+  p.ultrix_cksum = {4.2, 0.200, 0.0};
+  // Table 5 column "Optimized Checksum": 4 B -> 3 us ... 8000 B -> 754 us.
+  p.opt_cksum = {2.6, 0.0939, 0.0};
+  // Table 5 column "ULTRIX bcopy": 4 B -> 4 us ... 8000 B -> 698 us.
+  p.user_bcopy = {3.6, 0.0868, 0.0};
+  // Table 5 column "Integrated Copy and Checksum": 4 B -> 3 us ... 864 us.
+  p.integrated_copy_cksum = {2.6, 0.1077, 0.0};
+
+  // Tables 2/3 "checksum" rows cover data + 40 header bytes. The kernel
+  // in_cksum is word-based (faster than the ULTRIX user routine, slower than
+  // the fully unrolled one) and walks the mbuf chain. Fit over len+40 with
+  // a small per-mbuf term: e.g. 8000 B (8040 B, 3 mbufs) -> ~1149 us.
+  p.in_cksum = {3.0, 0.1405, 1.5};
+  p.kernel_bcopy = {1.5, 0.0868, 0.0};
+
+  // Table 2 "User" row. Small transfers use 108-byte mbufs: 500 B -> 121 us
+  // total User time; with syscall+sosend fixed costs below, the copy term
+  // fits ~0.096 us/B. Above the 1 KB cluster threshold the copy is a
+  // page-aligned word copy: (400-45-7)/8000 ~ 0.040 us/B (8000 B -> 400 us,
+  // 1400 B -> 99 us).
+  p.copyin_small = {2.0, 0.096, 0.0};
+  p.copyin_cluster = {2.0, 0.040, 0.0};
+  // Table 3 "User" row: 500 B -> 102 us (small mbuf chain walk), 8000 B ->
+  // 468 us (clusters).
+  p.copyout_small = {2.0, 0.076, 0.0};
+  p.copyout_cluster = {2.0, 0.046, 0.0};
+
+  // §2.2.1: "time to allocate and free an mbuf ... just over 7 us" — split
+  // evenly between the two halves of the pair.
+  p.mbuf_alloc = {3.6, 0.0, 0.0};
+  p.mbuf_free = {3.6, 0.0, 0.0};
+  // §2.2.1: cluster mbufs "use reference counts for copying; no storage is
+  // allocated or data copied". Table 2 mcopy row, cluster sizes: 1400/4000 B
+  // -> ~30 us, 8000 B -> 41 us. With m_copym_fixed ~20 us the per-cluster
+  // reference is ~5 us.
+  p.cluster_ref = {5.0, 0.0, 0.0};
+  // Table 2 mcopy row, small-mbuf sizes (80 -> 26 us, 200 -> 41, 500 -> 80):
+  // fixed ~10 plus per-mbuf alloc+bcopy charged by the mbuf code itself.
+  p.m_copym_fixed = {10.0, 0.0, 0.0};
+  p.m_copym_per_mbuf = {1.5, 0.0, 0.0};
+
+  // Table 2 "User" row at 4 B is 45 us with a ~4 us copy/alloc component:
+  // the rest is the write() syscall path and sosend bookkeeping.
+  p.syscall_entry = {14.0, 0.0, 0.0};
+  p.syscall_exit = {9.0, 0.0, 0.0};
+  p.sosend_fixed = {19.0, 0.0, 0.0};
+  p.sosend_per_chunk = {3.0, 0.0, 0.0};
+  p.soreceive_fixed = {28.0, 0.0, 0.0};
+  p.sbappend = {2.0, 0.0, 0.0};
+
+  // Table 2 "segment" row: flat 62-72 us across sizes. Decomposed into the
+  // per-segment output processing plus the small-data copy below.
+  p.tcp_output_fixed = {56.0, 0.0, 0.0};
+  // tcp_output copies data that fits in the header mbuf with m_copydata
+  // (mcopy row: 4 B -> 5.1 us, 20 B -> 5.7 us).
+  p.tcp_copydata_small = {4.9, 0.05, 0.0};
+  // Table 3 "segment" row: ~135-158 us on the general path...
+  p.tcp_input_slow = {95.0, 0.0, 0.0};
+  // ...and 59 us when header prediction takes the fast path (8000 B case).
+  p.tcp_input_fast = {38.0, 0.0, 0.0};
+  p.tcp_ack_proc = {12.0, 0.0, 0.0};
+  // §3: linear PCB list search costs "just less than 1.3 us" per element;
+  // 20 entries measured at 26 us.
+  p.pcb_lookup = {4.0, 0.0, 1.3};
+  p.pcb_cache_check = {2.0, 0.0, 0.0};
+  p.sorwakeup = {14.0, 0.0, 0.0};
+  p.pseudo_hdr_cksum = {3.0, 0.012, 0.0};
+
+  // UDP protocol processing is far lighter than TCP's (no sequence state,
+  // no timers): Kay & Pasquale's DECstation 5000 measurements put it at a
+  // few tens of microseconds per datagram each way.
+  p.udp_output = {28.0, 0.0, 0.0};
+  p.udp_input = {34.0, 0.0, 0.0};
+
+  // Table 2 "IP" row: flat 34-38 us.
+  p.ip_output = {35.0, 0.0, 0.0};
+  // Table 3 "IP" row: 40-62 us; modeled flat at the mid value.
+  p.ip_input = {48.0, 0.0, 0.0};
+  p.ipq_enqueue = {4.0, 0.0, 0.0};
+
+  // Table 3 "IPQ" row floor: 22 us from schednetisr to ipintr when idle.
+  p.softint_dispatch = {21.0, 0.0, 0.0};
+  // Table 3 "Wakeup" row: 46-67 us from wakeup() to the process running.
+  p.wakeup_ctx_switch = {46.0, 0.0, 0.0};
+  p.intr_entry = {12.0, 0.0, 0.0};
+
+  // Table 2 "ATM" row: 4 B -> 23 us, 8000 B -> 498 us. Per-cell cost of
+  // building the AAL3/4 envelope and copying 56 payload bytes into the
+  // memory-mapped TX FIFO. (FIFO back-pressure is modeled, not charged.)
+  p.atm_tx_fixed = {18.0, 0.0, 0.0};
+  p.atm_tx_per_cell = {2.55, 0.0, 0.0};
+  // Table 3 "ATM" row: 4 B -> 46 us with per-cell drain+reassemble+copy
+  // ~9.3 us (500 B/13 cells -> 164 us, 4000 B/92 cells -> 920 us).
+  p.atm_rx_fixed = {8.0, 0.0, 0.0};
+  p.atm_rx_per_cell = {9.3, 0.0, 0.0};
+  // Descriptor ring setup for the hypothetical DMA adapter: a handful of
+  // register writes per PDU instead of per-cell copies.
+  p.dma_setup = {8.0, 0.0, 0.0};
+
+  // §4.1.1 / Table 6. Integrating the checksum into a copy costs the delta
+  // between the integrated and plain per-byte rates from Table 5
+  // (0.1077 - 0.0868 ~ 0.021 us/B), and the paper's *initial* kernel
+  // implementation carries substantial per-packet bookkeeping — Table 6
+  // shows the 4-byte RTT regressing 22% (228 us), i.e. ~110 us per
+  // direction split across send and receive.
+  p.copyin_small_cksum = {2.0, 0.117, 0.0};
+  p.copyin_cluster_cksum = {2.0, 0.061, 0.0};
+  p.atm_rx_per_cell_cksum = {10.2, 0.0, 0.0};
+  p.cksum_combine = {1.3, 0.0, 0.0};
+  p.combined_cksum_tx_overhead = {52.0, 0.0, 0.0};
+  p.combined_cksum_rx_overhead = {52.0, 0.0, 0.0};
+
+  // Table 1: the 4-byte Ethernet RTT exceeds ATM by 919 us; after the wire
+  // time difference (~55 us one way) this implies ~200 us of extra driver +
+  // adapter overhead per host per packet, split between send and receive.
+  // The LANCE on the DECstation copies packets through a dedicated buffer.
+  p.ether_tx = {185.0, 0.055, 0.0};
+  p.ether_rx = {215.0, 0.055, 0.0};
+  p.arp_proc = {18.0, 0.0, 0.0};
+
+  return p;
+}
+
+CostProfile CostProfile::WithCacheFactor(double factor) const {
+  CostProfile p = *this;
+  auto scale = [factor](CostParams* c) {
+    c->per_byte_us *= factor;
+    c->per_chunk_us *= factor;
+  };
+  for (CostParams* c :
+       {&p.ultrix_cksum, &p.opt_cksum, &p.user_bcopy, &p.integrated_copy_cksum, &p.in_cksum,
+        &p.kernel_bcopy, &p.copyin_small, &p.copyin_cluster, &p.copyout_small,
+        &p.copyout_cluster, &p.copyin_small_cksum, &p.copyin_cluster_cksum,
+        &p.tcp_copydata_small, &p.ether_tx, &p.ether_rx}) {
+    scale(c);
+  }
+  // The ATM per-cell costs are dominated by the 44/56-byte copies.
+  p.atm_tx_per_cell.fixed_us *= factor;
+  p.atm_rx_per_cell.fixed_us *= factor;
+  p.atm_rx_per_cell_cksum.fixed_us *= factor;
+  p.name += " (cache factor " + std::to_string(factor) + ")";
+  return p;
+}
+
+// §4.1: Clark et al. report, for 1 KB on a Sun-3: checksum 130 us, copy
+// 140 us, combined copy+checksum 200 us. Affine models through those points
+// with small fixed costs; only the user-level primitives are meaningful.
+CostProfile CostProfile::Sun3() {
+  CostProfile p = Decstation5000_200();
+  p.name = "Sun-3 (Clark et al. 1989 user-level measurements)";
+  p.opt_cksum = {3.0, 0.1240, 0.0};             // 1024 B -> 130 us
+  p.ultrix_cksum = {3.0, 0.1240, 0.0};          // no separate naive variant
+  p.user_bcopy = {3.0, 0.1338, 0.0};            // 1024 B -> 140 us
+  p.integrated_copy_cksum = {3.0, 0.1924, 0.0}; // 1024 B -> 200 us
+  return p;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,120 @@
+// Machine cost profiles.
+//
+// A CostProfile holds the calibrated CostParams for every primitive the
+// simulated stack charges. The default profile models the paper's testbed —
+// a DECstation 5000/200 (25 MHz MIPS R3000) running ULTRIX 4.2A with the BSD
+// 4.4 alpha TCP — with constants fitted to the paper's own component
+// measurements (Tables 2, 3, 5; §2.2.1; §3). A Sun-3 profile reproduces the
+// Clark et al. comparison in §4.1 of the paper.
+//
+// Fit provenance is documented constant-by-constant in cost_profile.cc.
+
+#ifndef SRC_CPU_COST_PROFILE_H_
+#define SRC_CPU_COST_PROFILE_H_
+
+#include <string>
+
+#include "src/cpu/cost_params.h"
+
+namespace tcplat {
+
+struct CostProfile {
+  std::string name;
+
+  // --- User-level copy / checksum primitives (paper Table 5) ---
+  CostParams ultrix_cksum;          // halfword-access ULTRIX 4.2A checksum
+  CostParams opt_cksum;             // word-access, unrolled checksum
+  CostParams user_bcopy;            // user-level bcopy
+  CostParams integrated_copy_cksum; // single-pass copy + checksum
+
+  // --- Kernel data movement ---
+  CostParams in_cksum;          // in_cksum() over an mbuf chain (bytes, mbufs)
+  CostParams kernel_bcopy;      // kernel memory-to-memory copy
+  CostParams copyin_small;      // user -> small-mbuf chain copy (bytes)
+  CostParams copyin_cluster;    // user -> cluster mbuf copy (bytes)
+  CostParams copyout_small;     // small-mbuf chain -> user copy (bytes)
+  CostParams copyout_cluster;   // cluster mbuf -> user copy (bytes)
+
+  // --- Mbuf subsystem (paper §2.2.1) ---
+  CostParams mbuf_alloc;        // MGET or MCLGET
+  CostParams mbuf_free;         // m_free
+  CostParams cluster_ref;       // reference-count "copy" of a cluster
+  CostParams m_copym_fixed;     // chain-copy loop setup
+  CostParams m_copym_per_mbuf;  // per-mbuf overhead inside m_copym
+
+  // --- Syscall / socket layer ---
+  CostParams syscall_entry;
+  CostParams syscall_exit;
+  CostParams sosend_fixed;        // per sosend() invocation
+  CostParams sosend_per_chunk;    // per mbuf chunk handed to the protocol
+  CostParams soreceive_fixed;     // per soreceive() invocation
+  CostParams sbappend;            // socket-buffer append (per mbuf)
+
+  // --- TCP ---
+  CostParams tcp_output_fixed;    // per-segment output processing (non-data)
+  CostParams tcp_copydata_small;  // data copied directly into header mbuf
+  CostParams tcp_input_slow;      // general-path input processing
+  CostParams tcp_input_fast;      // header-prediction fast path
+  CostParams tcp_ack_proc;        // processing a new cumulative ACK
+  CostParams pcb_lookup;          // in_pcblookup (chunks = entries searched)
+  CostParams pcb_cache_check;     // single-entry PCB cache probe
+  CostParams sorwakeup;           // marking reader runnable
+  CostParams pseudo_hdr_cksum;    // checksumming the 40-byte pseudo header
+                                  // when payload checksum is precomputed
+
+  // --- UDP (substrate for the paper's Kay & Pasquale baselines) ---
+  CostParams udp_output;          // per datagram protocol processing
+  CostParams udp_input;           // per datagram input + demux
+
+  // --- IP ---
+  CostParams ip_output;           // per packet
+  CostParams ip_input;            // per packet
+  CostParams ipq_enqueue;         // put packet on ipintrq + schednetisr
+
+  // --- OS / scheduling (paper §2.2.4) ---
+  CostParams softint_dispatch;    // raise -> netisr running (IPQ row floor)
+  CostParams wakeup_ctx_switch;   // wakeup() -> process running (Wakeup row)
+  CostParams intr_entry;          // hardware interrupt entry/exit
+
+  // --- ATM driver + FORE TCA-100 (paper §1.1, Tables 2/3 ATM rows) ---
+  CostParams atm_tx_fixed;        // per-PDU driver send setup
+  CostParams atm_tx_per_cell;     // build + copy one cell into the TX FIFO
+  CostParams atm_rx_fixed;        // per-PDU receive dispatch
+  CostParams atm_rx_per_cell;     // drain + SAR one cell from the RX FIFO
+  // Hypothetical DMA adapter (§2.2.3/§4.2: "a network adapter that supports
+  // DMA" + "a snoopy cache ... allows data to be moved at near bus
+  // bandwidth"): per-PDU descriptor setup replaces the per-cell/per-byte
+  // programmed-I/O copies.
+  CostParams dma_setup;
+
+  // --- Combined copy + checksum kernel (§4.1.1, Table 6) ---
+  CostParams copyin_small_cksum;    // integrated user->mbuf copy + partial sum
+  CostParams copyin_cluster_cksum;  // integrated user->cluster copy + sum
+  CostParams atm_rx_per_cell_cksum; // RX FIFO drain with integrated checksum
+  CostParams cksum_combine;         // folding one mbuf's partial into the total
+  CostParams combined_cksum_tx_overhead;  // per-segment bookkeeping, tx side
+  CostParams combined_cksum_rx_overhead;  // per-packet bookkeeping, rx side
+
+  // --- Ethernet (LANCE) driver ---
+  CostParams ether_tx;            // per frame (bytes = frame length)
+  CostParams ether_rx;            // per frame (bytes = frame length)
+  CostParams arp_proc;            // ARP packet handling (cache ops, reply)
+
+  // Returns a copy with every *data-touching* primitive (checksums and
+  // copies) scaled by `factor` — the §1.2 cache-effect knob ("our
+  // measurements include cache effects"): >1 models colder caches than the
+  // paper's warm 40000-iteration loops, <1 warmer ones. Bookkeeping and
+  // scheduling costs are untouched (contrast with whole-CPU scaling in
+  // bench/ablation_cpu_speed).
+  CostProfile WithCacheFactor(double factor) const;
+
+  // Returns the paper's testbed machine.
+  static CostProfile Decstation5000_200();
+  // Returns the Sun-3 model used for the Clark et al. §4.1 comparison.
+  // Only the user-level copy/checksum primitives are calibrated.
+  static CostProfile Sun3();
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_CPU_COST_PROFILE_H_

@@ -1,0 +1,54 @@
+#include "src/cpu/cpu.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+Cpu::Cpu(Simulator* sim, CostProfile profile) : sim_(sim), profile_(std::move(profile)) {
+  TCPLAT_CHECK(sim != nullptr);
+}
+
+SimTime Cpu::BeginRun(SimTime request_time) {
+  TCPLAT_CHECK(!running_) << "CPU runs must not nest";
+  running_ = true;
+  cursor_ = request_time > busy_until_ ? request_time : busy_until_;
+  return cursor_;
+}
+
+SimTime Cpu::EndRun() {
+  TCPLAT_CHECK(running_);
+  running_ = false;
+  busy_until_ = cursor_;
+  return cursor_;
+}
+
+SimTime Cpu::cursor() const {
+  TCPLAT_CHECK(running_) << "cursor is only meaningful during a run";
+  return cursor_;
+}
+
+void Cpu::Charge(const CostParams& params, size_t bytes, size_t chunks) {
+  ChargeDuration(params.Eval(bytes, chunks));
+}
+
+void Cpu::ChargeDuration(SimDuration amount) {
+  TCPLAT_CHECK(running_) << "charges require an active run";
+  TCPLAT_CHECK_GE(amount.nanos(), 0);
+  cursor_ = cursor_ + amount;
+  total_charged_ += amount;
+  if (listener_ != nullptr) {
+    listener_->OnCharge(amount);
+  }
+}
+
+void Cpu::StallUntil(SimTime when) {
+  TCPLAT_CHECK(running_);
+  if (when > cursor_) {
+    total_stalled_ += when - cursor_;
+    cursor_ = when;
+  }
+}
+
+}  // namespace tcplat

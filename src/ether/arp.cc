@@ -1,0 +1,76 @@
+#include "src/ether/arp.h"
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+
+namespace tcplat {
+
+std::vector<uint8_t> ArpPacket::Serialize() const {
+  std::vector<uint8_t> out(kArpPacketBytes);
+  StoreBe16(&out[0], 1);       // htype: Ethernet
+  StoreBe16(&out[2], 0x0800);  // ptype: IPv4
+  out[4] = 6;                  // hlen
+  out[5] = 4;                  // plen
+  StoreBe16(&out[6], static_cast<uint16_t>(op));
+  for (size_t i = 0; i < 6; ++i) {
+    out[8 + i] = sender_mac[i];
+    out[18 + i] = target_mac[i];
+  }
+  StoreBe32(&out[14], sender_ip);
+  StoreBe32(&out[24], target_ip);
+  return out;
+}
+
+std::optional<ArpPacket> ArpPacket::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kArpPacketBytes) {
+    return std::nullopt;
+  }
+  if (LoadBe16(&in[0]) != 1 || LoadBe16(&in[2]) != 0x0800 || in[4] != 6 || in[5] != 4) {
+    return std::nullopt;
+  }
+  ArpPacket p;
+  p.op = static_cast<ArpOp>(LoadBe16(&in[6]));
+  for (size_t i = 0; i < 6; ++i) {
+    p.sender_mac[i] = in[8 + i];
+    p.target_mac[i] = in[18 + i];
+  }
+  p.sender_ip = LoadBe32(&in[14]);
+  p.target_ip = LoadBe32(&in[24]);
+  return p;
+}
+
+std::optional<MacAddr> ArpCache::Lookup(Ipv4Addr ip) const {
+  auto it = entries_.find(ip);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool ArpCache::Enqueue(Ipv4Addr ip, std::vector<uint8_t> packet) {
+  auto& q = pending_[ip];
+  if (q.size() >= kMaxPendingPerAddr) {
+    return false;
+  }
+  q.push_back(std::move(packet));
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> ArpCache::TakePending(Ipv4Addr ip) {
+  std::vector<std::vector<uint8_t>> out;
+  auto it = pending_.find(ip);
+  if (it == pending_.end()) {
+    return out;
+  }
+  out.assign(std::make_move_iterator(it->second.begin()),
+             std::make_move_iterator(it->second.end()));
+  pending_.erase(it);
+  return out;
+}
+
+size_t ArpCache::PendingCount(Ipv4Addr ip) const {
+  auto it = pending_.find(ip);
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+}  // namespace tcplat

@@ -1,0 +1,76 @@
+// ARP (RFC 826) — address resolution for the Ethernet baseline.
+//
+// The drivers ship with static bindings (the paper's two-host testbed needs
+// nothing more), but a real 1994 segment resolved addresses dynamically:
+// a broadcast who-has request, a unicast reply, a cache, and a short queue
+// of packets waiting on resolution. EtherNetIf uses this module whenever a
+// destination has no static binding.
+
+#ifndef SRC_ETHER_ARP_H_
+#define SRC_ETHER_ARP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/wire.h"
+
+namespace tcplat {
+
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+inline constexpr size_t kArpPacketBytes = 28;
+inline constexpr MacAddr kBroadcastMac = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+
+enum class ArpOp : uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddr sender_mac{};
+  Ipv4Addr sender_ip = 0;
+  MacAddr target_mac{};
+  Ipv4Addr target_ip = 0;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<ArpPacket> Parse(std::span<const uint8_t> in);
+};
+
+struct ArpStats {
+  uint64_t requests_sent = 0;
+  uint64_t requests_received = 0;
+  uint64_t replies_sent = 0;
+  uint64_t replies_received = 0;
+  uint64_t resolutions = 0;
+  uint64_t timeouts = 0;       // pending packets dropped unresolved
+  uint64_t queue_drops = 0;    // pending queue overflow
+};
+
+// Resolution cache plus the per-destination pending-packet queues. The
+// driver owns one and supplies the wire I/O.
+class ArpCache {
+ public:
+  static constexpr size_t kMaxPendingPerAddr = 8;
+
+  // Static or learned binding.
+  void Insert(Ipv4Addr ip, const MacAddr& mac) { entries_[ip] = mac; }
+  std::optional<MacAddr> Lookup(Ipv4Addr ip) const;
+  bool Contains(Ipv4Addr ip) const { return entries_.count(ip) != 0; }
+
+  // Queues a packet (flat bytes) awaiting resolution of `ip`. Returns false
+  // (dropping is the caller's job) when the queue is full.
+  bool Enqueue(Ipv4Addr ip, std::vector<uint8_t> packet);
+  // Removes and returns everything queued for `ip`.
+  std::vector<std::vector<uint8_t>> TakePending(Ipv4Addr ip);
+  bool HasPending(Ipv4Addr ip) const { return pending_.count(ip) != 0; }
+  size_t PendingCount(Ipv4Addr ip) const;
+
+ private:
+  std::map<Ipv4Addr, MacAddr> entries_;
+  std::map<Ipv4Addr, std::deque<std::vector<uint8_t>>> pending_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_ETHER_ARP_H_

@@ -1,0 +1,49 @@
+// Driver for the §4.2.1 error-detection analysis: inject errors from one of
+// the paper's sources while the echo workload runs, then attribute every
+// corruption to the layer that caught it.
+
+#ifndef SRC_FAULT_ERROR_EXPERIMENT_H_
+#define SRC_FAULT_ERROR_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/testbed.h"
+
+namespace tcplat {
+
+enum class ErrorSource {
+  kLinkBitFlip,       // random fiber noise: caught by the per-cell CRC-10
+  kLinkCrcDefeating,  // source (4): bit pattern invisible to the CRC-10
+  kControllerCopy,    // source (2): corruption in the device->host copy
+  kSwitchFabric,      // source (1): corruption inside a switch's fabric
+};
+
+std::string ErrorSourceName(ErrorSource source);
+
+struct ErrorExperimentConfig {
+  ErrorSource source = ErrorSource::kLinkBitFlip;
+  ChecksumMode checksum = ChecksumMode::kStandard;
+  double probability = 0.01;  // per cell (link sources) or per PDU (controller)
+  size_t size = 1400;
+  int iterations = 300;
+  uint64_t seed = 7;
+};
+
+struct ErrorExperimentResult {
+  uint64_t injected = 0;
+  uint64_t caught_cell_crc = 0;     // PDUs dropped by the AAL3/4 CRC-10
+  uint64_t caught_sar = 0;          // sequence/CPCS-level drops
+  uint64_t caught_tcp_checksum = 0; // segments dropped by the TCP checksum
+  uint64_t app_mismatches = 0;      // escaped everything below the app
+  uint64_t retransmits = 0;
+  double mean_rtt_us = 0;
+  bool completed = false;  // the workload survived the error rate
+};
+
+ErrorExperimentResult RunErrorExperiment(const ErrorExperimentConfig& config);
+
+}  // namespace tcplat
+
+#endif  // SRC_FAULT_ERROR_EXPERIMENT_H_

@@ -1,0 +1,164 @@
+#include "src/icmp/icmp.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+#include "src/net/checksum.h"
+
+namespace tcplat {
+
+std::vector<uint8_t> IcmpMessage::Serialize() const {
+  std::vector<uint8_t> out(kIcmpHeaderBytes + payload.size());
+  out[0] = static_cast<uint8_t>(type);
+  out[1] = code;
+  StoreBe16(&out[2], 0);  // checksum placeholder
+  StoreBe16(&out[4], id);
+  StoreBe16(&out[6], seq);
+  std::memcpy(out.data() + kIcmpHeaderBytes, payload.data(), payload.size());
+  StoreBe16(&out[2], ReferenceChecksum(out));
+  return out;
+}
+
+std::optional<IcmpMessage> IcmpMessage::Parse(std::span<const uint8_t> in, bool* checksum_ok) {
+  TCPLAT_CHECK(checksum_ok != nullptr);
+  if (in.size() < kIcmpHeaderBytes) {
+    return std::nullopt;
+  }
+  // A message carrying a valid checksum sums to zero after complement.
+  *checksum_ok = ReferenceChecksum(in) == 0;
+  IcmpMessage msg;
+  msg.type = static_cast<IcmpType>(in[0]);
+  msg.code = in[1];
+  msg.id = LoadBe16(&in[4]);
+  msg.seq = LoadBe16(&in[6]);
+  msg.payload.assign(in.begin() + kIcmpHeaderBytes, in.end());
+  return msg;
+}
+
+IcmpStack::IcmpStack(IpStack* ip) : ip_(ip) {
+  TCPLAT_CHECK(ip != nullptr);
+  ip_->RegisterProtocol(kIpProtoIcmp, this);
+  ip_->set_icmp_error_sender(
+      [this](uint8_t type, uint8_t code, const std::vector<uint8_t>& original) {
+        SendError(static_cast<IcmpType>(type), code, original);
+      });
+}
+
+void IcmpStack::Transmit(const IcmpMessage& msg, Ipv4Addr dst, uint8_t ttl) {
+  Host& h = ip_->host();
+  Cpu& cpu = h.cpu();
+  ScopedSpan other(&h.tracker(), SpanId::kOther);
+  cpu.Charge(cpu.profile().udp_output);  // comparable per-datagram cost
+  const std::vector<uint8_t> wire = msg.Serialize();
+  cpu.Charge(cpu.profile().in_cksum, wire.size());
+
+  MbufPtr head = h.pool().GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
+  size_t off = std::min(wire.size(), head->trailing_space());
+  std::memcpy(head->Append(off).data(), wire.data(), off);
+  while (off < wire.size()) {
+    MbufPtr m = wire.size() - off > kClusterThreshold ? h.pool().GetCluster() : h.pool().Get();
+    const size_t take = std::min(wire.size() - off, m->capacity());
+    std::memcpy(m->Append(take).data(), wire.data() + off, take);
+    off += take;
+    ChainAppend(&head, std::move(m));
+  }
+  ip_->Output(std::move(head), ip_->addr(), dst, kIpProtoIcmp, ttl);
+}
+
+uint16_t IcmpStack::SendEcho(Ipv4Addr dst, uint16_t id, std::span<const uint8_t> payload,
+                             uint8_t ttl) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.id = id;
+  msg.seq = next_seq_++;
+  msg.payload.assign(payload.begin(), payload.end());
+  ++stats_.echo_requests_sent;
+  Transmit(msg, dst, ttl);
+  return msg.seq;
+}
+
+void IcmpStack::SendError(IcmpType type, uint8_t code, std::span<const uint8_t> original) {
+  if (original.size() < kIpv4HeaderBytes) {
+    return;
+  }
+  auto orig_hdr = Ipv4Header::Parse(original);
+  if (!orig_hdr.has_value()) {
+    return;
+  }
+  if (orig_hdr->protocol == kIpProtoIcmp && original.size() > kIpv4HeaderBytes) {
+    // RFC 1122: never generate errors about ICMP *error* messages (echo
+    // requests still elicit them — that is how traceroute works).
+    const auto t = static_cast<IcmpType>(original[kIpv4HeaderBytes]);
+    if (t == IcmpType::kDestUnreachable || t == IcmpType::kTimeExceeded) {
+      return;
+    }
+  }
+  IcmpMessage msg;
+  msg.type = type;
+  msg.code = code;
+  // RFC 792: quote the IP header plus the first 8 payload bytes.
+  const size_t quote = std::min(original.size(), kIpv4HeaderBytes + size_t{8});
+  msg.payload.assign(original.begin(), original.begin() + quote);
+  ++stats_.errors_sent;
+  Transmit(msg, orig_hdr->src, 64);
+}
+
+bool IcmpStack::PollEvent(Event* out) {
+  TCPLAT_CHECK(out != nullptr);
+  if (events_.empty()) {
+    return false;
+  }
+  *out = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+void IcmpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
+  Host& h = ip_->host();
+  Cpu& cpu = h.cpu();
+  ScopedSpan other(&h.tracker(), SpanId::kOther);
+  cpu.Charge(cpu.profile().udp_input);
+
+  const size_t icmp_len = hdr.total_length - kIpv4HeaderBytes;
+  if (icmp_len < kIcmpHeaderBytes) {
+    ++stats_.truncated;
+    h.pool().FreeChain(std::move(packet));
+    return;
+  }
+  std::vector<uint8_t> bytes(icmp_len);
+  ChainCopyOut(packet.get(), kIpv4HeaderBytes, bytes);
+  h.pool().FreeChain(std::move(packet));
+
+  bool checksum_ok = false;
+  auto msg = IcmpMessage::Parse(bytes, &checksum_ok);
+  TCPLAT_CHECK(msg.has_value());
+  cpu.Charge(cpu.profile().in_cksum, bytes.size());
+  if (!checksum_ok) {
+    ++stats_.checksum_errors;
+    return;
+  }
+
+  switch (msg->type) {
+    case IcmpType::kEchoRequest: {
+      ++stats_.echo_requests_received;
+      IcmpMessage reply = *msg;
+      reply.type = IcmpType::kEchoReply;
+      ++stats_.echo_replies_sent;
+      Transmit(reply, hdr.src, 64);
+      return;
+    }
+    case IcmpType::kEchoReply:
+      ++stats_.echo_replies_received;
+      break;
+    case IcmpType::kDestUnreachable:
+    case IcmpType::kTimeExceeded:
+      ++stats_.errors_received;
+      break;
+  }
+  events_.push_back(Event{hdr.src, std::move(*msg), h.CurrentTime()});
+  cpu.Charge(cpu.profile().sorwakeup);
+  h.Wakeup(chan_);
+}
+
+}  // namespace tcplat

@@ -1,0 +1,113 @@
+// ICMP — the control-message substrate of the IP layer.
+//
+// Enough of RFC 792 for a working internetwork: echo request/reply (ping),
+// and the two error messages the forwarding path generates — time exceeded
+// and destination unreachable — each quoting the offending packet's IP
+// header plus eight payload bytes, as the RFC requires. The ICMP checksum
+// is the same ones'-complement sum as TCP's, computed over the whole
+// message (no pseudo header).
+
+#ifndef SRC_ICMP_ICMP_H_
+#define SRC_ICMP_ICMP_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/ip/ip_stack.h"
+#include "src/os/host.h"
+
+namespace tcplat {
+
+inline constexpr uint8_t kIpProtoIcmp = 1;
+inline constexpr size_t kIcmpHeaderBytes = 8;
+
+enum class IcmpType : uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  uint8_t code = 0;
+  uint16_t id = 0;    // echo id      (errors: unused)
+  uint16_t seq = 0;   // echo seq     (errors: unused)
+  std::vector<uint8_t> payload;
+
+  // Serializes header + payload with a valid checksum.
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<IcmpMessage> Parse(std::span<const uint8_t> in, bool* checksum_ok);
+};
+
+struct IcmpStats {
+  uint64_t echo_requests_sent = 0;
+  uint64_t echo_requests_received = 0;
+  uint64_t echo_replies_sent = 0;
+  uint64_t echo_replies_received = 0;
+  uint64_t errors_sent = 0;
+  uint64_t errors_received = 0;
+  uint64_t checksum_errors = 0;
+  uint64_t truncated = 0;
+};
+
+// One ICMP endpoint per host. Construction registers protocol 1 with the
+// IP stack and installs the error generator the forwarding path calls.
+class IcmpStack : public IpProtocolHandler {
+ public:
+  explicit IcmpStack(IpStack* ip);
+
+  // A received echo reply or error message, with its sender.
+  struct Event {
+    Ipv4Addr from = 0;
+    IcmpMessage message;
+    SimTime received_at;
+  };
+
+  // Sends an echo request ("ping"). Returns the sequence number used.
+  uint16_t SendEcho(Ipv4Addr dst, uint16_t id, std::span<const uint8_t> payload = {},
+                    uint8_t ttl = 64);
+
+  // Pops the next received reply/error event, if any.
+  bool PollEvent(Event* out);
+  size_t pending_events() const { return events_.size(); }
+
+  auto WaitReadable() {
+    return Awaiter{&ip_->host(), &chan_, !events_.empty()};
+  }
+
+  void IpInput(MbufPtr packet, const Ipv4Header& hdr) override;
+
+  const IcmpStats& stats() const { return stats_; }
+
+ private:
+  struct Awaiter {
+    Host* host;
+    WaitChannel* chan;
+    bool ready;
+    bool await_ready() const noexcept { return ready; }
+    void await_suspend(std::coroutine_handle<> h) {
+      BlockAwaiter inner{host, chan};
+      inner.await_suspend(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Builds and sends an ICMP error quoting `original` (IP header + 8 bytes),
+  // unless the original is itself an ICMP message (no errors about errors).
+  void SendError(IcmpType type, uint8_t code, std::span<const uint8_t> original);
+  void Transmit(const IcmpMessage& msg, Ipv4Addr dst, uint8_t ttl);
+
+  IpStack* ip_;
+  uint16_t next_seq_ = 1;
+  std::deque<Event> events_;
+  WaitChannel chan_;
+  IcmpStats stats_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_ICMP_ICMP_H_

@@ -1,0 +1,35 @@
+// Network interface abstraction.
+//
+// A NetIf is what ip_output hands a finished IP packet to. The ATM and
+// Ethernet device models implement it; the fault module wraps one to inject
+// host-adapter copy errors.
+
+#ifndef SRC_IP_NETIF_H_
+#define SRC_IP_NETIF_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/buf/mbuf.h"
+#include "src/net/wire.h"
+
+namespace tcplat {
+
+class NetIf {
+ public:
+  virtual ~NetIf() = default;
+
+  virtual std::string name() const = 0;
+
+  // Largest IP packet (header included) the interface can carry.
+  virtual size_t mtu() const = 0;
+
+  // Transmits one IP packet (chain starts with the IP header) toward
+  // `next_hop`. Takes ownership of the chain. Called from protocol-output
+  // context on the owning host's CPU.
+  virtual void Output(MbufPtr packet, Ipv4Addr next_hop) = 0;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_IP_NETIF_H_

@@ -1,0 +1,47 @@
+#include "src/link/wire.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+Wire::Wire(Simulator* sim, double bits_per_second, SimDuration propagation, size_t gap_bytes)
+    : sim_(sim), bits_per_second_(bits_per_second), propagation_(propagation),
+      gap_bytes_(gap_bytes) {
+  TCPLAT_CHECK(sim != nullptr);
+  TCPLAT_CHECK_GT(bits_per_second, 0.0);
+}
+
+SimDuration Wire::SerializationDelay(size_t bytes) const {
+  return SimDuration::FromSeconds(static_cast<double>(bytes) * 8.0 / bits_per_second_);
+}
+
+SimTime Wire::Transmit(SimTime earliest, std::vector<uint8_t> data, DeliverFn deliver) {
+  TCPLAT_CHECK(!data.empty());
+  const SimTime start = earliest > busy_until_ ? earliest : busy_until_;
+  const SimTime last_bit_out = start + SerializationDelay(data.size() + gap_bytes_);
+  busy_until_ = last_bit_out;
+  ++units_sent_;
+  bytes_sent_ += data.size();
+
+  if (corrupt_) {
+    corrupt_(data);
+  }
+  const SimTime arrival = last_bit_out + propagation_;
+  sim_->ScheduleAt(arrival,
+                   [arrival, data = std::move(data), deliver = std::move(deliver)]() mutable {
+                     deliver(arrival, std::move(data));
+                   });
+  return last_bit_out;
+}
+
+SharedBus::SharedBus(Simulator* sim, double bits_per_second, SimDuration propagation,
+                     size_t gap_bytes)
+    : wire_(sim, bits_per_second, propagation, gap_bytes) {}
+
+SimTime SharedBus::Transmit(SimTime earliest, std::vector<uint8_t> data, DeliverFn deliver) {
+  return wire_.Transmit(earliest, std::move(data), std::move(deliver));
+}
+
+}  // namespace tcplat

@@ -1,0 +1,98 @@
+// Physical link models.
+//
+// A Wire serializes transmission units (ATM cells, Ethernet frames) at a
+// fixed bit rate with a fixed propagation delay, delivering the actual bytes
+// to the receiver's callback. An optional corruption hook lets the fault
+// module flip bits in flight (§4.2.1 error-source experiments).
+//
+// Two topologies are provided:
+//  * Duplex  — two independent directions (the point-to-point TAXI fiber
+//              between the FORE adapters).
+//  * SharedBus — one half-duplex medium with an enforced inter-unit gap
+//              (the 10 Mbit/s Ethernet baseline).
+
+#ifndef SRC_LINK_WIRE_H_
+#define SRC_LINK_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+// Invoked at arrival time with the (possibly corrupted) unit bytes.
+using DeliverFn = std::function<void(SimTime arrival, std::vector<uint8_t> data)>;
+// May mutate the bytes of a unit in flight.
+using CorruptFn = std::function<void(std::vector<uint8_t>& data)>;
+
+// One direction of a serial medium.
+class Wire {
+ public:
+  // `gap_bytes` is per-unit wire overhead serialized but not delivered
+  // (preamble, interframe gap, HEC idle...).
+  Wire(Simulator* sim, double bits_per_second, SimDuration propagation, size_t gap_bytes = 0);
+
+  // Queues `data` for transmission no earlier than `earliest` (and not
+  // before previously queued units finish). Returns the time the last bit
+  // leaves the sender; the receiver callback fires at that time plus the
+  // propagation delay.
+  SimTime Transmit(SimTime earliest, std::vector<uint8_t> data, DeliverFn deliver);
+
+  // Time the medium becomes free.
+  SimTime free_at() const { return busy_until_; }
+
+  SimDuration SerializationDelay(size_t bytes) const;
+
+  void set_corrupt_hook(CorruptFn hook) { corrupt_ = std::move(hook); }
+
+  uint64_t units_sent() const { return units_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulator* sim_;
+  double bits_per_second_;
+  SimDuration propagation_;
+  size_t gap_bytes_;
+  SimTime busy_until_;
+  CorruptFn corrupt_;
+  uint64_t units_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+// A full-duplex point-to-point link: direction 0 is a->b, 1 is b->a.
+class DuplexLink {
+ public:
+  DuplexLink(Simulator* sim, double bits_per_second, SimDuration propagation,
+             size_t gap_bytes = 0)
+      : dirs_{Wire(sim, bits_per_second, propagation, gap_bytes),
+              Wire(sim, bits_per_second, propagation, gap_bytes)} {}
+
+  Wire& dir(int d) { return dirs_[d]; }
+
+ private:
+  Wire dirs_[2];
+};
+
+// A half-duplex shared medium (Ethernet). All stations contend for one
+// serializer; collisions are not modeled (the paper's workload is a strict
+// request/response alternation on an otherwise idle private segment).
+class SharedBus {
+ public:
+  SharedBus(Simulator* sim, double bits_per_second, SimDuration propagation, size_t gap_bytes);
+
+  SimTime Transmit(SimTime earliest, std::vector<uint8_t> data, DeliverFn deliver);
+  SimTime free_at() const { return wire_.free_at(); }
+  SimDuration SerializationDelay(size_t bytes) const { return wire_.SerializationDelay(bytes); }
+  void set_corrupt_hook(CorruptFn hook) { wire_.set_corrupt_hook(std::move(hook)); }
+  uint64_t units_sent() const { return wire_.units_sent(); }
+
+ private:
+  Wire wire_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_LINK_WIRE_H_

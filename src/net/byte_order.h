@@ -1,0 +1,36 @@
+// Big-endian (network byte order) load/store helpers.
+//
+// All wire formats in this library are serialized explicitly byte-by-byte,
+// so the code is independent of host endianness and alignment.
+
+#ifndef SRC_NET_BYTE_ORDER_H_
+#define SRC_NET_BYTE_ORDER_H_
+
+#include <cstdint>
+
+namespace tcplat {
+
+constexpr uint16_t LoadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((static_cast<uint16_t>(p[0]) << 8) | p[1]);
+}
+
+constexpr uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+constexpr void StoreBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+constexpr void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace tcplat
+
+#endif  // SRC_NET_BYTE_ORDER_H_

@@ -1,0 +1,90 @@
+#include "src/net/crc.h"
+
+#include <array>
+
+namespace tcplat {
+namespace {
+
+// CRC-10 generator x^10 + x^9 + x^5 + x^4 + x + 1; as a 10-bit mask (the
+// implicit x^10 term dropped): bits 9, 5, 4, 1, 0 -> 0x233.
+constexpr uint16_t kCrc10Poly = 0x233;
+
+std::array<uint16_t, 256> MakeCrc10Table() {
+  std::array<uint16_t, 256> table{};
+  for (uint32_t byte = 0; byte < 256; ++byte) {
+    uint16_t crc = static_cast<uint16_t>(byte << 2);  // align byte to bit 9
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x200) {
+        crc = static_cast<uint16_t>(((crc << 1) ^ kCrc10Poly) & 0x3FF);
+      } else {
+        crc = static_cast<uint16_t>((crc << 1) & 0x3FF);
+      }
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+// Reflected IEEE 802.3 polynomial.
+constexpr uint32_t kCrc32Poly = 0xEDB88320u;
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t byte = 0; byte < 256; ++byte) {
+    uint32_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32Poly : crc >> 1;
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint16_t Crc10(std::span<const uint8_t> data) {
+  static const std::array<uint16_t, 256> table = MakeCrc10Table();
+  uint16_t crc = 0;
+  for (uint8_t b : data) {
+    crc = static_cast<uint16_t>(((crc << 8) ^ table[((crc >> 2) ^ b) & 0xFF]) & 0x3FF);
+  }
+  return crc;
+}
+
+uint16_t Crc10Reference(std::span<const uint8_t> data) {
+  // Bit-serial: shift each message bit (MSB first) into a 10-bit register.
+  uint16_t crc = 0;
+  for (uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const uint16_t in = static_cast<uint16_t>((byte >> bit) & 1);
+      const uint16_t top = static_cast<uint16_t>((crc >> 9) & 1);
+      crc = static_cast<uint16_t>((crc << 1) & 0x3FF);
+      if (top ^ in) {
+        crc = static_cast<uint16_t>(crc ^ kCrc10Poly);
+      }
+    }
+  }
+  return crc;
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t b : data) {
+    crc = (crc >> 8) ^ table[(crc ^ b) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Reference(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32Poly : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,61 @@
+// Coroutine type for simulated user processes.
+//
+// A process body is a C++20 coroutine returning SimTask. It starts
+// suspended; the Host scheduler resumes it, and blocking operations
+// (co_await host.Block(chan), co_await host.SleepFor(d)) suspend it until a
+// wakeup. The coroutine frame is owned by the SimTask and destroyed with it.
+
+#ifndef SRC_OS_TASK_H_
+#define SRC_OS_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace tcplat {
+
+class SimTask {
+ public:
+  struct promise_type {
+    SimTask get_return_object() {
+      return SimTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  SimTask() = default;
+  explicit SimTask(Handle h) : handle_(h) {}
+  SimTask(SimTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { Destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_OS_TASK_H_

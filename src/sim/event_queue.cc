@@ -1,0 +1,84 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+EventQueue::~EventQueue() {
+  while (!heap_.empty()) {
+    delete heap_.top();
+    heap_.pop();
+  }
+  for (Entry* e : graveyard_) {
+    delete e;
+  }
+}
+
+EventId EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  TCPLAT_CHECK(fn != nullptr);
+  auto* entry = new Entry{when, next_seq_++, next_id_++, std::move(fn), false};
+  heap_.push(entry);
+  live_.emplace_back(entry->id, entry);
+  ++live_count_;
+  return entry->id;
+}
+
+EventQueue::Entry* EventQueue::FindLive(EventId id) {
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [id](const auto& p) { return p.first == id; });
+  return it == live_.end() ? nullptr : it->second;
+}
+
+void EventQueue::EraseLive(EventId id) {
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [id](const auto& p) { return p.first == id; });
+  if (it != live_.end()) {
+    live_.erase(it);
+  }
+}
+
+bool EventQueue::Cancel(EventId id) {
+  Entry* entry = FindLive(id);
+  if (entry == nullptr || entry->cancelled) {
+    return false;
+  }
+  entry->cancelled = true;
+  entry->fn = nullptr;
+  EraseLive(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropDeadHead() const {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    graveyard_.push_back(heap_.top());
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  DropDeadHead();
+  TCPLAT_CHECK(!heap_.empty());
+  return heap_.top()->time;
+}
+
+EventQueue::Dispatched EventQueue::PopNext() {
+  DropDeadHead();
+  TCPLAT_CHECK(!heap_.empty());
+  Entry* entry = heap_.top();
+  heap_.pop();
+  Dispatched out{entry->time, std::move(entry->fn)};
+  EraseLive(entry->id);
+  --live_count_;
+  delete entry;
+  // Reclaim cancelled entries opportunistically.
+  for (Entry* e : graveyard_) {
+    delete e;
+  }
+  graveyard_.clear();
+  return out;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,93 @@
+// The simulator's pending-event set.
+//
+// A binary heap ordered by (time, sequence number). The sequence number makes
+// the order of same-timestamp events deterministic (FIFO in scheduling
+// order), which keeps whole-simulation runs byte-for-byte reproducible.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+// Token identifying a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `when`. `when` may equal the
+  // current dispatch time (the event runs after all earlier-scheduled events
+  // at that time) but must never be in the past.
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Cancelling an already-run or already-cancelled event returns false.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest pending event. Requires !empty().
+  struct Dispatched {
+    SimTime time;
+    Callback fn;
+  };
+  Dispatched PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    Callback fn;
+    bool cancelled = false;
+  };
+  struct EntryPtrGreater {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->time != b->time) {
+        return a->time > b->time;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  void DropDeadHead() const;
+
+  // Heap of owning pointers; cancellation marks entries dead in place and
+  // they are skipped lazily at pop time.
+  mutable std::priority_queue<Entry*, std::vector<Entry*>, EntryPtrGreater> heap_;
+  mutable std::vector<Entry*> graveyard_;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+
+  // Map from live id -> entry for cancellation. Kept small: entries are
+  // removed as they run.
+  std::vector<std::pair<EventId, Entry*>> live_;
+
+  Entry* FindLive(EventId id);
+  void EraseLive(EventId id);
+
+ public:
+  ~EventQueue();
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

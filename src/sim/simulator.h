@@ -1,0 +1,59 @@
+// The discrete-event simulator driving a whole experiment.
+//
+// A Simulator owns the virtual clock and the pending-event set. All other
+// components (hosts, links, device models) schedule callbacks against it.
+// Execution is strictly single-threaded and deterministic.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/base/random.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` at Now() + delay (delay >= 0).
+  EventId Schedule(SimDuration delay, EventQueue::Callback fn);
+
+  // Schedules `fn` at the absolute time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, EventQueue::Callback fn);
+
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  // Runs events until the queue is empty or `deadline` is passed. Events
+  // scheduled exactly at the deadline still run. Returns the number of
+  // events dispatched.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs until the queue drains completely.
+  uint64_t RunToCompletion();
+
+  // Runs a single event if one is pending; returns false if the queue was
+  // empty.
+  bool Step();
+
+  uint64_t events_dispatched() const { return dispatched_; }
+  size_t pending_events() const { return events_.size(); }
+
+ private:
+  SimTime now_;
+  EventQueue events_;
+  Rng rng_;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,27 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace tcplat {
+namespace {
+
+std::string FormatNs(int64_t ns) {
+  char buf[64];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SimTime::ToString() const { return FormatNs(ns_); }
+std::string SimDuration::ToString() const { return FormatNs(ns_); }
+
+}  // namespace tcplat

@@ -1,0 +1,123 @@
+// Simulated time.
+//
+// All virtual time in the simulator is carried as a strongly-typed count of
+// nanoseconds. The paper measured with a free-running clock of 40 ns period
+// (the AN-1 controller clock); QuantizeToClockTick() reproduces that
+// measurement granularity for code that wants to mimic the paper's
+// instrumentation exactly.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tcplat {
+
+// Period of the real-time clock the paper used for instrumentation (the
+// AN-1 TurboChannel controller clock, 40 ns).
+inline constexpr int64_t kPaperClockPeriodNs = 40;
+
+// A point in simulated time, in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+
+  static constexpr SimTime FromNanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime FromMicros(double us) {
+    return SimTime(static_cast<int64_t>(us * 1000.0 + 0.5));
+  }
+  static constexpr SimTime FromMillis(double ms) {
+    return SimTime(static_cast<int64_t>(ms * 1e6 + 0.5));
+  }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e9 + 0.5));
+  }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1000.0; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  // Rounds down to the 40 ns tick grid of the paper's measurement clock.
+  constexpr SimTime QuantizeToClockTick() const {
+    return SimTime(ns_ - ns_ % kPaperClockPeriodNs);
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  std::string ToString() const;  // e.g. "123.456us"
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+// A span of simulated time, also in nanoseconds. Kept distinct from SimTime
+// so that nonsense like time-point + time-point does not compile.
+class SimDuration {
+ public:
+  constexpr SimDuration() : ns_(0) {}
+
+  static constexpr SimDuration FromNanos(int64_t ns) { return SimDuration(ns); }
+  static constexpr SimDuration FromMicros(double us) {
+    return SimDuration(static_cast<int64_t>(us * 1000.0 + 0.5));
+  }
+  static constexpr SimDuration FromMillis(double ms) {
+    return SimDuration(static_cast<int64_t>(ms * 1e6 + 0.5));
+  }
+  static constexpr SimDuration FromSeconds(double s) {
+    return SimDuration(static_cast<int64_t>(s * 1e9 + 0.5));
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1000.0; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  constexpr SimDuration& operator+=(SimDuration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimDuration(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime::FromNanos(t.nanos() + d.nanos());
+}
+constexpr SimTime operator-(SimTime t, SimDuration d) {
+  return SimTime::FromNanos(t.nanos() - d.nanos());
+}
+constexpr SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration::FromNanos(a.nanos() - b.nanos());
+}
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration::FromNanos(a.nanos() + b.nanos());
+}
+constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+  return SimDuration::FromNanos(a.nanos() - b.nanos());
+}
+constexpr SimDuration operator*(SimDuration d, int64_t k) {
+  return SimDuration::FromNanos(d.nanos() * k);
+}
+constexpr SimDuration operator*(int64_t k, SimDuration d) { return d * k; }
+constexpr SimDuration operator/(SimDuration d, int64_t k) {
+  return SimDuration::FromNanos(d.nanos() / k);
+}
+
+}  // namespace tcplat
+
+#endif  // SRC_SIM_TIME_H_

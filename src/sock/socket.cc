@@ -1,0 +1,209 @@
+#include "src/sock/socket.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+void SockBuf::Append(MbufPool* pool, MbufPtr m) {
+  TCPLAT_CHECK(m != nullptr);
+  Cpu& cpu = pool->cpu();
+  const size_t added = ChainLength(m.get());
+  cpu.Charge(cpu.profile().sbappend, 0, ChainCount(m.get()));
+  ChainAppend(&chain_, std::move(m));
+  cc_ += added;
+}
+
+void SockBuf::Drop(MbufPool* pool, size_t n) {
+  TCPLAT_CHECK_LE(n, cc_);
+  ChainAdjHead(pool, &chain_, n);
+  cc_ -= n;
+}
+
+size_t SockBuf::CopyOutAndDrop(MbufPool* pool, std::span<uint8_t> out) {
+  Cpu& cpu = pool->cpu();
+  size_t taken = 0;
+  while (taken < out.size() && chain_ != nullptr) {
+    Mbuf* m = chain_.get();
+    const size_t chunk = std::min(out.size() - taken, m->len());
+    std::memcpy(out.data() + taken, m->data(), chunk);
+    cpu.Charge(m->is_cluster() ? cpu.profile().copyout_cluster : cpu.profile().copyout_small,
+               chunk);
+    taken += chunk;
+    if (chunk == m->len()) {
+      MbufPtr rest = m->TakeNext();
+      MbufPtr dead = std::move(chain_);
+      chain_ = std::move(rest);
+      pool->FreeChain(std::move(dead));
+    } else {
+      m->TrimFront(chunk);
+    }
+  }
+  cc_ -= taken;
+  return taken;
+}
+
+Socket::Socket(Host* host, size_t sndbuf, size_t rcvbuf)
+    : host_(host), snd_(sndbuf), rcv_(rcvbuf) {
+  TCPLAT_CHECK(host != nullptr);
+}
+
+size_t Socket::Write(std::span<const uint8_t> data) {
+  TCPLAT_CHECK(ops_ != nullptr) << "socket has no protocol bound";
+  Cpu& cpu = host_->cpu();
+  MbufPool& pool = host_->pool();
+  if (snd_.space() == 0 || data.empty() ||
+      (state_ != SocketState::kConnected && state_ != SocketState::kConnecting)) {
+    // Caller will sleep in sosend; that entry cost overlaps the wait and is
+    // off the latency path.
+    return 0;
+  }
+  ++stats_.writes;
+
+  {
+    ScopedSpan user(&host_->tracker(), SpanId::kTxUser);
+    cpu.Charge(cpu.profile().syscall_entry);
+    cpu.Charge(cpu.profile().sosend_fixed);
+  }
+
+  size_t written = 0;
+  while (written < data.size() && snd_.space() > 0 &&
+         (state_ == SocketState::kConnected || state_ == SocketState::kConnecting)) {
+    {
+      ScopedSpan user(&host_->tracker(), SpanId::kTxUser);
+      // One mbuf chain per protocol send, capped at a cluster's worth
+      // (4 KB): the ULTRIX sosend fills at most one page per pass, which is
+      // why an 8000-byte write leaves as two segments. The remaining
+      // residual picks the mbuf flavor — clusters above 1 KB (§2.2.1).
+      size_t chain_budget = std::min({data.size() - written, snd_.space(), kClusterBytes});
+      const bool use_clusters = data.size() - written > cluster_threshold_;
+      MbufPtr chain;
+      while (chain_budget > 0) {
+        MbufPtr m = use_clusters ? pool.GetCluster() : pool.Get();
+        const size_t take = std::min(chain_budget, m->capacity());
+        std::span<uint8_t> dst = m->Append(take);
+        std::span<const uint8_t> src = data.subspan(written, take);
+        if (integrated_copyin_) {
+          // §4.1.1 transmit side: checksum each chunk as it is copied in
+          // and stash the partial sum in the mbuf.
+          cpu.Charge(m->is_cluster() ? cpu.profile().copyin_cluster_cksum
+                                     : cpu.profile().copyin_small_cksum,
+                     take);
+          m->set_partial_cksum(IntegratedCopyPartial(dst, src));
+        } else {
+          cpu.Charge(m->is_cluster() ? cpu.profile().copyin_cluster
+                                     : cpu.profile().copyin_small,
+                     take);
+          std::memcpy(dst.data(), src.data(), take);
+        }
+        ChainAppend(&chain, std::move(m));
+        written += take;
+        chain_budget -= take;
+      }
+      cpu.Charge(cpu.profile().sosend_per_chunk);
+      snd_.Append(&pool, std::move(chain));
+    }
+    // PRU_SEND: once per chain (outside the User span; the paper measures
+    // User only up to the start of TCP processing).
+    ops_->UsrSend();
+  }
+  stats_.bytes_written += written;
+
+  {
+    ScopedSpan other(&host_->tracker(), SpanId::kOther);
+    cpu.Charge(cpu.profile().syscall_exit);
+  }
+  return written;
+}
+
+size_t Socket::Read(std::span<uint8_t> out) {
+  TCPLAT_CHECK(ops_ != nullptr) << "socket has no protocol bound";
+  Cpu& cpu = host_->cpu();
+  if (rcv_.cc() == 0 || out.empty()) {
+    // Blocking entry into soreceive: the syscall cost before the sleep
+    // overlaps the wait for data, so it is not charged to the round trip.
+    return 0;
+  }
+  ++stats_.reads;
+
+  size_t taken;
+  {
+    ScopedSpan user(&host_->tracker(), SpanId::kRxUser);
+    cpu.Charge(cpu.profile().syscall_entry);
+    cpu.Charge(cpu.profile().soreceive_fixed);
+    taken = rcv_.CopyOutAndDrop(&host_->pool(), out);
+    cpu.Charge(cpu.profile().syscall_exit);
+  }
+  stats_.bytes_read += taken;
+  if (taken > 0) {
+    // PRU_RCVD: give the protocol a chance to announce the opened window.
+    ops_->UsrRcvd();
+  }
+  return taken;
+}
+
+void Socket::Close() {
+  if (state_ == SocketState::kClosed) {
+    return;
+  }
+  if (ops_ != nullptr) {
+    ops_->UsrClose();
+  }
+}
+
+Socket* Socket::Accept() {
+  if (accept_queue_.empty()) {
+    return nullptr;
+  }
+  Socket* s = accept_queue_.front();
+  accept_queue_.pop_front();
+  return s;
+}
+
+void Socket::MarkConnected() {
+  state_ = SocketState::kConnected;
+  host_->Wakeup(state_chan_);
+  host_->Wakeup(snd_.channel());
+}
+
+void Socket::MarkEof() {
+  eof_ = true;
+  host_->Wakeup(rcv_.channel());
+}
+
+void Socket::MarkError() {
+  error_ = true;
+  host_->Wakeup(state_chan_);
+  host_->Wakeup(rcv_.channel());
+  host_->Wakeup(snd_.channel());
+}
+
+void Socket::MarkClosed() {
+  state_ = SocketState::kClosed;
+  host_->Wakeup(state_chan_);
+  host_->Wakeup(rcv_.channel());
+  host_->Wakeup(snd_.channel());
+}
+
+void Socket::EnqueueAccepted(Socket* s) {
+  accept_queue_.push_back(s);
+  host_->Wakeup(state_chan_);
+}
+
+void Socket::ReadWakeup() {
+  Cpu& cpu = host_->cpu();
+  cpu.Charge(cpu.profile().sorwakeup);
+  host_->Wakeup(rcv_.channel());
+}
+
+void Socket::WriteWakeup() {
+  if (!snd_.channel().empty()) {
+    Cpu& cpu = host_->cpu();
+    cpu.Charge(cpu.profile().sorwakeup);
+    host_->Wakeup(snd_.channel());
+  }
+}
+
+}  // namespace tcplat

@@ -1,0 +1,112 @@
+#include "src/tcp/pcb.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+PcbTable::PcbTable(Cpu* cpu) : cpu_(cpu), buckets_(kBuckets) { TCPLAT_CHECK(cpu != nullptr); }
+
+void PcbTable::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) {
+    cache_ = nullptr;
+  }
+}
+
+void PcbTable::Insert(Pcb* pcb) {
+  TCPLAT_CHECK(pcb != nullptr);
+  list_.insert(list_.begin(), pcb);  // head insertion (in_pcbinsert)
+  if (pcb->remote.addr == 0) {
+    wildcards_.push_back(pcb);
+  } else {
+    buckets_[Bucket(pcb->remote, pcb->local)].push_back(pcb);
+  }
+}
+
+void PcbTable::Remove(Pcb* pcb) {
+  auto erase_from = [pcb](std::vector<Pcb*>& v) {
+    v.erase(std::remove(v.begin(), v.end(), pcb), v.end());
+  };
+  erase_from(list_);
+  erase_from(wildcards_);
+  for (auto& bucket : buckets_) {
+    erase_from(bucket);
+  }
+  if (cache_ == pcb) {
+    cache_ = nullptr;
+  }
+}
+
+size_t PcbTable::Bucket(const SockAddr& remote, const SockAddr& local) {
+  const uint64_t h = (static_cast<uint64_t>(remote.addr) * 0x9e3779b97f4a7c15ULL) ^
+                     (static_cast<uint64_t>(remote.port) << 32) ^
+                     (static_cast<uint64_t>(local.port) << 16);
+  return static_cast<size_t>((h >> 7) % kBuckets);
+}
+
+Pcb* PcbTable::Lookup(const SockAddr& remote, const SockAddr& local) {
+  ++stats_.lookups;
+
+  if (cache_enabled_) {
+    // The single-entry PCB cache: if the incoming packet is from the same
+    // connection as the previous one, the lookup routine is never called.
+    cpu_->Charge(cpu_->profile().pcb_cache_check);
+    if (cache_ != nullptr && cache_->remote == remote && cache_->local == local) {
+      ++stats_.cache_hits;
+      return cache_;
+    }
+    ++stats_.cache_misses;
+  }
+
+  size_t examined = 0;
+  Pcb* found = mode_ == PcbLookupMode::kLinearList ? LookupLinear(remote, local, &examined)
+                                                   : LookupHash(remote, local, &examined);
+  cpu_->Charge(cpu_->profile().pcb_lookup, 0, examined);
+  if (found == nullptr) {
+    ++stats_.not_found;
+  } else if (cache_enabled_ && found->remote.addr != 0) {
+    cache_ = found;
+  }
+  stats_.entries_examined += examined;
+  return found;
+}
+
+Pcb* PcbTable::LookupLinear(const SockAddr& remote, const SockAddr& local, size_t* examined) {
+  // BSD in_pcblookup: walk the whole list, preferring an exact match but
+  // remembering the best wildcard match. An exact match ends the search.
+  Pcb* wildcard = nullptr;
+  for (Pcb* pcb : list_) {
+    ++*examined;
+    if (pcb->local.port != local.port) {
+      continue;
+    }
+    if (pcb->remote == remote && pcb->local.addr == local.addr) {
+      return pcb;
+    }
+    if (pcb->remote.addr == 0 && wildcard == nullptr) {
+      wildcard = pcb;
+    }
+  }
+  return wildcard;
+}
+
+Pcb* PcbTable::LookupHash(const SockAddr& remote, const SockAddr& local, size_t* examined) {
+  for (Pcb* pcb : buckets_[Bucket(remote, local)]) {
+    ++*examined;
+    if (pcb->remote == remote && pcb->local.port == local.port &&
+        pcb->local.addr == local.addr) {
+      return pcb;
+    }
+  }
+  for (Pcb* pcb : wildcards_) {
+    ++*examined;
+    if (pcb->local.port == local.port) {
+      return pcb;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tcplat

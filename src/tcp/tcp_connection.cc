@@ -1,0 +1,1201 @@
+#include "src/tcp/tcp_connection.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+#include "src/net/checksum.h"
+#include "src/tcp/tcp_stack.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcplat {
+namespace {
+
+bool TraceEnabled() {
+  static const bool enabled = std::getenv("TCPLAT_TRACE") != nullptr;
+  return enabled;
+}
+
+constexpr uint32_t kMaxWindow = 65535;
+
+// Drops `n` bytes from the back of a chain (freeing emptied mbufs).
+void ChainTrimTail(MbufPool* pool, MbufPtr* head, size_t n) {
+  while (n > 0 && *head != nullptr) {
+    Mbuf* m = head->get();
+    Mbuf* prev = nullptr;
+    while (m->next() != nullptr) {
+      prev = m;
+      m = m->next();
+    }
+    const size_t cut = std::min(n, m->len());
+    m->TrimBack(cut);
+    n -= cut;
+    if (m->len() == 0) {
+      if (prev == nullptr) {
+        pool->FreeChain(std::move(*head));
+        break;
+      }
+      pool->FreeChain(prev->TakeNext());
+    }
+  }
+}
+
+}  // namespace
+
+const char* TcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(TcpStack* stack, Socket* socket)
+    : stack_(stack), socket_(socket) {
+  TCPLAT_CHECK(stack != nullptr);
+  TCPLAT_CHECK(socket != nullptr);
+  pcb_.conn = this;
+}
+
+TcpConnection::~TcpConnection() {
+  CancelRexmt();
+  CancelDelack();
+  CancelKeepalive();
+  if (timewait_timer_ != kInvalidEventId) {
+    stack_->host().CancelCallout(timewait_timer_);
+    timewait_timer_ = kInvalidEventId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Opens / close
+// ---------------------------------------------------------------------------
+
+void TcpConnection::Listen(SockAddr local) {
+  TCPLAT_CHECK(state_ == TcpState::kClosed);
+  pcb_.local = local;
+  pcb_.remote = SockAddr{};
+  state_ = TcpState::kListen;
+  stack_->pcbs().Insert(&pcb_);
+  socket_->MarkListening();
+}
+
+void TcpConnection::Connect(SockAddr local, SockAddr remote) {
+  TCPLAT_CHECK(state_ == TcpState::kClosed);
+  pcb_.local = local;
+  pcb_.remote = remote;
+  stack_->pcbs().Insert(&pcb_);
+
+  iss_ = stack_->NextIss();
+  snd_una_ = snd_nxt_ = snd_max_ = iss_;
+  t_maxseg_ = stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
+  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  request_no_checksum_ = stack_->config().checksum == ChecksumMode::kNone;
+  state_ = TcpState::kSynSent;
+  socket_->MarkConnecting();
+  Output();
+}
+
+void TcpConnection::AcceptSyn(SockAddr local, SockAddr remote, Socket* listener_socket,
+                              const TcpHeader& syn) {
+  TCPLAT_CHECK(state_ == TcpState::kClosed);
+  pcb_.local = local;
+  pcb_.remote = remote;
+  listener_socket_ = listener_socket;
+  stack_->pcbs().Insert(&pcb_);
+
+  irs_ = syn.seq;
+  rcv_nxt_ = syn.seq + 1;
+  rcv_adv_ = rcv_nxt_;
+  last_ack_sent_ = rcv_nxt_;
+  snd_wnd_ = syn.window;
+  max_sndwnd_ = std::max(max_sndwnd_, snd_wnd_);
+  snd_wl1_ = syn.seq;
+  snd_wl2_ = 0;
+
+  iss_ = stack_->NextIss();
+  snd_una_ = snd_nxt_ = snd_max_ = iss_;
+  const size_t our_mss =
+      stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
+  t_maxseg_ = std::min(our_mss, static_cast<size_t>(syn.options.mss.value_or(536)));
+  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+
+  // Alternate-checksum negotiation (§4.2): disabled only when both ends ask.
+  const bool peer_wants = syn.options.alt_checksum == kTcpAltChecksumNone;
+  const bool we_want = stack_->config().checksum == ChecksumMode::kNone;
+  no_checksum_ = peer_wants && we_want;
+  request_no_checksum_ = no_checksum_;  // echo the option in the SYN|ACK
+
+  state_ = TcpState::kSynReceived;
+  Output();  // emits SYN|ACK
+}
+
+void TcpConnection::UsrClose() {
+  switch (state_) {
+    case TcpState::kClosed:
+      break;
+    case TcpState::kListen:
+    case TcpState::kSynSent:
+      DropConnection(/*error=*/false);
+      break;
+    case TcpState::kSynReceived:
+    case TcpState::kEstablished:
+      state_ = TcpState::kFinWait1;
+      Output();
+      break;
+    case TcpState::kCloseWait:
+      state_ = TcpState::kLastAck;
+      Output();
+      break;
+    default:
+      break;  // close already in progress
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input
+// ---------------------------------------------------------------------------
+
+bool TcpConnection::VerifyChecksum(const Mbuf* chain, const TcpHeader& th,
+                                   const Ipv4Header& iph) {
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  const size_t tcp_len = iph.total_length - kIpv4HeaderBytes;
+  ScopedSpan cs(&host.tracker(), SpanId::kRxTcpChecksum);
+
+  TcpPseudoHeader ph;
+  ph.src = iph.src;
+  ph.dst = iph.dst;
+  ph.tcp_length = static_cast<uint16_t>(tcp_len);
+  const auto pseudo = ph.Serialize();
+
+  if (stack_->config().checksum == ChecksumMode::kCombined) {
+    // §4.1.1 receive side: the driver computed per-mbuf partial sums during
+    // the device-to-kernel copy; combining them replaces the full in_cksum
+    // pass. Requires the canonical driver layout: 20-byte IP header mbuf
+    // followed by data mbufs that all carry partials.
+    bool usable = chain->len() == kIpv4HeaderBytes;
+    size_t covered = 0;
+    for (const Mbuf* m = chain->next(); usable && m != nullptr; m = m->next()) {
+      if (!m->partial_cksum().has_value() || m->partial_cksum()->length != m->len()) {
+        usable = false;
+      } else {
+        covered += m->len();
+      }
+    }
+    if (usable && covered == tcp_len) {
+      cpu.Charge(cpu.profile().combined_cksum_rx_overhead);
+      cpu.Charge(cpu.profile().pseudo_hdr_cksum);
+      ChecksumAccumulator acc;
+      acc.Add(pseudo);
+      for (const Mbuf* m = chain->next(); m != nullptr; m = m->next()) {
+        cpu.Charge(cpu.profile().cksum_combine);
+        acc.AddPartial(*m->partial_cksum());
+      }
+      return acc.Finalize() == 0;
+    }
+    ++stack_->stats().checksum_fallbacks;
+  }
+
+  // Full pass over the real bytes. The paper accounts the checksummed size
+  // as data + 40 header bytes (20 TCP header + 20 "IP overlay"); the walk
+  // covers pseudo header + TCP segment.
+  cpu.Charge(cpu.profile().in_cksum, tcp_len - th.HeaderLength() + 40, ChainCount(chain));
+  ChecksumAccumulator acc;
+  acc.Add(pseudo);
+  size_t skip = kIpv4HeaderBytes;
+  for (const Mbuf* m = chain; m != nullptr; m = m->next()) {
+    if (skip >= m->len()) {
+      skip -= m->len();
+      continue;
+    }
+    acc.Add(m->bytes().subspan(skip));
+    skip = 0;
+  }
+  if (acc.Finalize() != 0 && TraceEnabled()) {
+    std::fprintf(stderr, "  verify fail: tcp_len=%zu chain_len=%zu acc_len=%zu fold=%04x\n",
+                 tcp_len, ChainLength(chain), (size_t)acc.length(), acc.Finalize());
+    size_t dumped = 0;
+    for (const Mbuf* m = chain; m != nullptr; m = m->next()) {
+      std::fprintf(stderr, "  mbuf len=%zu:", m->len());
+      for (size_t i = 0; i < m->len() && i < 64; ++i) {
+        std::fprintf(stderr, " %02x", m->data()[i]);
+      }
+      std::fprintf(stderr, "\n");
+      dumped += m->len();
+    }
+  }
+  return acc.Finalize() == 0;
+}
+
+bool TcpConnection::TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size_t data_len) {
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  TcpStats& stats = stack_->stats();
+  const TcpFlags& f = th.flags;
+
+  // The BSD 4.4 alpha predicate: established connection, nothing but ACK
+  // set, next expected sequence number, unchanged non-zero window, and no
+  // retransmission in progress.
+  const bool flags_pure = f.ack && !f.syn && !f.fin && !f.rst && !f.urg;
+  if (state_ != TcpState::kEstablished || !flags_pure || th.seq != rcv_nxt_ ||
+      th.window == 0 || th.window != snd_wnd_ || snd_nxt_ != snd_max_) {
+    return false;
+  }
+
+  if (data_len == 0) {
+    // Case 1: "As the sender in a unidirectional transfer, header prediction
+    // succeeds when receiving an in-sequence acknowledgment with no data."
+    if (SeqGt(th.ack, snd_una_) && SeqLeq(th.ack, snd_max_) && snd_cwnd_ >= snd_wnd_) {
+      ++stats.predict_ack_hits;
+      cpu.Charge(cpu.profile().tcp_input_fast);
+      if (rtt_timing_ && SeqGt(th.ack, rtt_seq_)) {
+        const SimDuration sample = host.CurrentTime() - rtt_started_;
+        srtt_ = srtt_.nanos() == 0 ? sample
+                                   : SimDuration::FromNanos((7 * srtt_.nanos() + sample.nanos()) / 8);
+        rtt_timing_ = false;
+      }
+      const uint32_t acked = th.ack - snd_una_;
+      socket_->snd().Drop(&host.pool(), std::min<size_t>(acked, socket_->snd().cc()));
+      snd_una_ = th.ack;
+      rexmt_shift_ = 0;
+      if (snd_una_ == snd_max_) {
+        CancelRexmt();
+      } else {
+        ArmRexmt();
+      }
+      socket_->WriteWakeup();
+      if (data != nullptr) {
+        host.pool().FreeChain(std::move(data));
+      }
+      if (socket_->snd().cc() > snd_nxt_ - snd_una_) {
+        Output();
+      }
+      return true;
+    }
+  } else if (th.ack == snd_una_ && reassembly_.empty() &&
+             data_len <= socket_->rcv().space()) {
+    // Case 2: "As the receiver in a unidirectional transfer, header
+    // prediction succeeds when receiving an in-sequence data segment with
+    // no acknowledgment."
+    ++stats.predict_data_hits;
+    cpu.Charge(cpu.profile().tcp_input_fast);
+    rcv_nxt_ += static_cast<uint32_t>(data_len);
+    AppendInOrder(std::move(data));
+    socket_->ReadWakeup();
+    if (delack_pending_) {
+      // 4.4 acks every other full segment on the fast path.
+      ack_now_ = true;
+      Output();
+    } else {
+      delack_pending_ = true;
+      ArmDelack();
+    }
+    return true;
+  }
+  ++stats.predict_misses;
+  return false;
+}
+
+void TcpConnection::Input(MbufPtr chain, const TcpHeader& th, const Ipv4Header& iph) {
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  MbufPool& pool = host.pool();
+  TCPLAT_CHECK(state_ != TcpState::kListen) << "listeners are handled by the stack";
+
+  const size_t hdrlen = th.HeaderLength();
+  const size_t tcp_len = iph.total_length - kIpv4HeaderBytes;
+  TCPLAT_CHECK_GE(tcp_len, hdrlen);
+  size_t len = tcp_len - hdrlen;
+
+  if (TraceEnabled()) {
+    std::fprintf(stderr, "[%s %8ld] IN  %s seq=%u ack=%u len=%zu win=%u state=%s una=%u nxt=%u max=%u rcv=%u\n",
+                 host.name().c_str(), (long)host.CurrentTime().nanos() / 1000,
+                 th.flags.ToString().c_str(), th.seq - irs_, th.ack - iss_, len, th.window,
+                 TcpStateName(state_), snd_una_ - iss_, snd_nxt_ - iss_, snd_max_ - iss_,
+                 rcv_nxt_ - irs_);
+  }
+
+  if (state_ == TcpState::kClosed) {
+    pool.FreeChain(std::move(chain));
+    return;
+  }
+
+  // The alternate-checksum agreement covers only post-handshake segments:
+  // SYNs always carry a real checksum (the option rides on them).
+  const bool checksum_exempt = no_checksum_ && !th.flags.syn;
+  if (!checksum_exempt && !VerifyChecksum(chain.get(), th, iph)) {
+    ++stack_->stats().checksum_errors;
+    if (TraceEnabled()) {
+      std::fprintf(stderr, "[%s] DROP bad checksum seq=%u len=%zu\n", host.name().c_str(),
+                   th.seq - irs_, len);
+    }
+    pool.FreeChain(std::move(chain));
+    return;
+  }
+
+  // Strip the IP and TCP headers; what remains is payload.
+  ChainAdjHead(&pool, &chain, kIpv4HeaderBytes + hdrlen);
+  if (chain != nullptr && ChainLength(chain.get()) == 0) {
+    pool.FreeChain(std::move(chain));
+  }
+
+  if (state_ == TcpState::kSynSent) {
+    InputSynSent(th);
+    if (chain != nullptr) {
+      pool.FreeChain(std::move(chain));
+    }
+    return;
+  }
+
+  // Any traffic from the peer proves liveness.
+  keepalive_unanswered_ = 0;
+  if (stack_->config().keepalive && state_ == TcpState::kEstablished) {
+    ArmKeepalive(stack_->config().keepalive_idle);
+  }
+
+  if (stack_->config().header_prediction && TryHeaderPrediction(chain, th, len)) {
+    return;
+  }
+
+  cpu.Charge(cpu.profile().tcp_input_slow);
+
+  TcpSeq seq = th.seq;
+  bool fin = th.flags.fin;
+
+  if (th.flags.rst) {
+    ++stack_->stats().rst_received;
+    if (chain != nullptr) {
+      pool.FreeChain(std::move(chain));
+    }
+    DropConnection(/*error=*/true);
+    return;
+  }
+
+  // Trim any duplicate prefix.
+  if (SeqLt(seq, rcv_nxt_)) {
+    const size_t dup = rcv_nxt_ - seq;
+    if (dup >= len) {
+      // Entirely old data (or a pure duplicate): re-ACK to resynchronize.
+      if (chain != nullptr) {
+        pool.FreeChain(std::move(chain));
+      }
+      // Entirely old or out-of-window (including keepalive probes):
+      // re-ACK to resynchronize the peer.
+      ack_now_ = true;
+      len = 0;
+      fin = false;
+      seq = rcv_nxt_;
+    } else {
+      ChainAdjHead(&pool, &chain, dup);
+      len -= dup;
+      seq = rcv_nxt_;
+    }
+  }
+
+  // Trim data beyond our receive buffer.
+  const size_t space = socket_->rcv().space();
+  if (len > space) {
+    if (chain != nullptr) {
+      ChainTrimTail(&pool, &chain, len - space);
+    }
+    len = space;
+    fin = false;
+    ack_now_ = true;
+  }
+
+  if (!th.flags.ack) {
+    if (chain != nullptr) {
+      pool.FreeChain(std::move(chain));
+    }
+    return;
+  }
+
+  if (state_ == TcpState::kSynReceived) {
+    if (SeqLeq(th.ack, snd_una_) || SeqGt(th.ack, snd_max_)) {
+      if (chain != nullptr) {
+        pool.FreeChain(std::move(chain));
+      }
+      return;
+    }
+    CompleteEstablishment();
+  }
+
+  ProcessAck(th);
+
+  // Window update (BSD wl1/wl2 rules).
+  if (SeqLt(snd_wl1_, seq) || (snd_wl1_ == seq && SeqLeq(snd_wl2_, th.ack)) ||
+      (snd_wl2_ == th.ack && th.window > snd_wnd_)) {
+    snd_wnd_ = th.window;
+    max_sndwnd_ = std::max(max_sndwnd_, snd_wnd_);
+    snd_wl1_ = seq;
+    snd_wl2_ = th.ack;
+  }
+
+  if (len > 0 || fin) {
+    ProcessData(std::move(chain), seq, len, fin);
+  } else if (chain != nullptr) {
+    pool.FreeChain(std::move(chain));
+  }
+
+  if (ack_now_) {
+    Output();
+  } else if (socket_->snd().cc() > snd_nxt_ - snd_una_ ||
+             (fin_needed_for_state() && !fin_sent_)) {
+    Output();
+  }
+}
+
+bool TcpConnection::fin_needed_for_state() const {
+  return state_ == TcpState::kFinWait1 || state_ == TcpState::kLastAck ||
+         state_ == TcpState::kClosing;
+}
+
+void TcpConnection::InputSynSent(const TcpHeader& th) {
+  if (!th.flags.ack || SeqLeq(th.ack, iss_) || SeqGt(th.ack, snd_max_)) {
+    return;  // unacceptable ACK; a full implementation would RST
+  }
+  if (th.flags.rst) {
+    ++stack_->stats().rst_received;  // connection refused
+    DropConnection(/*error=*/true);
+    return;
+  }
+  if (!th.flags.syn) {
+    return;
+  }
+
+  irs_ = th.seq;
+  rcv_nxt_ = th.seq + 1;
+  rcv_adv_ = rcv_nxt_;
+  last_ack_sent_ = rcv_nxt_;
+  snd_una_ = th.ack;
+  rexmt_shift_ = 0;
+  CancelRexmt();
+
+  if (th.options.mss.has_value()) {
+    t_maxseg_ = std::min(t_maxseg_, static_cast<size_t>(*th.options.mss));
+  }
+  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  no_checksum_ = request_no_checksum_ && th.options.alt_checksum == kTcpAltChecksumNone;
+
+  snd_wnd_ = th.window;
+  max_sndwnd_ = std::max(max_sndwnd_, snd_wnd_);
+  snd_wl1_ = th.seq;
+  snd_wl2_ = th.ack;
+
+  state_ = TcpState::kEstablished;
+  ++stack_->stats().conns_established;
+  if (stack_->config().keepalive) {
+    ArmKeepalive(stack_->config().keepalive_idle);
+  }
+  ack_now_ = true;
+  socket_->MarkConnected();
+  Output();
+}
+
+void TcpConnection::CompleteEstablishment() {
+  state_ = TcpState::kEstablished;
+  ++stack_->stats().conns_established;
+  if (stack_->config().keepalive) {
+    ArmKeepalive(stack_->config().keepalive_idle);
+  }
+  socket_->MarkConnected();
+  if (listener_socket_ != nullptr) {
+    listener_socket_->EnqueueAccepted(socket_);
+  }
+}
+
+void TcpConnection::ProcessAck(const TcpHeader& th) {
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  const TcpSeq ack = th.ack;
+
+  if (SeqLeq(ack, snd_una_)) {
+    // Duplicate ACK; three in a row trigger fast retransmit.
+    if (ack == snd_una_ && snd_una_ != snd_max_ && ++dup_acks_ == 3) {
+      snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
+                                         std::min(snd_wnd_, snd_cwnd_) / 2);
+      snd_cwnd_ = snd_ssthresh_;
+      snd_nxt_ = snd_una_;
+      ++stack_->stats().retransmits;
+      Output();
+    }
+    return;
+  }
+  if (SeqGt(ack, snd_max_)) {
+    ack_now_ = true;
+    return;
+  }
+
+  dup_acks_ = 0;
+  cpu.Charge(cpu.profile().tcp_ack_proc);
+
+  if (rtt_timing_ && SeqGt(ack, rtt_seq_)) {
+    const SimDuration sample = host.CurrentTime() - rtt_started_;
+    srtt_ = srtt_.nanos() == 0 ? sample
+                               : SimDuration::FromNanos((7 * srtt_.nanos() + sample.nanos()) / 8);
+    rtt_timing_ = false;
+  }
+
+  // Congestion window opening.
+  if (snd_cwnd_ < snd_ssthresh_) {
+    snd_cwnd_ += static_cast<uint32_t>(t_maxseg_);  // slow start
+  } else {
+    snd_cwnd_ += std::max<uint32_t>(
+        1, static_cast<uint32_t>(t_maxseg_ * t_maxseg_ / std::max<uint32_t>(snd_cwnd_, 1)));
+  }
+  snd_cwnd_ = std::min(snd_cwnd_, kMaxWindow);
+
+  const uint32_t acked = ack - snd_una_;
+  const size_t sb_drop = std::min<size_t>(acked, socket_->snd().cc());
+  if (sb_drop > 0) {
+    socket_->snd().Drop(&host.pool(), sb_drop);
+  }
+  const bool fin_acked = fin_sent_ && SeqGeq(ack, snd_max_);
+  snd_una_ = ack;
+  if (SeqLt(snd_nxt_, snd_una_)) {
+    snd_nxt_ = snd_una_;
+  }
+  rexmt_shift_ = 0;
+  if (snd_una_ == snd_max_) {
+    CancelRexmt();
+  } else {
+    ArmRexmt();
+  }
+  socket_->WriteWakeup();
+
+  switch (state_) {
+    case TcpState::kFinWait1:
+      if (fin_acked) {
+        state_ = TcpState::kFinWait2;
+      }
+      break;
+    case TcpState::kClosing:
+      if (fin_acked) {
+        EnterTimeWait();
+      }
+      break;
+    case TcpState::kLastAck:
+      if (fin_acked) {
+        DropConnection(/*error=*/false);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::AppendInOrder(MbufPtr data) {
+  if (data == nullptr) {
+    return;
+  }
+  socket_->rcv().Append(&stack_->host().pool(), std::move(data));
+}
+
+void TcpConnection::ProcessData(MbufPtr data, TcpSeq seq, size_t len, bool fin) {
+  Host& host = stack_->host();
+  MbufPool& pool = host.pool();
+
+  if (state_ == TcpState::kCloseWait || state_ == TcpState::kClosing ||
+      state_ == TcpState::kLastAck || state_ == TcpState::kTimeWait ||
+      state_ == TcpState::kClosed) {
+    // Peer already sent FIN; anything further is bogus.
+    if (data != nullptr) {
+      pool.FreeChain(std::move(data));
+    }
+    return;
+  }
+
+  if (seq != rcv_nxt_) {
+    // Out of order: stash for later, duplicate-ACK immediately. Segments
+    // entirely beyond the advertised window are dropped, not stashed —
+    // the queue must stay bounded by the receive buffer.
+    ++stack_->stats().out_of_order_segs;
+    const bool in_window =
+        SeqLt(seq, rcv_nxt_ + static_cast<uint32_t>(socket_->rcv().space()));
+    if (in_window && (len > 0 || fin)) {
+      auto it = reassembly_.begin();
+      while (it != reassembly_.end() && SeqLt(it->seq, seq)) {
+        ++it;
+      }
+      if (it == reassembly_.end() || it->seq != seq) {
+        reassembly_.insert(it, ReasmSegment{seq, len, fin, std::move(data)});
+        data = nullptr;
+      }
+    }
+    if (data != nullptr) {
+      pool.FreeChain(std::move(data));
+    }
+    ack_now_ = true;
+    return;
+  }
+
+  bool got_fin = fin;
+  if (len > 0) {
+    rcv_nxt_ += static_cast<uint32_t>(len);
+    AppendInOrder(std::move(data));
+  } else if (data != nullptr) {
+    pool.FreeChain(std::move(data));
+  }
+
+  const bool had_reassembly = !reassembly_.empty();
+  if (had_reassembly) {
+    got_fin = DrainReassembly() || got_fin;
+    ack_now_ = true;  // BSD acks immediately after a gap fills
+  }
+
+  if (len > 0) {
+    delack_pending_ = true;
+    ArmDelack();
+    socket_->ReadWakeup();
+  }
+  if (got_fin) {
+    ProcessFin();
+  }
+}
+
+bool TcpConnection::DrainReassembly() {
+  bool fin = false;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = reassembly_.begin(); it != reassembly_.end(); ++it) {
+      if (it->seq == rcv_nxt_) {
+        rcv_nxt_ += static_cast<uint32_t>(it->len);
+        AppendInOrder(std::move(it->data));
+        fin = fin || it->fin;
+        reassembly_.erase(it);
+        progressed = true;
+        socket_->ReadWakeup();
+        break;
+      }
+      if (SeqLt(it->seq, rcv_nxt_)) {
+        // Overlapped by data that arrived in order meanwhile; drop it.
+        stack_->host().pool().FreeChain(std::move(it->data));
+        reassembly_.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return fin;
+}
+
+void TcpConnection::ProcessFin() {
+  rcv_nxt_ += 1;
+  ack_now_ = true;
+  socket_->MarkEof();
+  switch (state_) {
+    case TcpState::kEstablished:
+    case TcpState::kSynReceived:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      state_ = TcpState::kClosing;
+      break;
+    case TcpState::kFinWait2:
+      EnterTimeWait();
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+TcpConnection::SegmentPlan TcpConnection::PlanSegment() {
+  SegmentPlan p;
+  if (state_ == TcpState::kClosed || state_ == TcpState::kListen) {
+    return p;
+  }
+
+  // Flags by state (tcp_outflags).
+  switch (state_) {
+    case TcpState::kSynSent:
+      p.flags.syn = true;
+      break;
+    case TcpState::kSynReceived:
+      p.flags.syn = true;
+      p.flags.ack = true;
+      break;
+    default:
+      p.flags.ack = true;
+      break;
+  }
+  // Our SYN is already out and unacknowledged: don't repeat it in new
+  // segments (only a retransmit, with snd_nxt reset, resends it).
+  if (p.flags.syn && SeqGt(snd_nxt_, snd_una_)) {
+    p.flags.syn = false;
+  }
+
+  const size_t avail = socket_->snd().cc();
+  const uint32_t win = std::min(snd_wnd_, snd_cwnd_);
+
+  size_t len = 0;
+  const size_t usable = std::min<size_t>(avail, win);
+  // Data offset within the send buffer (the SYN sequence slot is excluded).
+  size_t data_off = snd_nxt_ - snd_una_;
+  if (SeqLt(snd_una_, iss_ + 1)) {
+    data_off = SeqGt(snd_nxt_, iss_ + 1) ? snd_nxt_ - (iss_ + 1) : 0;
+  }
+  if (usable > data_off) {
+    len = usable - data_off;
+  }
+  if (len > t_maxseg_) {
+    len = t_maxseg_;
+    p.sendalot = true;
+  }
+  if (p.flags.syn) {
+    len = 0;
+    p.sendalot = false;
+  }
+
+  // FIN once all data is queued out.
+  const bool closing_state = state_ == TcpState::kFinWait1 || state_ == TcpState::kLastAck ||
+                             state_ == TcpState::kClosing;
+  if (closing_state && data_off + len == avail && !p.flags.syn) {
+    p.flags.fin = true;
+  }
+  // Don't re-emit an already-sent FIN unless retransmitting.
+  if (p.flags.fin && fin_sent_ && SeqGt(snd_nxt_, snd_una_) && snd_nxt_ == snd_max_) {
+    p.flags.fin = false;
+  }
+
+  p.len = len;
+
+  // --- send decision ---
+  const bool idle = snd_max_ == snd_una_;
+  if (force_probe_ && len == 0 && avail > data_off && win == 0) {
+    p.len = 1;
+    p.send = true;
+    return p;
+  }
+  if (len > 0) {
+    if (len == t_maxseg_) {
+      p.send = true;
+    } else if (idle && data_off + len == avail) {
+      p.send = true;  // everything we have, nothing outstanding
+    } else if (socket_->nodelay_option().value_or(stack_->config().nodelay)) {
+      p.send = true;  // TCP_NODELAY defeats the Nagle algorithm
+    } else if (SeqLt(snd_nxt_, snd_max_)) {
+      p.send = true;  // retransmission: Nagle never blocks resending
+    } else if (max_sndwnd_ > 0 && len >= max_sndwnd_ / 2) {
+      // The BSD clause that keeps window-limited senders moving: send once
+      // we can fill half of the largest window the peer ever offered.
+      p.send = true;
+    }
+  }
+  if (p.flags.syn || p.flags.fin) {
+    p.send = true;
+  }
+  if (ack_now_) {
+    p.send = true;
+  }
+  if (!p.send && p.flags.ack && state_ != TcpState::kSynSent) {
+    // Window update: announce when the window opens by 2 segments or half
+    // the receive buffer.
+    const uint32_t announce =
+        static_cast<uint32_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+    const int64_t adv = static_cast<int64_t>(rcv_nxt_ + announce) -
+                        static_cast<int64_t>(rcv_adv_);
+    if (adv >= static_cast<int64_t>(2 * t_maxseg_) ||
+        2 * adv >= static_cast<int64_t>(socket_->rcv().hiwat())) {
+      p.send = true;
+    }
+  }
+  return p;
+}
+
+void TcpConnection::Output() {
+  Host& host = stack_->host();
+  ScopedSpan seg(&host.tracker(), SpanId::kTxTcpSegment);
+  while (true) {
+    const SegmentPlan plan = PlanSegment();
+    if (!plan.send) {
+      return;
+    }
+    EmitSegment(plan);
+    if (!plan.sendalot) {
+      return;
+    }
+  }
+}
+
+void TcpConnection::EmitSegment(const SegmentPlan& plan) {
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  MbufPool& pool = host.pool();
+  const CostProfile& prof = cpu.profile();
+  TcpStats& stats = stack_->stats();
+
+  cpu.Charge(prof.tcp_output_fixed);
+  force_probe_ = false;
+
+  TcpHeader th;
+  th.src_port = pcb_.local.port;
+  th.dst_port = pcb_.remote.port;
+  th.seq = snd_nxt_;
+  th.flags = plan.flags;
+  if (plan.flags.ack) {
+    th.ack = rcv_nxt_;
+  }
+  const uint32_t announce =
+      static_cast<uint32_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+  th.window = static_cast<uint16_t>(announce);
+  if (plan.flags.syn) {
+    th.options.mss = static_cast<uint16_t>(
+        stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes);
+    if (request_no_checksum_) {
+      th.options.alt_checksum = kTcpAltChecksumNone;
+    }
+  }
+  if (plan.len > 0 && plan.flags.ack) {
+    th.flags.psh = true;
+  }
+  const size_t hdrlen = th.HeaderLength();
+
+  // Header mbuf with room in front for the IP and link headers.
+  MbufPtr hm = pool.GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
+
+  // Data offset within the send buffer.
+  size_t data_off = snd_nxt_ - snd_una_;
+  if (SeqLt(snd_una_, iss_ + 1)) {
+    // SYN still unacknowledged; buffered data starts at sequence iss+1.
+    data_off = SeqGt(snd_nxt_, iss_ + 1) ? snd_nxt_ - (iss_ + 1) : 0;
+  }
+
+  // Attach the payload: small amounts are copied straight into the header
+  // mbuf (the cheap path visible in the paper's 4/20-byte mcopy rows);
+  // larger ones get an m_copym'd chain kept for retransmission.
+  MbufPtr data_chain;
+  bool data_in_header = false;
+  if (plan.len > 0) {
+    ScopedSpan mcopy(&host.tracker(), SpanId::kTxTcpMcopy);
+    if (plan.len <= hm->trailing_space() - hdrlen) {
+      data_in_header = true;
+      cpu.Charge(prof.tcp_copydata_small, plan.len);
+    } else {
+      data_chain = pool.CopyRange(socket_->snd().chain(), data_off, plan.len);
+    }
+  }
+
+  // Serialize the header (checksum zero for now).
+  th.checksum = 0;
+  std::span<uint8_t> hdr_space = hm->Append(hdrlen);
+  th.Serialize(hdr_space);
+  if (data_in_header) {
+    ChainCopyOut(socket_->snd().chain(), data_off, hm->Append(plan.len));
+  }
+
+  // --- checksum (§4) --- SYN segments are always checksummed; the
+  // negotiated elimination applies only once the connection is up.
+  uint16_t cksum = 0;
+  if (!no_checksum_ || plan.flags.syn) {
+    ScopedSpan cs(&host.tracker(), SpanId::kTxTcpChecksum);
+    TcpPseudoHeader ph;
+    ph.src = pcb_.local.addr;
+    ph.dst = pcb_.remote.addr;
+    ph.tcp_length = static_cast<uint16_t>(hdrlen + plan.len);
+    const auto pseudo = ph.Serialize();
+
+    const bool combined = stack_->config().checksum == ChecksumMode::kCombined;
+    bool partials_usable = combined && data_chain != nullptr;
+    for (const Mbuf* m = data_chain.get(); partials_usable && m != nullptr; m = m->next()) {
+      if (!m->partial_cksum().has_value() || m->partial_cksum()->length != m->len()) {
+        partials_usable = false;
+      }
+    }
+    if (combined) {
+      // The bookkeeping the paper's initial implementation pays on every
+      // send in this mode — the source of the small-packet regression in
+      // Table 6.
+      cpu.Charge(prof.combined_cksum_tx_overhead);
+    }
+
+    ChecksumAccumulator acc;
+    acc.Add(pseudo);
+    acc.Add(std::span<const uint8_t>(hm->data(), hm->len()));
+    if (partials_usable) {
+      cpu.Charge(prof.pseudo_hdr_cksum);
+      for (const Mbuf* m = data_chain.get(); m != nullptr; m = m->next()) {
+        cpu.Charge(prof.cksum_combine);
+        acc.AddPartial(*m->partial_cksum());
+      }
+    } else {
+      if (combined) {
+        ++stats.checksum_fallbacks;
+      }
+      cpu.Charge(prof.in_cksum, plan.len + 40,
+                 1 + (data_chain ? ChainCount(data_chain.get()) : 0));
+      for (const Mbuf* m = data_chain.get(); m != nullptr; m = m->next()) {
+        acc.Add(m->bytes());
+      }
+    }
+    cksum = acc.Finalize();
+  }
+  StoreBe16(hm->data() + 16, cksum);  // checksum field at offset 16
+
+  if (data_chain != nullptr) {
+    hm->SetNext(std::move(data_chain));
+  }
+
+  // --- sequence bookkeeping ---
+  if (plan.flags.syn) {
+    snd_nxt_ += 1;
+  }
+  snd_nxt_ += static_cast<uint32_t>(plan.len);
+  if (plan.flags.fin) {
+    fin_sent_ = true;
+    snd_nxt_ += 1;  // the FIN occupies one sequence slot (also on rexmt)
+  }
+  if (SeqGt(snd_nxt_, snd_max_)) {
+    if (!rtt_timing_) {
+      rtt_timing_ = true;
+      rtt_seq_ = snd_max_;
+      rtt_started_ = host.CurrentTime();
+    }
+    snd_max_ = snd_nxt_;
+  } else if (plan.len > 0) {
+    ++stats.retransmits;
+  }
+  if (snd_nxt_ != snd_una_ && rexmt_timer_ == kInvalidEventId) {
+    ArmRexmt();
+  }
+
+  if (SeqGt(rcv_nxt_ + announce, rcv_adv_)) {
+    rcv_adv_ = rcv_nxt_ + announce;
+  }
+  last_ack_sent_ = rcv_nxt_;
+  ack_now_ = false;
+  if (delack_pending_) {
+    delack_pending_ = false;
+    CancelDelack();
+  }
+
+  ++stats.segs_sent;
+  if (plan.len > 0) {
+    ++stats.data_segs_sent;
+    stats.bytes_sent += plan.len;
+  }
+  if (stack_->tap() != nullptr) {
+    stack_->tap()->OnSegment({host.CurrentTime(), /*outbound=*/true, pcb_.local, pcb_.remote,
+                              th, plan.len});
+  }
+
+  if (TraceEnabled() && !no_checksum_) {
+    // Sender self-verify: recompute the checksum the way the receiver will.
+    TcpPseudoHeader vph;
+    vph.src = pcb_.local.addr;
+    vph.dst = pcb_.remote.addr;
+    vph.tcp_length = static_cast<uint16_t>(hdrlen + plan.len);
+    ChecksumAccumulator vacc;
+    vacc.Add(vph.Serialize());
+    for (const Mbuf* m = hm.get(); m != nullptr; m = m->next()) {
+      vacc.Add(m->bytes());
+    }
+    if (vacc.Finalize() != 0) {
+      std::fprintf(stderr, "[%s] SELF-CHECK FAIL fold=%04x len=%zu hdrlen=%zu\n",
+                   host.name().c_str(), vacc.Finalize(), plan.len, hdrlen);
+    }
+  }
+  if (TraceEnabled()) {
+    std::fprintf(stderr, "[%s %8ld] OUT %s seq=%u ack=%u len=%zu win=%u state=%s una=%u nxt=%u max=%u\n",
+                 host.name().c_str(), (long)host.CurrentTime().nanos() / 1000,
+                 th.flags.ToString().c_str(), th.seq - iss_, th.ack - irs_, plan.len, th.window,
+                 TcpStateName(state_), snd_una_ - iss_, snd_nxt_ - iss_, snd_max_ - iss_);
+  }
+
+  stack_->ip().Output(std::move(hm), pcb_.local.addr, pcb_.remote.addr, kIpProtoTcp);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+SimDuration TcpConnection::CurrentRto() const {
+  const TcpConfig& cfg = stack_->config();
+  int64_t base = std::max(cfg.rexmt_min.nanos(), 2 * srtt_.nanos());
+  base <<= std::min(rexmt_shift_, 10);
+  return SimDuration::FromNanos(std::min(base, cfg.rexmt_max.nanos()));
+}
+
+void TcpConnection::ArmRexmt() {
+  CancelRexmt();
+  rexmt_timer_ = stack_->host().After(CurrentRto(), [this] {
+    rexmt_timer_ = kInvalidEventId;
+    RexmtTimeout();
+  });
+}
+
+void TcpConnection::CancelRexmt() {
+  if (rexmt_timer_ != kInvalidEventId) {
+    stack_->host().CancelCallout(rexmt_timer_);
+    rexmt_timer_ = kInvalidEventId;
+  }
+}
+
+void TcpConnection::RexmtTimeout() {
+  TcpStats& stats = stack_->stats();
+  ++stats.rexmt_timeouts;
+  if (++rexmt_shift_ > stack_->config().max_rexmt) {
+    DropConnection(/*error=*/true);
+    return;
+  }
+  // Slow-start restart.
+  snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
+                                     std::min(snd_wnd_, snd_cwnd_) / 2);
+  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  snd_nxt_ = snd_una_;
+  rtt_timing_ = false;
+  if (snd_wnd_ == 0 && socket_->snd().cc() > 0) {
+    force_probe_ = true;  // zero-window probe
+  }
+  Output();
+  if (snd_una_ != snd_max_ || snd_nxt_ != snd_una_ || state_ == TcpState::kSynSent ||
+      state_ == TcpState::kSynReceived) {
+    ArmRexmt();
+  }
+}
+
+void TcpConnection::ArmDelack() {
+  if (delack_timer_ != kInvalidEventId) {
+    return;
+  }
+  delack_timer_ = stack_->host().After(stack_->config().delack_timeout, [this] {
+    delack_timer_ = kInvalidEventId;
+    DelackTimeout();
+  });
+}
+
+void TcpConnection::CancelDelack() {
+  if (delack_timer_ != kInvalidEventId) {
+    stack_->host().CancelCallout(delack_timer_);
+    delack_timer_ = kInvalidEventId;
+  }
+}
+
+void TcpConnection::DelackTimeout() {
+  if (!delack_pending_) {
+    return;
+  }
+  delack_pending_ = false;
+  ack_now_ = true;
+  ++stack_->stats().delayed_acks_fired;
+  Output();
+}
+
+void TcpConnection::ArmKeepalive(SimDuration delay) {
+  CancelKeepalive();
+  keepalive_timer_ = stack_->host().After(delay, [this] {
+    keepalive_timer_ = kInvalidEventId;
+    KeepaliveTimeout();
+  });
+}
+
+void TcpConnection::CancelKeepalive() {
+  if (keepalive_timer_ != kInvalidEventId) {
+    stack_->host().CancelCallout(keepalive_timer_);
+    keepalive_timer_ = kInvalidEventId;
+  }
+}
+
+void TcpConnection::KeepaliveTimeout() {
+  if (state_ != TcpState::kEstablished) {
+    return;
+  }
+  if (keepalive_unanswered_ >= stack_->config().keepalive_probes) {
+    ++stack_->stats().keepalive_drops;
+    DropConnection(/*error=*/true);
+    return;
+  }
+  ++keepalive_unanswered_;
+  SendKeepaliveProbe();
+  ArmKeepalive(stack_->config().keepalive_interval);
+}
+
+void TcpConnection::SendKeepaliveProbe() {
+  // BSD-style probe: an otherwise-empty segment whose sequence number is
+  // one below the window, forcing the peer to answer with a bare ACK.
+  Host& host = stack_->host();
+  Cpu& cpu = host.cpu();
+  const CostProfile& prof = cpu.profile();
+  ScopedSpan other(&host.tracker(), SpanId::kOther);
+  cpu.Charge(prof.tcp_output_fixed);
+
+  TcpHeader th;
+  th.src_port = pcb_.local.port;
+  th.dst_port = pcb_.remote.port;
+  th.seq = snd_una_ - 1;
+  th.ack = rcv_nxt_;
+  th.flags.ack = true;
+  th.window = static_cast<uint16_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+
+  MbufPtr hm = host.pool().GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
+  th.checksum = 0;
+  th.Serialize(hm->Append(th.HeaderLength()));
+  if (!no_checksum_) {
+    TcpPseudoHeader ph;
+    ph.src = pcb_.local.addr;
+    ph.dst = pcb_.remote.addr;
+    ph.tcp_length = static_cast<uint16_t>(th.HeaderLength());
+    ChecksumAccumulator acc;
+    acc.Add(ph.Serialize());
+    acc.Add(hm->bytes());
+    StoreBe16(hm->data() + 16, acc.Finalize());
+  }
+  ++stack_->stats().keepalive_probes_sent;
+  ++stack_->stats().segs_sent;
+  if (stack_->tap() != nullptr) {
+    stack_->tap()->OnSegment({host.CurrentTime(), /*outbound=*/true, pcb_.local, pcb_.remote,
+                              th, 0});
+  }
+  stack_->ip().Output(std::move(hm), pcb_.local.addr, pcb_.remote.addr, kIpProtoTcp);
+}
+
+void TcpConnection::EnterTimeWait() {
+  state_ = TcpState::kTimeWait;
+  CancelRexmt();
+  if (timewait_timer_ == kInvalidEventId) {
+    timewait_timer_ = stack_->host().After(2 * stack_->config().msl, [this] {
+      timewait_timer_ = kInvalidEventId;
+      DropConnection(/*error=*/false);
+    });
+  }
+}
+
+void TcpConnection::DropConnection(bool error) {
+  if (state_ == TcpState::kClosed) {
+    return;
+  }
+  state_ = TcpState::kClosed;
+  CancelRexmt();
+  CancelDelack();
+  CancelKeepalive();
+  if (timewait_timer_ != kInvalidEventId) {
+    stack_->host().CancelCallout(timewait_timer_);
+    timewait_timer_ = kInvalidEventId;
+  }
+  stack_->pcbs().Remove(&pcb_);
+  if (error) {
+    ++stack_->stats().conns_dropped;
+    socket_->MarkError();
+  } else {
+    socket_->MarkClosed();
+  }
+}
+
+}  // namespace tcplat

@@ -1,0 +1,22 @@
+// TCP sequence-number arithmetic (modular 32-bit comparisons).
+
+#ifndef SRC_TCP_TCP_SEQ_H_
+#define SRC_TCP_TCP_SEQ_H_
+
+#include <cstdint>
+
+namespace tcplat {
+
+using TcpSeq = uint32_t;
+
+constexpr bool SeqLt(TcpSeq a, TcpSeq b) { return static_cast<int32_t>(a - b) < 0; }
+constexpr bool SeqLeq(TcpSeq a, TcpSeq b) { return static_cast<int32_t>(a - b) <= 0; }
+constexpr bool SeqGt(TcpSeq a, TcpSeq b) { return static_cast<int32_t>(a - b) > 0; }
+constexpr bool SeqGeq(TcpSeq a, TcpSeq b) { return static_cast<int32_t>(a - b) >= 0; }
+
+constexpr TcpSeq SeqMax(TcpSeq a, TcpSeq b) { return SeqGt(a, b) ? a : b; }
+constexpr TcpSeq SeqMin(TcpSeq a, TcpSeq b) { return SeqLt(a, b) ? a : b; }
+
+}  // namespace tcplat
+
+#endif  // SRC_TCP_TCP_SEQ_H_

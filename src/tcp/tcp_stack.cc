@@ -1,0 +1,157 @@
+#include "src/tcp/tcp_stack.h"
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+#include "src/net/checksum.h"
+
+namespace tcplat {
+
+TcpStack::TcpStack(IpStack* ip, TcpConfig config)
+    : ip_(ip), config_(config), pcbs_(&ip->host().cpu()) {
+  TCPLAT_CHECK(ip != nullptr);
+  ip_->RegisterProtocol(kIpProtoTcp, this);
+  pcbs_.set_cache_enabled(config_.header_prediction);
+}
+
+TcpStack::~TcpStack() = default;
+
+Socket* TcpStack::CreateSocket() {
+  auto socket = std::make_unique<Socket>(&host(), config_.sndbuf, config_.rcvbuf);
+  socket->set_integrated_copyin(config_.checksum == ChecksumMode::kCombined);
+  socket->set_cluster_threshold(config_.cluster_threshold);
+  auto conn = std::make_unique<TcpConnection>(this, socket.get());
+  socket->BindOps(conn.get());
+  Socket* s = socket.get();
+  sockets_.push_back(std::move(socket));
+  conns_.push_back(std::move(conn));
+  return s;
+}
+
+Socket* TcpStack::Listen(uint16_t port) {
+  Socket* s = CreateSocket();
+  auto* conn = static_cast<TcpConnection*>(conns_.back().get());
+  conn->Listen(SockAddr{ip_->addr(), port});
+  return s;
+}
+
+Socket* TcpStack::Connect(SockAddr remote) {
+  Socket* s = CreateSocket();
+  auto* conn = static_cast<TcpConnection*>(conns_.back().get());
+  conn->Connect(SockAddr{ip_->addr(), NextEphemeralPort()}, remote);
+  return s;
+}
+
+void TcpStack::AddBackgroundPcbs(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    auto pcb = std::make_unique<Pcb>();
+    pcb->local = SockAddr{ip_->addr(), static_cast<uint16_t>(512 + background_pcbs_.size())};
+    pcb->remote = SockAddr{};
+    pcb->conn = nullptr;
+    pcbs_.Insert(pcb.get());
+    background_pcbs_.push_back(std::move(pcb));
+  }
+}
+
+TcpConnection* TcpStack::SpawnPassive() {
+  CreateSocket();
+  return conns_.back().get();
+}
+
+void TcpStack::SendRst(const TcpHeader& in, const Ipv4Header& iph, size_t data_len) {
+  Host& h = host();
+  Cpu& cpu = h.cpu();
+  ScopedSpan other(&h.tracker(), SpanId::kOther);
+  cpu.Charge(cpu.profile().tcp_output_fixed);
+
+  TcpHeader th;
+  th.src_port = in.dst_port;
+  th.dst_port = in.src_port;
+  th.flags.rst = true;
+  if (in.flags.ack) {
+    th.seq = in.ack;
+  } else {
+    th.flags.ack = true;
+    th.ack = in.seq + static_cast<uint32_t>(data_len) + (in.flags.syn ? 1 : 0) +
+             (in.flags.fin ? 1 : 0);
+  }
+  th.window = 0;
+
+  MbufPtr hm = h.pool().GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
+  th.checksum = 0;
+  th.Serialize(hm->Append(th.HeaderLength()));
+
+  TcpPseudoHeader ph;
+  ph.src = iph.dst;
+  ph.dst = iph.src;
+  ph.tcp_length = static_cast<uint16_t>(th.HeaderLength());
+  ChecksumAccumulator acc;
+  acc.Add(ph.Serialize());
+  acc.Add(hm->bytes());
+  StoreBe16(hm->data() + 16, acc.Finalize());
+
+  ++stats_.rst_sent;
+  ++stats_.segs_sent;
+  if (tap_ != nullptr) {
+    tap_->OnSegment({h.CurrentTime(), /*outbound=*/true, SockAddr{iph.dst, th.src_port},
+                     SockAddr{iph.src, th.dst_port}, th, 0});
+  }
+  ip_->Output(std::move(hm), iph.dst, iph.src, kIpProtoTcp);
+}
+
+void TcpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
+  Host& h = host();
+  ScopedSpan seg(&h.tracker(), SpanId::kRxTcpSegment);
+  ++stats_.segs_received;
+
+  // Locate the TCP header: it must be contiguous at chain offset 20. The
+  // drivers put the IP header in its own leading mbuf, so the TCP header
+  // starts the second mbuf; test paths may pack everything into one mbuf.
+  const Mbuf* m = packet.get();
+  size_t off = kIpv4HeaderBytes;
+  while (m != nullptr && off >= m->len()) {
+    off -= m->len();
+    m = m->next();
+  }
+  if (m == nullptr || m->len() - off < kTcpMinHeaderBytes) {
+    h.pool().FreeChain(std::move(packet));
+    return;
+  }
+  auto th = TcpHeader::Parse(m->bytes().subspan(off));
+  if (!th.has_value() ||
+      hdr.total_length < kIpv4HeaderBytes + th->HeaderLength() ||
+      m->len() - off < th->HeaderLength()) {
+    h.pool().FreeChain(std::move(packet));
+    return;
+  }
+
+  const SockAddr remote{hdr.src, th->src_port};
+  const SockAddr local{hdr.dst, th->dst_port};
+  if (tap_ != nullptr) {
+    tap_->OnSegment({h.CurrentTime(), /*outbound=*/false, remote, local, *th,
+                     hdr.total_length - kIpv4HeaderBytes - th->HeaderLength()});
+  }
+  Pcb* pcb = pcbs_.Lookup(remote, local);
+  if (pcb == nullptr || pcb->conn == nullptr) {
+    ++stats_.dropped_no_pcb;
+    const size_t data_len =
+        hdr.total_length - kIpv4HeaderBytes - th->HeaderLength();
+    if (!th->flags.rst) {
+      SendRst(*th, hdr, data_len);
+    }
+    h.pool().FreeChain(std::move(packet));
+    return;
+  }
+
+  TcpConnection* conn = pcb->conn;
+  if (conn->state() == TcpState::kListen) {
+    if (th->flags.syn && !th->flags.ack && !th->flags.rst) {
+      TcpConnection* child = SpawnPassive();
+      child->AcceptSyn(local, remote, conn->socket(), *th);
+    }
+    h.pool().FreeChain(std::move(packet));
+    return;
+  }
+  conn->Input(std::move(packet), *th, hdr);
+}
+
+}  // namespace tcplat

@@ -1,0 +1,98 @@
+// Per-host TCP: socket/connection factory, segment demultiplexing, and the
+// stack-wide configuration knobs the paper's experiments toggle.
+
+#ifndef SRC_TCP_TCP_STACK_H_
+#define SRC_TCP_TCP_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/ip/ip_stack.h"
+#include "src/tcp/pcb.h"
+#include "src/tcp/segment_tap.h"
+#include "src/tcp/tcp_connection.h"
+
+namespace tcplat {
+
+struct TcpStats {
+  uint64_t segs_sent = 0;
+  uint64_t segs_received = 0;
+  uint64_t data_segs_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t predict_ack_hits = 0;   // fast path: pure ACK for outstanding data
+  uint64_t predict_data_hits = 0;  // fast path: pure in-sequence data
+  uint64_t predict_misses = 0;     // predicate evaluated but failed
+  uint64_t checksum_errors = 0;
+  uint64_t checksum_fallbacks = 0;  // combined mode had to recompute fully
+  uint64_t retransmits = 0;
+  uint64_t rexmt_timeouts = 0;
+  uint64_t delayed_acks_fired = 0;
+  uint64_t keepalive_probes_sent = 0;
+  uint64_t keepalive_drops = 0;
+  uint64_t out_of_order_segs = 0;
+  uint64_t dropped_no_pcb = 0;
+  uint64_t rst_sent = 0;
+  uint64_t rst_received = 0;
+  uint64_t conns_established = 0;
+  uint64_t conns_dropped = 0;
+};
+
+class TcpStack : public IpProtocolHandler {
+ public:
+  TcpStack(IpStack* ip, TcpConfig config);
+  ~TcpStack() override;
+
+  Host& host() { return ip_->host(); }
+  IpStack& ip() { return *ip_; }
+  TcpConfig& config() { return config_; }
+  PcbTable& pcbs() { return pcbs_; }
+  TcpStats& stats() { return stats_; }
+
+  // Creates a socket with a fresh (closed) connection bound to it. The
+  // stack owns both; pointers stay valid for the stack's lifetime.
+  Socket* CreateSocket();
+
+  // Passive open: listen on `port` at this host's address.
+  Socket* Listen(uint16_t port);
+
+  // Active open toward `remote`; complete with `co_await s->WaitConnected()`.
+  Socket* Connect(SockAddr remote);
+
+  // Populates the PCB list with `n` inert "daemon" PCBs so that lookup cost
+  // is realistic (the paper's machines ran the standard ULTRIX daemons).
+  void AddBackgroundPcbs(size_t n);
+
+  // Optional tcpdump-style observer of every segment in and out. Costs no
+  // simulated time.
+  void set_tap(SegmentTap* tap) { tap_ = tap; }
+  SegmentTap* tap() { return tap_; }
+
+  // IpProtocolHandler.
+  void IpInput(MbufPtr packet, const Ipv4Header& hdr) override;
+
+  // Internal services for TcpConnection.
+  uint32_t NextIss() { return iss_ += 64000; }
+  uint16_t NextEphemeralPort() { return next_port_++; }
+  // Creates the socket + connection pair for a passive open.
+  TcpConnection* SpawnPassive();
+
+ private:
+  // Answers a segment that reached no connection (RFC 793 RESET rules).
+  void SendRst(const TcpHeader& th, const Ipv4Header& iph, size_t data_len);
+
+  IpStack* ip_;
+  TcpConfig config_;
+  SegmentTap* tap_ = nullptr;
+  PcbTable pcbs_;
+  TcpStats stats_;
+  uint32_t iss_ = 1;
+  uint16_t next_port_ = 20000;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::vector<std::unique_ptr<TcpConnection>> conns_;
+  std::vector<std::unique_ptr<Pcb>> background_pcbs_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_TCP_TCP_STACK_H_

@@ -1,0 +1,57 @@
+#include "src/trace/latency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+void LatencyStats::Add(SimDuration sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+SimDuration LatencyStats::Mean() const {
+  if (samples_.empty()) {
+    return SimDuration();
+  }
+  return SimDuration::FromNanos(sum_.nanos() / static_cast<int64_t>(samples_.size()));
+}
+
+SimDuration LatencyStats::Min() const {
+  TCPLAT_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+SimDuration LatencyStats::Max() const {
+  TCPLAT_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+SimDuration LatencyStats::Percentile(double p) const {
+  TCPLAT_CHECK(!samples_.empty());
+  TCPLAT_CHECK_GE(p, 0.0);
+  TCPLAT_CHECK_LE(p, 100.0);
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+  const size_t n = sorted_samples_.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank > 0) {
+    --rank;
+  }
+  return sorted_samples_[std::min(rank, n - 1)];
+}
+
+void LatencyStats::Reset() {
+  samples_.clear();
+  sorted_samples_.clear();
+  sum_ = SimDuration();
+  sorted_ = true;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,37 @@
+// Simple latency sample statistics (mean / min / max / percentiles) used by
+// the round-trip benchmarks.
+
+#ifndef SRC_TRACE_LATENCY_STATS_H_
+#define SRC_TRACE_LATENCY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+class LatencyStats {
+ public:
+  void Add(SimDuration sample);
+
+  uint64_t count() const { return samples_.size(); }
+  SimDuration sum() const { return sum_; }
+  SimDuration Mean() const;
+  SimDuration Min() const;
+  SimDuration Max() const;
+  // p in [0, 100]; nearest-rank percentile.
+  SimDuration Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::vector<SimDuration> samples_;
+  SimDuration sum_;
+  mutable bool sorted_ = true;
+  mutable std::vector<SimDuration> sorted_samples_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_TRACE_LATENCY_STATS_H_

@@ -1,0 +1,89 @@
+#include "src/trace/span.h"
+
+#include "src/base/check.h"
+
+namespace tcplat {
+
+std::string_view SpanName(SpanId id) {
+  switch (id) {
+    case SpanId::kTxUser:
+      return "tx.user";
+    case SpanId::kTxTcpChecksum:
+      return "tx.tcp.checksum";
+    case SpanId::kTxTcpMcopy:
+      return "tx.tcp.mcopy";
+    case SpanId::kTxTcpSegment:
+      return "tx.tcp.segment";
+    case SpanId::kTxIp:
+      return "tx.ip";
+    case SpanId::kTxDriver:
+      return "tx.driver";
+    case SpanId::kRxDriver:
+      return "rx.driver";
+    case SpanId::kRxIpq:
+      return "rx.ipq";
+    case SpanId::kRxIp:
+      return "rx.ip";
+    case SpanId::kRxTcpChecksum:
+      return "rx.tcp.checksum";
+    case SpanId::kRxTcpSegment:
+      return "rx.tcp.segment";
+    case SpanId::kRxWakeup:
+      return "rx.wakeup";
+    case SpanId::kRxUser:
+      return "rx.user";
+    case SpanId::kOther:
+      return "other";
+    case SpanId::kMuted:
+      return "muted";
+    case SpanId::kCount:
+      break;
+  }
+  return "?";
+}
+
+void SpanTracker::OnCharge(SimDuration amount) {
+  if (!enabled_ || depth_ == 0) {
+    return;
+  }
+  const SpanId top = stack_[depth_ - 1];
+  if (top == SpanId::kMuted) {
+    return;
+  }
+  totals_[static_cast<size_t>(top)] += amount;
+}
+
+void SpanTracker::Push(SpanId id) {
+  if (!enabled_) {
+    return;
+  }
+  TCPLAT_CHECK_LT(depth_, static_cast<int>(stack_.size())) << "span stack overflow";
+  stack_[depth_++] = id;
+  ++counts_[static_cast<size_t>(id)];
+}
+
+void SpanTracker::Pop(SpanId id) {
+  if (!enabled_) {
+    return;
+  }
+  TCPLAT_CHECK_GT(depth_, 0) << "span stack underflow";
+  TCPLAT_CHECK(stack_[depth_ - 1] == id) << "unbalanced span pop";
+  --depth_;
+}
+
+void SpanTracker::AddInterval(SpanId id, SimDuration amount) {
+  if (!enabled_) {
+    return;
+  }
+  TCPLAT_CHECK_GE(amount.nanos(), 0);
+  totals_[static_cast<size_t>(id)] += amount;
+  ++counts_[static_cast<size_t>(id)];
+}
+
+void SpanTracker::Reset() {
+  totals_.fill(SimDuration());
+  counts_.fill(0);
+  depth_ = 0;
+}
+
+}  // namespace tcplat

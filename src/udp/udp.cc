@@ -1,0 +1,234 @@
+#include "src/udp/udp.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/net/byte_order.h"
+#include "src/net/checksum.h"
+
+namespace tcplat {
+
+void UdpHeader::Serialize(std::span<uint8_t> out) const {
+  TCPLAT_CHECK_GE(out.size(), kUdpHeaderBytes);
+  StoreBe16(&out[0], src_port);
+  StoreBe16(&out[2], dst_port);
+  StoreBe16(&out[4], length);
+  StoreBe16(&out[6], checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kUdpHeaderBytes) {
+    return std::nullopt;
+  }
+  UdpHeader h;
+  h.src_port = LoadBe16(&in[0]);
+  h.dst_port = LoadBe16(&in[2]);
+  h.length = LoadBe16(&in[4]);
+  h.checksum = LoadBe16(&in[6]);
+  return h;
+}
+
+Host& UdpSocket::host() { return *host_; }
+
+bool UdpSocket::SendTo(std::span<const uint8_t> data, SockAddr dst) {
+  if (data.size() + kUdpHeaderBytes > 65535) {
+    return false;
+  }
+  stack_->Output(this, data, dst);
+  return true;
+}
+
+size_t UdpSocket::RecvFrom(std::span<uint8_t> out, SockAddr* from) {
+  if (queue_.empty()) {
+    return 0;  // blocking entry overlaps the wait; uncharged, like Socket
+  }
+  Cpu& cpu = host_->cpu();
+  ScopedSpan user(&host_->tracker(), SpanId::kRxUser);
+  cpu.Charge(cpu.profile().syscall_entry);
+  cpu.Charge(cpu.profile().soreceive_fixed);
+
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  const size_t take = std::min(out.size(), d.payload.size());
+  std::memcpy(out.data(), d.payload.data(), take);
+  cpu.Charge(d.payload.size() > kClusterThreshold ? cpu.profile().copyout_cluster
+                                                  : cpu.profile().copyout_small,
+             take);
+  if (from != nullptr) {
+    *from = d.from;
+  }
+  cpu.Charge(cpu.profile().syscall_exit);
+  return take;
+}
+
+UdpStack::UdpStack(IpStack* ip) : ip_(ip) {
+  TCPLAT_CHECK(ip != nullptr);
+  ip_->RegisterProtocol(kIpProtoUdp, this);
+}
+
+UdpSocket* UdpStack::CreateSocket(uint16_t port) {
+  if (port == 0) {
+    while (ports_.count(next_ephemeral_) != 0) {
+      ++next_ephemeral_;
+    }
+    port = next_ephemeral_++;
+  }
+  TCPLAT_CHECK(ports_.count(port) == 0) << "UDP port " << port << " already bound";
+  auto sock = std::unique_ptr<UdpSocket>(new UdpSocket(this, &host(), port));
+  UdpSocket* raw = sock.get();
+  ports_[port] = std::move(sock);
+  return raw;
+}
+
+void UdpStack::Output(UdpSocket* sock, std::span<const uint8_t> data, SockAddr dst) {
+  Host& h = host();
+  Cpu& cpu = h.cpu();
+  MbufPool& pool = h.pool();
+
+  MbufPtr head;
+  {
+    // sendto(): syscall + copy from user space, as in sosend.
+    ScopedSpan user(&h.tracker(), SpanId::kTxUser);
+    cpu.Charge(cpu.profile().syscall_entry);
+    cpu.Charge(cpu.profile().sosend_fixed);
+    head = pool.GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
+    head->Append(kUdpHeaderBytes);  // header filled below
+    size_t off = 0;
+    const bool clusters = data.size() > kClusterThreshold;
+    Mbuf* tail = head.get();
+    while (off < data.size()) {
+      const size_t tail_space = tail->trailing_space();
+      if (tail_space == 0) {
+        MbufPtr m = clusters ? pool.GetCluster() : pool.Get();
+        tail = m.get();
+        ChainAppend(&head, std::move(m));
+        continue;
+      }
+      const size_t take = std::min(tail_space, data.size() - off);
+      std::memcpy(tail->Append(take).data(), data.data() + off, take);
+      cpu.Charge(tail->is_cluster() ? cpu.profile().copyin_cluster
+                                    : cpu.profile().copyin_small,
+                 take);
+      off += take;
+    }
+  }
+
+  ScopedSpan proto(&h.tracker(), SpanId::kOther);
+  cpu.Charge(cpu.profile().udp_output);
+  UdpHeader uh;
+  uh.src_port = sock->port();
+  uh.dst_port = dst.port;
+  uh.length = static_cast<uint16_t>(kUdpHeaderBytes + data.size());
+  uh.checksum = 0;
+  uh.Serialize(head->bytes());
+
+  if (sock->checksum_enabled()) {
+    ScopedSpan cs(&h.tracker(), SpanId::kTxTcpChecksum);
+    cpu.Charge(cpu.profile().in_cksum, data.size() + 28, ChainCount(head.get()));
+    TcpPseudoHeader ph;  // same layout; protocol differs
+    ph.src = ip_->addr();
+    ph.dst = dst.addr;
+    ph.tcp_length = uh.length;
+    auto pseudo = ph.Serialize();
+    pseudo[9] = kIpProtoUdp;
+    ChecksumAccumulator acc;
+    acc.Add(pseudo);
+    for (const Mbuf* m = head.get(); m != nullptr; m = m->next()) {
+      acc.Add(m->bytes());
+    }
+    uint16_t ck = acc.Finalize();
+    if (ck == 0) {
+      ck = 0xFFFF;  // RFC 768: transmitted 0 means "no checksum"
+    }
+    StoreBe16(head->data() + 6, ck);
+  }
+
+  ++stats_.datagrams_sent;
+  ip_->Output(std::move(head), ip_->addr(), dst.addr, kIpProtoUdp);
+  {
+    ScopedSpan exit_span(&h.tracker(), SpanId::kOther);
+    cpu.Charge(cpu.profile().syscall_exit);
+  }
+}
+
+void UdpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
+  Host& h = host();
+  Cpu& cpu = h.cpu();
+  MbufPool& pool = h.pool();
+  ScopedSpan proto(&h.tracker(), SpanId::kOther);
+  cpu.Charge(cpu.profile().udp_input);
+
+  const size_t udp_len = hdr.total_length - kIpv4HeaderBytes;
+  if (udp_len < kUdpHeaderBytes) {
+    ++stats_.truncated;
+    pool.FreeChain(std::move(packet));
+    return;
+  }
+  // Locate the UDP header past the IP header.
+  std::array<uint8_t, kUdpHeaderBytes> hdr_bytes;
+  ChainCopyOut(packet.get(), kIpv4HeaderBytes, hdr_bytes);
+  auto uh = UdpHeader::Parse(hdr_bytes);
+  TCPLAT_CHECK(uh.has_value());
+  if (uh->length < kUdpHeaderBytes || uh->length > udp_len) {
+    ++stats_.truncated;
+    pool.FreeChain(std::move(packet));
+    return;
+  }
+
+  if (uh->checksum != 0) {
+    // Verify only when the sender computed one (checksum 0 = "off").
+    ScopedSpan cs(&h.tracker(), SpanId::kRxTcpChecksum);
+    cpu.Charge(cpu.profile().in_cksum, uh->length - kUdpHeaderBytes + 28,
+               ChainCount(packet.get()));
+    TcpPseudoHeader ph;
+    ph.src = hdr.src;
+    ph.dst = hdr.dst;
+    ph.tcp_length = uh->length;
+    auto pseudo = ph.Serialize();
+    pseudo[9] = kIpProtoUdp;
+    ChecksumAccumulator acc;
+    acc.Add(pseudo);
+    size_t skip = kIpv4HeaderBytes;
+    size_t remain = uh->length;
+    for (const Mbuf* m = packet.get(); m != nullptr && remain > 0; m = m->next()) {
+      if (skip >= m->len()) {
+        skip -= m->len();
+        continue;
+      }
+      const size_t take = std::min(m->len() - skip, remain);
+      acc.Add(m->bytes().subspan(skip, take));
+      skip = 0;
+      remain -= take;
+    }
+    if (acc.Finalize() != 0) {
+      ++stats_.checksum_errors;
+      pool.FreeChain(std::move(packet));
+      return;
+    }
+  }
+
+  auto it = ports_.find(uh->dst_port);
+  if (it == ports_.end()) {
+    ++stats_.no_port;
+    pool.FreeChain(std::move(packet));
+    return;
+  }
+  UdpSocket* sock = it->second.get();
+  if (sock->queue_.size() >= UdpSocket::kMaxQueued) {
+    ++stats_.queue_drops;
+    pool.FreeChain(std::move(packet));
+    return;
+  }
+
+  UdpSocket::Datagram d;
+  d.from = SockAddr{hdr.src, uh->src_port};
+  d.payload.resize(uh->length - kUdpHeaderBytes);
+  ChainCopyOut(packet.get(), kIpv4HeaderBytes + kUdpHeaderBytes, d.payload);
+  pool.FreeChain(std::move(packet));
+  sock->queue_.push_back(std::move(d));
+  ++stats_.datagrams_received;
+  cpu.Charge(cpu.profile().sorwakeup);
+  h.Wakeup(sock->chan_);
+}
+
+}  // namespace tcplat

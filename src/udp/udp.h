@@ -1,0 +1,136 @@
+// UDP — the datagram substrate of the studies the paper builds on.
+//
+// §4.2 opens from the observation that "it is already common practice to
+// eliminate the UDP checksum for local area NFS traffic", and the paper's
+// baseline comparisons (Kay & Pasquale [8][9], the DEC OSF/1 study [3]) are
+// UDP/IP measurements on the same DECstation hardware. This module provides
+// that substrate: connectionless sockets over the same IP layer, with the
+// classic per-socket checksum toggle, so UDP-vs-TCP latency and the
+// checksum's cost on a datagram path are measurable (bench/udp_vs_tcp).
+
+#ifndef SRC_UDP_UDP_H_
+#define SRC_UDP_UDP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/ip/ip_stack.h"
+#include "src/os/host.h"
+
+namespace tcplat {
+
+inline constexpr uint8_t kIpProtoUdp = 17;
+inline constexpr size_t kUdpHeaderBytes = 8;
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;    // header + payload
+  uint16_t checksum = 0;  // 0 on the wire = "not computed"
+
+  void Serialize(std::span<uint8_t> out) const;
+  static std::optional<UdpHeader> Parse(std::span<const uint8_t> in);
+};
+
+struct UdpStats {
+  uint64_t datagrams_sent = 0;
+  uint64_t datagrams_received = 0;
+  uint64_t checksum_errors = 0;
+  uint64_t no_port = 0;
+  uint64_t truncated = 0;
+  uint64_t queue_drops = 0;
+};
+
+class UdpStack;
+
+// A bound datagram socket. Non-blocking API in the style of the stream
+// Socket: RecvFrom returns 0 when empty; block with WaitReadable.
+class UdpSocket {
+ public:
+  uint16_t port() const { return port_; }
+  Host& host();
+
+  // Sends one datagram (IP fragments it if it exceeds the MTU). Returns
+  // false if the payload cannot fit a UDP datagram at all.
+  bool SendTo(std::span<const uint8_t> data, SockAddr dst);
+
+  // Receives one whole datagram (truncating to out.size() like recvfrom).
+  // Returns the payload length consumed, 0 when the queue is empty.
+  size_t RecvFrom(std::span<uint8_t> out, SockAddr* from = nullptr);
+
+  size_t pending() const { return queue_.size(); }
+
+  // The BSD udpcksum toggle, per socket: when off, datagrams are sent with
+  // checksum 0 ("not computed") and inbound checksums are only verified
+  // when present.
+  void set_checksum_enabled(bool enabled) { checksum_enabled_ = enabled; }
+  bool checksum_enabled() const { return checksum_enabled_; }
+
+  auto WaitReadable() {
+    return SockAwaiterLite{host_, &chan_, !queue_.empty()};
+  }
+
+ private:
+  friend class UdpStack;
+  struct Datagram {
+    std::vector<uint8_t> payload;
+    SockAddr from;
+  };
+  struct SockAwaiterLite {
+    Host* host;
+    WaitChannel* chan;
+    bool ready;
+    bool await_ready() const noexcept { return ready; }
+    void await_suspend(std::coroutine_handle<> h) {
+      BlockAwaiter inner{host, chan};
+      inner.await_suspend(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  UdpSocket(UdpStack* stack, Host* host, uint16_t port)
+      : stack_(stack), host_(host), port_(port) {}
+
+  UdpStack* stack_;
+  Host* host_;
+  uint16_t port_;
+  bool checksum_enabled_ = true;
+  std::deque<Datagram> queue_;
+  WaitChannel chan_;
+  // Bound queue like BSD's sb_max on the UDP receive buffer.
+  static constexpr size_t kMaxQueued = 64;
+};
+
+class UdpStack : public IpProtocolHandler {
+ public:
+  explicit UdpStack(IpStack* ip);
+
+  Host& host() { return ip_->host(); }
+  IpStack& ip() { return *ip_; }
+
+  // Binds a socket to `port` (0 picks an ephemeral port). The stack owns
+  // the socket; the pointer stays valid for the stack's lifetime.
+  UdpSocket* CreateSocket(uint16_t port = 0);
+
+  void IpInput(MbufPtr packet, const Ipv4Header& hdr) override;
+
+  const UdpStats& stats() const { return stats_; }
+
+ private:
+  friend class UdpSocket;
+  void Output(UdpSocket* sock, std::span<const uint8_t> data, SockAddr dst);
+
+  IpStack* ip_;
+  std::map<uint16_t, std::unique_ptr<UdpSocket>> ports_;
+  uint16_t next_ephemeral_ = 30000;
+  UdpStats stats_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_UDP_UDP_H_

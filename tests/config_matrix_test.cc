@@ -1,0 +1,87 @@
+// Configuration-matrix smoke: every combination of the experiment axes must
+// deliver data intact — no configuration interaction may break the stack.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/testbed.h"
+
+namespace tcplat {
+namespace {
+
+struct MatrixParam {
+  NetworkKind network;
+  ChecksumMode checksum;
+  bool prediction;
+  bool nodelay;
+  bool switched;
+  bool dma;
+
+  std::string Name() const {
+    std::string n = network == NetworkKind::kAtm ? "atm" : "eth";
+    n += checksum == ChecksumMode::kStandard ? "_std"
+         : checksum == ChecksumMode::kCombined ? "_comb"
+                                               : "_none";
+    n += prediction ? "_pred" : "_nopred";
+    n += nodelay ? "_nodelay" : "";
+    n += switched ? "_switched" : "";
+    n += dma ? "_dma" : "";
+    return n;
+  }
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ConfigMatrix, EchoSurvivesEveryConfiguration) {
+  const MatrixParam& p = GetParam();
+  TestbedConfig cfg;
+  cfg.network = p.network;
+  cfg.tcp.checksum = p.checksum;
+  cfg.tcp.header_prediction = p.prediction;
+  cfg.tcp.nodelay = p.nodelay;
+  cfg.switched = p.switched;
+  Testbed tb(cfg);
+  if (p.dma && p.network == NetworkKind::kAtm) {
+    tb.client_atm()->set_dma(true);
+    tb.server_atm()->set_dma(true);
+  }
+  for (size_t size : {size_t{4}, size_t{1400}, size_t{8000}}) {
+    RpcOptions opt;
+    opt.size = size;
+    opt.iterations = 12;
+    opt.warmup = 4;
+    const RpcResult r = RunRpcBenchmark(tb, opt);
+    EXPECT_EQ(r.data_mismatches, 0u) << p.Name() << " size " << size;
+    EXPECT_EQ(r.rtt.count(), 12u) << p.Name() << " size " << size;
+  }
+  EXPECT_EQ(tb.client_host().pool().stats().in_use, 0) << p.Name() << " leaked";
+  EXPECT_EQ(tb.server_host().pool().stats().in_use, 0) << p.Name() << " leaked";
+}
+
+std::vector<MatrixParam> AllConfigs() {
+  std::vector<MatrixParam> out;
+  for (NetworkKind net : {NetworkKind::kAtm, NetworkKind::kEthernet}) {
+    for (ChecksumMode mode :
+         {ChecksumMode::kStandard, ChecksumMode::kCombined, ChecksumMode::kNone}) {
+      for (bool prediction : {true, false}) {
+        for (bool nodelay : {true, false}) {
+          out.push_back({net, mode, prediction, nodelay, false, false});
+        }
+      }
+    }
+  }
+  // The ATM-only axes, on top of the default TCP settings.
+  out.push_back({NetworkKind::kAtm, ChecksumMode::kStandard, true, false, true, false});
+  out.push_back({NetworkKind::kAtm, ChecksumMode::kNone, true, false, true, false});
+  out.push_back({NetworkKind::kAtm, ChecksumMode::kStandard, true, false, false, true});
+  out.push_back({NetworkKind::kAtm, ChecksumMode::kCombined, true, false, true, true});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxes, ConfigMatrix, ::testing::ValuesIn(AllConfigs()),
+                         [](const auto& inst) { return inst.param.Name(); });
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,140 @@
+// Tests for the CPU cost model: CostParams math, profile calibration
+// invariants, and the run/charge/stall execution discipline.
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+namespace {
+
+TEST(CostParams, AffineEvaluation) {
+  const CostParams p{10.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ(p.Eval(0, 0).micros(), 10.0);
+  EXPECT_DOUBLE_EQ(p.Eval(100, 0).micros(), 60.0);
+  EXPECT_DOUBLE_EQ(p.Eval(100, 3).micros(), 66.0);
+}
+
+// The calibration identities: the profile must keep reproducing the paper's
+// component measurements (Table 5, §2.2.1, §3) within a few percent. These
+// tests pin the constants against accidental drift.
+TEST(CostProfile, Table5CalibrationHolds) {
+  const CostProfile p = CostProfile::Decstation5000_200();
+  EXPECT_NEAR(p.ultrix_cksum.Eval(8000).micros(), 1605, 32);
+  EXPECT_NEAR(p.ultrix_cksum.Eval(500).micros(), 104, 5);
+  EXPECT_NEAR(p.user_bcopy.Eval(8000).micros(), 698, 14);
+  EXPECT_NEAR(p.user_bcopy.Eval(1400).micros(), 124, 5);
+  EXPECT_NEAR(p.opt_cksum.Eval(8000).micros(), 754, 15);
+  EXPECT_NEAR(p.integrated_copy_cksum.Eval(8000).micros(), 864, 18);
+  // §2.2.1: mbuf alloc+free pair just over 7 us.
+  EXPECT_NEAR(p.mbuf_alloc.Eval().micros() + p.mbuf_free.Eval().micros(), 7.2, 0.4);
+  // §3: ~1.3 us per PCB examined.
+  EXPECT_NEAR(p.pcb_lookup.per_chunk_us, 1.3, 0.05);
+}
+
+TEST(CostProfile, Sun3MatchesClarkNumbers) {
+  const CostProfile p = CostProfile::Sun3();
+  EXPECT_NEAR(p.opt_cksum.Eval(1024).micros(), 130, 3);
+  EXPECT_NEAR(p.user_bcopy.Eval(1024).micros(), 140, 3);
+  EXPECT_NEAR(p.integrated_copy_cksum.Eval(1024).micros(), 200, 4);
+}
+
+TEST(CostProfile, IntegratedBeatsSeparateAboveSmallSizes) {
+  const CostProfile p = CostProfile::Decstation5000_200();
+  for (size_t n : {200u, 500u, 1400u, 4000u, 8000u}) {
+    EXPECT_LT(p.integrated_copy_cksum.Eval(n).micros(),
+              p.opt_cksum.Eval(n).micros() + p.user_bcopy.Eval(n).micros())
+        << n;
+  }
+}
+
+TEST(CostProfile, CacheFactorScalesOnlyDataTouching) {
+  const CostProfile base = CostProfile::Decstation5000_200();
+  const CostProfile cold = base.WithCacheFactor(2.0);
+  // Per-byte costs double...
+  EXPECT_DOUBLE_EQ(cold.in_cksum.per_byte_us, 2 * base.in_cksum.per_byte_us);
+  EXPECT_DOUBLE_EQ(cold.user_bcopy.per_byte_us, 2 * base.user_bcopy.per_byte_us);
+  EXPECT_DOUBLE_EQ(cold.atm_rx_per_cell.fixed_us, 2 * base.atm_rx_per_cell.fixed_us);
+  // ...while bookkeeping and scheduling stay put.
+  EXPECT_DOUBLE_EQ(cold.tcp_input_slow.fixed_us, base.tcp_input_slow.fixed_us);
+  EXPECT_DOUBLE_EQ(cold.wakeup_ctx_switch.fixed_us, base.wakeup_ctx_switch.fixed_us);
+  EXPECT_DOUBLE_EQ(cold.syscall_entry.fixed_us, base.syscall_entry.fixed_us);
+  EXPECT_DOUBLE_EQ(cold.in_cksum.fixed_us, base.in_cksum.fixed_us);
+}
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : cpu_(&sim_, CostProfile::Decstation5000_200()) {}
+  Simulator sim_;
+  Cpu cpu_;
+};
+
+TEST_F(CpuTest, RunStartsAtRequestTimeWhenIdle) {
+  const SimTime start = cpu_.BeginRun(SimTime::FromMicros(10));
+  EXPECT_EQ(start, SimTime::FromMicros(10));
+  cpu_.ChargeDuration(SimDuration::FromMicros(5));
+  EXPECT_EQ(cpu_.cursor(), SimTime::FromMicros(15));
+  EXPECT_EQ(cpu_.EndRun(), SimTime::FromMicros(15));
+  EXPECT_EQ(cpu_.available_at(), SimTime::FromMicros(15));
+}
+
+TEST_F(CpuTest, RunQueuesBehindBusyCpu) {
+  cpu_.BeginRun(SimTime::FromMicros(0));
+  cpu_.ChargeDuration(SimDuration::FromMicros(100));
+  cpu_.EndRun();
+  // Requested at t=40 but the CPU frees at t=100.
+  EXPECT_EQ(cpu_.BeginRun(SimTime::FromMicros(40)), SimTime::FromMicros(100));
+  cpu_.EndRun();
+}
+
+TEST_F(CpuTest, ChargeUsesProfileParams) {
+  cpu_.BeginRun(SimTime());
+  const SimTime before = cpu_.cursor();
+  cpu_.Charge(cpu_.profile().ip_output);
+  EXPECT_DOUBLE_EQ((cpu_.cursor() - before).micros(), cpu_.profile().ip_output.fixed_us);
+  cpu_.EndRun();
+}
+
+TEST_F(CpuTest, StallAdvancesWithoutCharging) {
+  cpu_.BeginRun(SimTime());
+  cpu_.ChargeDuration(SimDuration::FromMicros(2));
+  cpu_.StallUntil(SimTime::FromMicros(50));
+  EXPECT_EQ(cpu_.cursor(), SimTime::FromMicros(50));
+  // Stalling backwards is a no-op.
+  cpu_.StallUntil(SimTime::FromMicros(10));
+  EXPECT_EQ(cpu_.cursor(), SimTime::FromMicros(50));
+  cpu_.EndRun();
+  EXPECT_EQ(cpu_.total_charged(), SimDuration::FromMicros(2));
+  EXPECT_EQ(cpu_.total_stalled(), SimDuration::FromMicros(48));
+}
+
+class RecordingListener : public ChargeListener {
+ public:
+  void OnCharge(SimDuration amount) override { total += amount; }
+  SimDuration total;
+};
+
+TEST_F(CpuTest, ListenerSeesEveryCharge) {
+  RecordingListener listener;
+  cpu_.set_charge_listener(&listener);
+  cpu_.BeginRun(SimTime());
+  cpu_.ChargeDuration(SimDuration::FromMicros(3));
+  cpu_.Charge(CostParams{1.0, 0.0, 0.0});
+  cpu_.StallUntil(SimTime::FromMicros(100));  // stalls are not charges
+  cpu_.EndRun();
+  EXPECT_EQ(listener.total, SimDuration::FromMicros(4));
+}
+
+TEST_F(CpuTest, DeathOnNestedRuns) {
+  cpu_.BeginRun(SimTime());
+  EXPECT_DEATH(cpu_.BeginRun(SimTime()), "nest");
+  cpu_.EndRun();
+}
+
+TEST_F(CpuTest, DeathOnChargeOutsideRun) {
+  EXPECT_DEATH(cpu_.ChargeDuration(SimDuration::FromMicros(1)), "active run");
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,162 @@
+// Tests for the OS model: coroutine processes, sleep/wakeup with the
+// calibrated context-switch cost, software interrupts, callouts, and
+// run-to-completion serialization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/os/host.h"
+#include "src/os/task.h"
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest() : host_(&sim_, "h0", CostProfile::Decstation5000_200()) {}
+  Simulator sim_;
+  Host host_;
+};
+
+namespace coroutines {
+
+SimTask RecordTime(Host* host, std::vector<SimTime>* out) {
+  out->push_back(host->CurrentTime());
+  co_return;
+}
+
+SimTask SleepTwice(Host* host, std::vector<SimTime>* out) {
+  out->push_back(host->CurrentTime());
+  co_await host->SleepFor(SimDuration::FromMicros(100));
+  out->push_back(host->CurrentTime());
+  co_await host->SleepFor(SimDuration::FromMicros(50));
+  out->push_back(host->CurrentTime());
+}
+
+SimTask BlockOn(Host* host, WaitChannel* chan, std::vector<SimTime>* out) {
+  co_await host->Block(*chan);
+  out->push_back(host->CurrentTime());
+}
+
+SimTask ChargeAndExit(Host* host, double us) {
+  host->cpu().ChargeDuration(SimDuration::FromMicros(us));
+  co_return;
+}
+
+}  // namespace coroutines
+
+TEST_F(HostTest, SpawnRunsProcess) {
+  std::vector<SimTime> times;
+  Process* p = host_.Spawn("t", coroutines::RecordTime(&host_, &times));
+  EXPECT_EQ(p->state(), ProcessState::kRunnable);
+  sim_.RunToCompletion();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(p->state(), ProcessState::kDone);
+}
+
+TEST_F(HostTest, SleepForAdvancesVirtualTime) {
+  std::vector<SimTime> times;
+  host_.Spawn("t", coroutines::SleepTwice(&host_, &times));
+  sim_.RunToCompletion();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ((times[1] - times[0]).micros(), 100);
+  EXPECT_EQ((times[2] - times[1]).micros(), 50);
+}
+
+TEST_F(HostTest, WakeupChargesContextSwitch) {
+  std::vector<SimTime> times;
+  WaitChannel chan;
+  host_.Spawn("sleeper", coroutines::BlockOn(&host_, &chan, &times));
+  sim_.RunToCompletion();
+  EXPECT_TRUE(times.empty());  // still blocked
+
+  const SimTime wake_at = SimTime::FromMicros(500);
+  sim_.ScheduleAt(wake_at, [&] { host_.Wakeup(chan); });
+  sim_.RunToCompletion();
+  ASSERT_EQ(times.size(), 1u);
+  // Process runs after the wakeup_ctx_switch cost (the paper's Wakeup row).
+  const double delta = (times[0] - wake_at).micros();
+  EXPECT_NEAR(delta, host_.cpu().profile().wakeup_ctx_switch.fixed_us, 0.01);
+  // ...and the tracker recorded the interval.
+  EXPECT_EQ(host_.tracker().count(SpanId::kRxWakeup), 1u);
+  EXPECT_NEAR(host_.tracker().total(SpanId::kRxWakeup).micros(), delta, 0.01);
+}
+
+TEST_F(HostTest, WakeupWithNoWaitersIsANoop) {
+  WaitChannel chan;
+  host_.Wakeup(chan);
+  EXPECT_EQ(sim_.pending_events(), 0u);
+}
+
+TEST_F(HostTest, WakeupWakesAllWaiters) {
+  std::vector<SimTime> times;
+  WaitChannel chan;
+  host_.Spawn("a", coroutines::BlockOn(&host_, &chan, &times));
+  host_.Spawn("b", coroutines::BlockOn(&host_, &chan, &times));
+  sim_.RunToCompletion();
+  sim_.Schedule(SimDuration::FromMicros(10), [&] { host_.Wakeup(chan); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(times.size(), 2u);
+  // Serialized on one CPU: the second waiter runs after the first.
+  EXPECT_GT(times[1], times[0]);
+}
+
+TEST_F(HostTest, RunToCompletionSerializesActivities) {
+  // A process that charges 100 us, then an interrupt requested mid-run:
+  // the interrupt must wait for the CPU.
+  host_.Spawn("busy", coroutines::ChargeAndExit(&host_, 100));
+  SimTime intr_ran;
+  sim_.ScheduleAt(SimTime::FromMicros(30),
+                  [&] { host_.RunAsInterrupt([&] { intr_ran = host_.cpu().cursor(); }); });
+  sim_.RunToCompletion();
+  // Interrupt entry starts at 100 us (after the busy run), plus intr cost.
+  EXPECT_NEAR(intr_ran.micros(), 100 + host_.cpu().profile().intr_entry.fixed_us, 0.01);
+}
+
+TEST_F(HostTest, NetisrDispatchesOnceWhilePending) {
+  int runs = 0;
+  host_.RegisterNetisr([&] { ++runs; });
+  sim_.Schedule(SimDuration::FromMicros(1), [&] {
+    host_.RaiseNetisr();
+    host_.RaiseNetisr();  // coalesced with the pending one
+    host_.RaiseNetisr();
+  });
+  sim_.RunToCompletion();
+  EXPECT_EQ(runs, 1);
+  // A later raise dispatches again.
+  sim_.Schedule(SimDuration::FromMicros(1), [&] { host_.RaiseNetisr(); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(HostTest, NetisrPaysDispatchCost) {
+  SimTime ran;
+  host_.RegisterNetisr([&] { ran = host_.cpu().cursor(); });
+  const SimTime raise_at = SimTime::FromMicros(10);
+  sim_.ScheduleAt(raise_at, [&] { host_.RaiseNetisr(); });
+  sim_.RunToCompletion();
+  EXPECT_NEAR((ran - raise_at).micros(), host_.cpu().profile().softint_dispatch.fixed_us, 0.01);
+}
+
+TEST_F(HostTest, CalloutRunsAndCancels) {
+  int fired = 0;
+  host_.After(SimDuration::FromMicros(10), [&] { ++fired; });
+  const EventId id = host_.After(SimDuration::FromMicros(20), [&] { ++fired; });
+  EXPECT_TRUE(host_.CancelCallout(id));
+  sim_.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(host_.CancelCallout(id));
+}
+
+TEST_F(HostTest, CurrentTimeFollowsCpuDuringRuns) {
+  EXPECT_EQ(host_.CurrentTime(), sim_.Now());
+  host_.cpu().BeginRun(SimTime::FromMicros(5));
+  host_.cpu().ChargeDuration(SimDuration::FromMicros(2));
+  EXPECT_EQ(host_.CurrentTime(), SimTime::FromMicros(7));
+  host_.cpu().EndRun();
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,294 @@
+// Tests for the mbuf subsystem: allocation, chain geometry, the
+// deep-copy-vs-refcount m_copym semantics of §2.2.1, and cost charging.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "src/buf/mbuf.h"
+#include "src/cpu/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+namespace {
+
+class MbufTest : public ::testing::Test {
+ protected:
+  MbufTest() : cpu_(&sim_, CostProfile::Decstation5000_200()), pool_(&cpu_) {
+    cpu_.BeginRun(sim_.Now());
+  }
+  ~MbufTest() override { cpu_.EndRun(); }
+
+  MbufPtr FilledChain(const std::vector<size_t>& lens, bool clusters, uint8_t seed = 1) {
+    MbufPtr head;
+    uint8_t v = seed;
+    for (size_t len : lens) {
+      MbufPtr m = clusters ? pool_.GetCluster() : pool_.Get();
+      for (uint8_t& b : m->Append(len)) {
+        b = v++;
+      }
+      ChainAppend(&head, std::move(m));
+    }
+    return head;
+  }
+
+  Simulator sim_;
+  Cpu cpu_;
+  MbufPool pool_;
+};
+
+TEST_F(MbufTest, SmallMbufGeometry) {
+  MbufPtr m = pool_.Get();
+  EXPECT_FALSE(m->is_cluster());
+  EXPECT_EQ(m->capacity(), kMbufDataBytes);
+  EXPECT_EQ(m->len(), 0u);
+  EXPECT_EQ(m->leading_space(), 0u);
+  EXPECT_EQ(m->trailing_space(), kMbufDataBytes);
+}
+
+TEST_F(MbufTest, HeaderMbufReservesLeadingSpace) {
+  MbufPtr m = pool_.GetHeader();
+  EXPECT_EQ(m->leading_space(), kMaxLinkHeader);
+  EXPECT_EQ(m->capacity(), kMbufHdrDataBytes);
+  EXPECT_EQ(m->trailing_space(), kMbufHdrDataBytes - kMaxLinkHeader);
+  MbufPtr t = pool_.GetHeader(36);
+  EXPECT_EQ(t->leading_space(), 36u);
+  EXPECT_EQ(t->trailing_space(), kMbufHdrDataBytes - 36);
+}
+
+TEST_F(MbufTest, ClusterGeometry) {
+  MbufPtr m = pool_.GetCluster();
+  EXPECT_TRUE(m->is_cluster());
+  EXPECT_EQ(m->capacity(), kClusterBytes);
+  EXPECT_EQ(m->cluster_refs(), 1);
+}
+
+TEST_F(MbufTest, PrependConsumesLeadingSpace) {
+  MbufPtr m = pool_.GetHeader(40);
+  m->Append(10);
+  auto hdr = m->Prepend(20);
+  EXPECT_EQ(hdr.size(), 20u);
+  EXPECT_EQ(m->len(), 30u);
+  EXPECT_EQ(m->leading_space(), 20u);
+  EXPECT_EQ(hdr.data(), m->data());
+}
+
+TEST_F(MbufTest, TrimFrontAndBack) {
+  MbufPtr m = pool_.Get();
+  auto span = m->Append(50);
+  std::iota(span.begin(), span.end(), 0);
+  m->TrimFront(10);
+  EXPECT_EQ(m->len(), 40u);
+  EXPECT_EQ(m->data()[0], 10);
+  m->TrimBack(5);
+  EXPECT_EQ(m->len(), 35u);
+  EXPECT_EQ(m->data()[34], 44);
+}
+
+TEST_F(MbufTest, AllocFreeStatsBalance) {
+  MbufPtr a = pool_.Get();
+  MbufPtr b = pool_.GetCluster();
+  ChainAppend(&a, std::move(b));
+  EXPECT_EQ(pool_.stats().in_use, 2);
+  pool_.FreeChain(std::move(a));
+  EXPECT_EQ(pool_.stats().in_use, 0);
+  EXPECT_EQ(pool_.stats().frees, 2u);
+  EXPECT_EQ(pool_.stats().peak_in_use, 2);
+}
+
+TEST_F(MbufTest, AllocAndFreeChargeCalibratedCost) {
+  const SimTime before = cpu_.cursor();
+  MbufPtr m = pool_.Get();
+  pool_.FreeChain(std::move(m));
+  // §2.2.1: "allocate and free an mbuf ... just over 7 us".
+  const double us = (cpu_.cursor() - before).micros();
+  EXPECT_NEAR(us, 7.2, 0.3);
+}
+
+TEST_F(MbufTest, ChainLengthAndCount) {
+  MbufPtr chain = FilledChain({10, 108, 44}, false);
+  EXPECT_EQ(ChainLength(chain.get()), 162u);
+  EXPECT_EQ(ChainCount(chain.get()), 3u);
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, ChainCopyOutCrossesMbufs) {
+  MbufPtr chain = FilledChain({10, 20, 30}, false);
+  const std::vector<uint8_t> all = ChainToVector(chain.get());
+  ASSERT_EQ(all.size(), 60u);
+  for (size_t off : {0u, 5u, 9u, 10u, 29u, 31u}) {
+    std::vector<uint8_t> out(60 - off);
+    ChainCopyOut(chain.get(), off, out);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), all.begin() + off)) << "off=" << off;
+  }
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, CopyRangeDeepCopiesSmallMbufs) {
+  MbufPtr chain = FilledChain({100, 100, 100}, false);
+  const auto before = pool_.stats().bytes_copied;
+  MbufPtr copy = pool_.CopyRange(chain.get(), 50, 200);
+  EXPECT_EQ(ChainLength(copy.get()), 200u);
+  EXPECT_GT(pool_.stats().bytes_copied, before);
+
+  std::vector<uint8_t> want(200);
+  ChainCopyOut(chain.get(), 50, want);
+  EXPECT_EQ(ChainToVector(copy.get()), want);
+
+  // Deep copy: mutating the copy must not affect the original.
+  copy->data()[0] ^= 0xFF;
+  std::vector<uint8_t> orig(200);
+  ChainCopyOut(chain.get(), 50, orig);
+  EXPECT_EQ(orig, want);
+
+  pool_.FreeChain(std::move(chain));
+  pool_.FreeChain(std::move(copy));
+}
+
+TEST_F(MbufTest, CopyRangeSharesClusters) {
+  MbufPtr chain = FilledChain({3000, 2000}, true);
+  const auto copied_before = pool_.stats().bytes_copied;
+  const auto refs_before = pool_.stats().cluster_refs;
+  MbufPtr copy = pool_.CopyRange(chain.get(), 0, 5000);
+  // §2.2.1: "cluster mbufs use reference counts for copying; no storage is
+  // allocated or data copied."
+  EXPECT_EQ(pool_.stats().bytes_copied, copied_before);
+  EXPECT_EQ(pool_.stats().cluster_refs, refs_before + 2);
+  EXPECT_EQ(chain->cluster_refs(), 2);
+  EXPECT_EQ(ChainToVector(copy.get()), ChainToVector(chain.get()));
+  pool_.FreeChain(std::move(chain));
+  // The shared storage survives while the copy lives.
+  EXPECT_EQ(ChainLength(copy.get()), 5000u);
+  EXPECT_EQ(copy->cluster_refs(), 1);
+  pool_.FreeChain(std::move(copy));
+}
+
+TEST_F(MbufTest, CopyRangeClusterSliceViewsSameBytes) {
+  MbufPtr chain = FilledChain({4096}, true);
+  MbufPtr copy = pool_.CopyRange(chain.get(), 1000, 500);
+  std::vector<uint8_t> want(500);
+  ChainCopyOut(chain.get(), 1000, want);
+  EXPECT_EQ(ChainToVector(copy.get()), want);
+  pool_.FreeChain(std::move(chain));
+  pool_.FreeChain(std::move(copy));
+}
+
+class CopyRangeSweep : public MbufTest,
+                       public ::testing::WithParamInterface<std::pair<size_t, size_t>> {};
+
+TEST_P(CopyRangeSweep, OffsetsAndLengths) {
+  const auto [off, len] = GetParam();
+  MbufPtr chain = FilledChain({40, 108, 7, 108, 60}, false);
+  ASSERT_GE(ChainLength(chain.get()), off + len);
+  MbufPtr copy = pool_.CopyRange(chain.get(), off, len);
+  std::vector<uint8_t> want(len);
+  ChainCopyOut(chain.get(), off, want);
+  EXPECT_EQ(ChainToVector(copy.get()), want);
+  pool_.FreeChain(std::move(chain));
+  pool_.FreeChain(std::move(copy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CopyRangeSweep,
+                         ::testing::Values(std::pair<size_t, size_t>{0, 1},
+                                           std::pair<size_t, size_t>{0, 323},
+                                           std::pair<size_t, size_t>{39, 2},
+                                           std::pair<size_t, size_t>{40, 108},
+                                           std::pair<size_t, size_t>{100, 150},
+                                           std::pair<size_t, size_t>{154, 10},
+                                           std::pair<size_t, size_t>{155, 168},
+                                           std::pair<size_t, size_t>{322, 1}));
+
+TEST_F(MbufTest, ChainAdjHeadDropsAndFrees) {
+  MbufPtr chain = FilledChain({10, 20, 30}, false);
+  const std::vector<uint8_t> all = ChainToVector(chain.get());
+  ChainAdjHead(&pool_, &chain, 25);
+  EXPECT_EQ(ChainLength(chain.get()), 35u);
+  EXPECT_EQ(ChainCount(chain.get()), 2u);  // first mbuf freed, second trimmed
+  std::vector<uint8_t> rest = ChainToVector(chain.get());
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), all.begin() + 25));
+  ChainAdjHead(&pool_, &chain, 35);
+  EXPECT_EQ(chain, nullptr);
+  EXPECT_EQ(pool_.stats().in_use, 0);
+}
+
+TEST_F(MbufTest, PartialChecksumPropagatesOnWholeMbufCopyOnly) {
+  MbufPtr chain = FilledChain({4096}, true);
+  chain->set_partial_cksum(ComputePartial(chain->bytes()));
+
+  MbufPtr whole = pool_.CopyRange(chain.get(), 0, 4096);
+  EXPECT_TRUE(whole->partial_cksum().has_value());
+
+  MbufPtr slice = pool_.CopyRange(chain.get(), 1, 100);
+  EXPECT_FALSE(slice->partial_cksum().has_value());
+
+  pool_.FreeChain(std::move(chain));
+  pool_.FreeChain(std::move(whole));
+  pool_.FreeChain(std::move(slice));
+}
+
+TEST_F(MbufTest, MutationResetsPartialChecksum) {
+  MbufPtr m = pool_.Get();
+  m->Append(50);
+  m->set_partial_cksum(ComputePartial(m->bytes()));
+  m->TrimFront(1);
+  EXPECT_FALSE(m->partial_cksum().has_value());
+
+  m->set_partial_cksum(ComputePartial(m->bytes()));
+  m->TrimBack(1);
+  EXPECT_FALSE(m->partial_cksum().has_value());
+
+  MbufPtr h = pool_.GetHeader();
+  h->Append(10);
+  h->set_partial_cksum(ComputePartial(h->bytes()));
+  h->Prepend(4);
+  EXPECT_FALSE(h->partial_cksum().has_value());
+  pool_.FreeChain(std::move(m));
+  pool_.FreeChain(std::move(h));
+}
+
+TEST_F(MbufTest, PullupInPlaceWhenHeadHasRoom) {
+  MbufPtr chain = FilledChain({10, 20, 30}, false);
+  const auto before = ChainToVector(chain.get());
+  ASSERT_TRUE(ChainPullup(&pool_, &chain, 25));
+  EXPECT_GE(chain->len(), 25u);
+  EXPECT_EQ(ChainToVector(chain.get()), before) << "pullup must not change the byte stream";
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, PullupAllocatesWhenHeadIsCluster) {
+  MbufPtr chain = FilledChain({30}, true);  // cluster head
+  MbufPtr tail = FilledChain({40}, false, 77);
+  ChainAppend(&chain, std::move(tail));
+  const auto before = ChainToVector(chain.get());
+  ASSERT_TRUE(ChainPullup(&pool_, &chain, 50));
+  EXPECT_FALSE(chain->is_cluster());
+  EXPECT_GE(chain->len(), 50u);
+  EXPECT_EQ(ChainToVector(chain.get()), before);
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, PullupAlreadyContiguousIsNoop) {
+  MbufPtr chain = FilledChain({60, 10}, false);
+  const auto allocs = pool_.stats().small_allocs;
+  ASSERT_TRUE(ChainPullup(&pool_, &chain, 40));
+  EXPECT_EQ(pool_.stats().small_allocs, allocs);
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, PullupFailsBeyondChainOrMbufCapacity) {
+  MbufPtr chain = FilledChain({10, 10}, false);
+  EXPECT_FALSE(ChainPullup(&pool_, &chain, 21));   // longer than the chain
+  EXPECT_FALSE(ChainPullup(&pool_, &chain, 200));  // larger than MLEN
+  EXPECT_EQ(ChainLength(chain.get()), 20u);
+  pool_.FreeChain(std::move(chain));
+}
+
+TEST_F(MbufTest, DeathOnOverfullPrepend) {
+  MbufPtr m = pool_.Get();  // no leading space
+  EXPECT_DEATH(m->Prepend(1), "leading space");
+  pool_.FreeChain(std::move(m));
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,143 @@
+// Tests for the tcpdump-style segment tap: capture, formatting, and that
+// the observed handshake/data/teardown sequence is the canonical one.
+
+#include <gtest/gtest.h>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/testbed.h"
+#include "src/tcp/segment_tap.h"
+
+namespace tcplat {
+namespace {
+
+TEST(SegmentTap, FormatsLikeTcpdump) {
+  SegmentTap::Record r;
+  r.time = SimTime::FromMicros(1500);
+  r.outbound = true;
+  r.src = SockAddr{MakeAddr(10, 0, 0, 1), 20000};
+  r.dst = SockAddr{MakeAddr(10, 0, 0, 2), 5001};
+  r.header.seq = 64001;
+  r.header.flags.syn = true;
+  r.header.window = 8192;
+  r.header.options.mss = 9148;
+  r.payload_len = 0;
+  const std::string line = SegmentTap::Format(r);
+  EXPECT_EQ(line,
+            "0.001500 OUT 10.0.0.1:20000 > 10.0.0.2:5001: Flags [S], seq 64001, win 8192, "
+            "options [mss 9148], length 0");
+
+  r.header.flags.syn = false;
+  r.header.flags.psh = true;
+  r.header.flags.ack = true;
+  r.header.ack = 128003;
+  r.header.options.mss.reset();
+  r.payload_len = 200;
+  EXPECT_EQ(SegmentTap::Format(r),
+            "0.001500 OUT 10.0.0.1:20000 > 10.0.0.2:5001: Flags [PA], seq 64001, ack 128003, "
+            "win 8192, length 200");
+}
+
+TEST(SegmentTap, CapturesCanonicalEchoSequence) {
+  Testbed tb{TestbedConfig{}};
+  SegmentTap client_tap;
+  tb.client_tcp().set_tap(&client_tap);
+
+  RpcOptions opt;
+  opt.size = 200;
+  opt.iterations = 3;
+  opt.warmup = 0;
+  const RpcResult result = RunRpcBenchmark(tb, opt);
+  ASSERT_EQ(result.data_mismatches, 0u);
+
+  const auto& recs = client_tap.records();
+  ASSERT_GE(recs.size(), 8u);
+  // Handshake: SYN out, SYN|ACK in, ACK out.
+  EXPECT_TRUE(recs[0].outbound);
+  EXPECT_TRUE(recs[0].header.flags.syn);
+  EXPECT_FALSE(recs[0].header.flags.ack);
+  EXPECT_TRUE(recs[0].header.options.mss.has_value());
+  EXPECT_FALSE(recs[1].outbound);
+  EXPECT_TRUE(recs[1].header.flags.syn);
+  EXPECT_TRUE(recs[1].header.flags.ack);
+  EXPECT_TRUE(recs[2].outbound);
+  EXPECT_FALSE(recs[2].header.flags.syn);
+  EXPECT_TRUE(recs[2].header.flags.ack);
+  // First request: 200 bytes out; first reply: 200 bytes in, piggybacked.
+  EXPECT_TRUE(recs[3].outbound);
+  EXPECT_EQ(recs[3].payload_len, 200u);
+  EXPECT_FALSE(recs[4].outbound);
+  EXPECT_EQ(recs[4].payload_len, 200u);
+  EXPECT_TRUE(recs[4].header.flags.ack);
+  // Timestamps never go backwards.
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].time.nanos(), recs[i - 1].time.nanos());
+  }
+  // FIN teardown shows up at the end.
+  bool saw_fin_out = false;
+  bool saw_fin_in = false;
+  for (const auto& r : recs) {
+    saw_fin_out = saw_fin_out || (r.outbound && r.header.flags.fin);
+    saw_fin_in = saw_fin_in || (!r.outbound && r.header.flags.fin);
+  }
+  EXPECT_TRUE(saw_fin_out);
+  EXPECT_TRUE(saw_fin_in);
+}
+
+TEST(SegmentTap, SeesRstForRefusedConnection) {
+  Testbed tb{TestbedConfig{}};
+  SegmentTap server_tap;
+  tb.server_tcp().set_tap(&server_tap);
+  // Client connects to a port nobody listens on.
+  struct P {
+    static SimTask Run(Testbed* t, bool* done) {
+      Socket* s = t->client_tcp().Connect(SockAddr{kServerAddr, 4242});
+      while (!s->connected() && !s->has_error()) {
+        co_await s->WaitConnected();
+      }
+      *done = true;
+    }
+  };
+  bool done = false;
+  tb.client_host().Spawn("c", P::Run(&tb, &done));
+  tb.sim().RunToCompletion();
+  ASSERT_TRUE(done);
+  ASSERT_EQ(server_tap.records().size(), 2u);
+  EXPECT_TRUE(server_tap.records()[0].header.flags.syn);
+  EXPECT_TRUE(server_tap.records()[1].outbound);
+  EXPECT_TRUE(server_tap.records()[1].header.flags.rst);
+}
+
+TEST(SegmentTap, BoundedCapacityDropsOldest) {
+  SegmentTap tap(/*capacity=*/4);
+  for (uint32_t i = 0; i < 10; ++i) {
+    SegmentTap::Record r;
+    r.header.seq = i;
+    tap.OnSegment(r);
+  }
+  EXPECT_EQ(tap.records().size(), 4u);
+  EXPECT_EQ(tap.dropped(), 6u);
+  EXPECT_EQ(tap.records().front().header.seq, 6u);
+  tap.Clear();
+  EXPECT_TRUE(tap.records().empty());
+}
+
+TEST(SegmentTap, DumpHasOneLinePerSegment) {
+  Testbed tb{TestbedConfig{}};
+  SegmentTap tap;
+  tb.client_tcp().set_tap(&tap);
+  RpcOptions opt;
+  opt.size = 4;
+  opt.iterations = 1;
+  opt.warmup = 0;
+  RunRpcBenchmark(tb, opt);
+  const std::string dump = tap.Dump();
+  size_t lines = 0;
+  for (char c : dump) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, tap.records().size());
+  EXPECT_NE(dump.find("Flags [S]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,180 @@
+// Unit tests for the discrete-event core: SimTime/SimDuration arithmetic,
+// event-queue ordering and cancellation, simulator execution.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcplat {
+namespace {
+
+TEST(SimTime, ConversionRoundTrips) {
+  EXPECT_EQ(SimTime::FromNanos(1500).nanos(), 1500);
+  EXPECT_DOUBLE_EQ(SimTime::FromMicros(2.5).micros(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::FromMillis(1.0).millis(), 1.0);
+  EXPECT_DOUBLE_EQ(SimTime::FromSeconds(0.25).seconds(), 0.25);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::FromMicros(10);
+  const SimDuration d = SimDuration::FromMicros(3);
+  EXPECT_EQ((t + d).nanos(), 13000);
+  EXPECT_EQ((t - d).nanos(), 7000);
+  EXPECT_EQ((t + d) - t, d);
+  EXPECT_EQ((d + d).nanos(), 6000);
+  EXPECT_EQ((d - d).nanos(), 0);
+  EXPECT_EQ((d * 3).nanos(), 9000);
+  EXPECT_EQ((3 * d).nanos(), 9000);
+  EXPECT_EQ((d / 3).nanos(), 1000);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::FromNanos(1), SimTime::FromNanos(2));
+  EXPECT_GE(SimDuration::FromNanos(5), SimDuration::FromNanos(5));
+}
+
+TEST(SimTime, QuantizeToClockTick) {
+  // The paper's AN-1 clock ticks every 40 ns.
+  EXPECT_EQ(SimTime::FromNanos(0).QuantizeToClockTick().nanos(), 0);
+  EXPECT_EQ(SimTime::FromNanos(39).QuantizeToClockTick().nanos(), 0);
+  EXPECT_EQ(SimTime::FromNanos(40).QuantizeToClockTick().nanos(), 40);
+  EXPECT_EQ(SimTime::FromNanos(1234567).QuantizeToClockTick().nanos(), 1234560);
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::FromNanos(123).ToString(), "123ns");
+  EXPECT_EQ(SimDuration::FromMicros(123.456).ToString(), "123.456us");
+  EXPECT_EQ(SimTime::FromMillis(12.5).ToString(), "12.500ms");
+  EXPECT_EQ(SimTime::FromSeconds(11).ToString(), "11.000s");
+}
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(SimTime::FromNanos(30), [&] { order.push_back(3); });
+  q.ScheduleAt(SimTime::FromNanos(10), [&] { order.push_back(1); });
+  q.ScheduleAt(SimTime::FromNanos(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(SimTime::FromNanos(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsDispatch) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(SimTime::FromNanos(10), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(SimTime::FromNanos(10), [&] { order.push_back(1); });
+  const EventId id = q.ScheduleAt(SimTime::FromNanos(20), [&] { order.push_back(2); });
+  q.ScheduleAt(SimTime::FromNanos(30), [&] { order.push_back(3); });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(SimTime::FromNanos(5), [] {});
+  q.ScheduleAt(SimTime::FromNanos(9), [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.NextTime(), SimTime::FromNanos(9));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen;
+  sim.Schedule(SimDuration::FromMicros(7), [&] { seen = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, SimTime::FromMicros(7));
+  EXPECT_EQ(sim.Now(), SimTime::FromMicros(7));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(SimDuration::FromMicros(i), [&] { ++count; });
+  }
+  sim.RunUntil(SimTime::FromMicros(5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.pending_events(), 5u);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.Schedule(SimDuration::FromNanos(100), chain);
+    }
+  };
+  sim.Schedule(SimDuration::FromNanos(100), chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), SimTime::FromNanos(500));
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(SimDuration::FromNanos(1), [&] { ++count; });
+  sim.Schedule(SimDuration::FromNanos(2), [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(SimDuration::FromNanos(10), [&] {
+    order.push_back(1);
+    sim.Schedule(SimDuration(), [&] { order.push_back(2); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.Schedule(SimDuration::FromMicros(5), [] {});
+  sim.RunToCompletion();
+  EXPECT_DEATH(sim.ScheduleAt(SimTime::FromMicros(1), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,229 @@
+// Tests for the socket layer: sockbuf mechanics, the sosend chunking policy
+// (§2.2.1 — the 1 KB cluster threshold, one cluster per protocol send), the
+// integrated copy+checksum on copyin, and reader/writer wakeups.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/os/task.h"
+#include "src/sock/socket.h"
+
+namespace tcplat {
+namespace {
+
+class FakeOps : public ProtocolOps {
+ public:
+  void UsrSend() override { ++sends; }
+  void UsrRcvd() override { ++rcvds; }
+  void UsrClose() override { ++closes; }
+  int sends = 0;
+  int rcvds = 0;
+  int closes = 0;
+};
+
+class SocketTest : public ::testing::Test {
+ protected:
+  SocketTest()
+      : host_(&sim_, "h", CostProfile::Decstation5000_200()),
+        sock_(&host_, /*sndbuf=*/8192, /*rcvbuf=*/8192) {
+    sock_.BindOps(&ops_);
+    sock_.MarkConnected();
+    sim_.RunToCompletion();  // drain wakeups from MarkConnected
+  }
+
+  std::vector<uint8_t> Pattern(size_t n) {
+    std::vector<uint8_t> v(n);
+    std::iota(v.begin(), v.end(), uint8_t{1});
+    return v;
+  }
+
+  size_t Write(std::span<const uint8_t> data) {
+    CpuRun run(host_.cpu(), sim_.Now());
+    return sock_.Write(data);
+  }
+
+  size_t Read(std::span<uint8_t> out) {
+    CpuRun run(host_.cpu(), sim_.Now());
+    return sock_.Read(out);
+  }
+
+  // The protocol-side view of appending received data.
+  void AppendRcv(std::span<const uint8_t> data) {
+    CpuRun run(host_.cpu(), sim_.Now());
+    MbufPtr m = host_.pool().GetCluster();
+    std::memcpy(m->Append(data.size()).data(), data.data(), data.size());
+    sock_.rcv().Append(&host_.pool(), std::move(m));
+    sock_.ReadWakeup();
+  }
+
+  Simulator sim_;
+  Host host_;
+  FakeOps ops_;
+  Socket sock_;
+};
+
+TEST_F(SocketTest, SmallWriteUsesSmallMbufChainSinglePruSend) {
+  const auto data = Pattern(200);
+  EXPECT_EQ(Write(data), 200u);
+  EXPECT_EQ(ops_.sends, 1);
+  EXPECT_EQ(sock_.snd().cc(), 200u);
+  // 200 bytes < 1 KB threshold: two 108-byte mbufs, no clusters.
+  const Mbuf* m = sock_.snd().chain();
+  ASSERT_NE(m, nullptr);
+  EXPECT_FALSE(m->is_cluster());
+  EXPECT_EQ(m->len(), kMbufDataBytes);
+  ASSERT_NE(m->next(), nullptr);
+  EXPECT_EQ(m->next()->len(), 200 - kMbufDataBytes);
+  EXPECT_EQ(ChainToVector(m), data);
+}
+
+TEST_F(SocketTest, LargeWriteUsesClusters) {
+  EXPECT_EQ(Write(Pattern(1400)), 1400u);
+  const Mbuf* m = sock_.snd().chain();
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->is_cluster());
+  EXPECT_EQ(m->len(), 1400u);
+  EXPECT_EQ(m->next(), nullptr);
+  EXPECT_EQ(ops_.sends, 1);
+}
+
+TEST_F(SocketTest, EightKWriteIsTwoClusterChains) {
+  // §2.2.1 / §3: one cluster (4096) per PRU_SEND — the mechanism behind the
+  // two-packet 8000-byte case.
+  EXPECT_EQ(Write(Pattern(8000)), 8000u);
+  EXPECT_EQ(ops_.sends, 2);
+  const Mbuf* m = sock_.snd().chain();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->len(), kClusterBytes);
+  ASSERT_NE(m->next(), nullptr);
+  EXPECT_EQ(m->next()->len(), 8000 - kClusterBytes);
+}
+
+TEST_F(SocketTest, WriteRespectsBufferSpace) {
+  EXPECT_EQ(Write(Pattern(8192)), 8192u);
+  EXPECT_EQ(sock_.snd().space(), 0u);
+  EXPECT_EQ(Write(Pattern(100)), 0u);  // full: uncharged, no PRU_SEND
+  EXPECT_EQ(ops_.sends, 2);
+}
+
+TEST_F(SocketTest, ClusterThresholdIsConfigurable) {
+  sock_.set_cluster_threshold(100);
+  Write(Pattern(200));
+  EXPECT_TRUE(sock_.snd().chain()->is_cluster());
+}
+
+TEST_F(SocketTest, IntegratedCopyinStoresValidPartials) {
+  sock_.set_integrated_copyin(true);
+  const auto data = Pattern(5000);
+  EXPECT_EQ(Write(data), 5000u);
+  for (const Mbuf* m = sock_.snd().chain(); m != nullptr; m = m->next()) {
+    ASSERT_TRUE(m->partial_cksum().has_value());
+    EXPECT_EQ(m->partial_cksum()->length, m->len());
+    EXPECT_EQ(m->partial_cksum()->Finalize(), ComputePartial(m->bytes()).Finalize());
+  }
+  EXPECT_EQ(ChainToVector(sock_.snd().chain()), data);
+}
+
+TEST_F(SocketTest, PlainCopyinLeavesNoPartials) {
+  Write(Pattern(5000));
+  for (const Mbuf* m = sock_.snd().chain(); m != nullptr; m = m->next()) {
+    EXPECT_FALSE(m->partial_cksum().has_value());
+  }
+}
+
+TEST_F(SocketTest, ReadDrainsReceiveBuffer) {
+  const auto data = Pattern(300);
+  AppendRcv(data);
+  EXPECT_EQ(sock_.rcv().cc(), 300u);
+  std::vector<uint8_t> out(300);
+  EXPECT_EQ(Read(out), 300u);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(sock_.rcv().cc(), 0u);
+  EXPECT_EQ(ops_.rcvds, 1);
+  EXPECT_EQ(host_.pool().stats().in_use, 0);
+}
+
+TEST_F(SocketTest, PartialReadLeavesRemainder) {
+  AppendRcv(Pattern(300));
+  std::vector<uint8_t> out(100);
+  EXPECT_EQ(Read(out), 100u);
+  EXPECT_EQ(sock_.rcv().cc(), 200u);
+  std::vector<uint8_t> rest(200);
+  EXPECT_EQ(Read(rest), 200u);
+  const auto all = Pattern(300);
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), all.begin() + 100));
+}
+
+TEST_F(SocketTest, ReadOnEmptyIsFreeAndZero) {
+  std::vector<uint8_t> out(10);
+  const SimDuration before = host_.cpu().total_charged();
+  EXPECT_EQ(Read(out), 0u);
+  EXPECT_EQ(host_.cpu().total_charged(), before);
+  EXPECT_EQ(ops_.rcvds, 0);
+}
+
+TEST_F(SocketTest, EofVisibleAfterDrain) {
+  AppendRcv(Pattern(10));
+  sock_.MarkEof();
+  EXPECT_FALSE(sock_.eof()) << "eof only once buffered data is consumed";
+  std::vector<uint8_t> out(10);
+  Read(out);
+  EXPECT_TRUE(sock_.eof());
+}
+
+TEST_F(SocketTest, CloseInvokesProtocol) {
+  sock_.Close();
+  EXPECT_EQ(ops_.closes, 1);
+}
+
+TEST_F(SocketTest, AcceptQueueIsFifo) {
+  Socket a(&host_, 100, 100);
+  Socket b(&host_, 100, 100);
+  sock_.EnqueueAccepted(&a);
+  sock_.EnqueueAccepted(&b);
+  EXPECT_EQ(sock_.Accept(), &a);
+  EXPECT_EQ(sock_.Accept(), &b);
+  EXPECT_EQ(sock_.Accept(), nullptr);
+}
+
+namespace coroutines {
+SimTask WaitThenRead(Socket* sock, std::vector<uint8_t>* out, bool* done) {
+  while (sock->rcv().cc() == 0) {
+    co_await sock->WaitReadable();
+  }
+  // Process context: the scheduler already holds a CPU run for us.
+  out->resize(sock->rcv().cc());
+  sock->Read(*out);
+  *done = true;
+}
+}  // namespace coroutines
+
+TEST_F(SocketTest, ReadWakeupResumesSleeper) {
+  std::vector<uint8_t> got;
+  bool done = false;
+  host_.Spawn("reader", coroutines::WaitThenRead(&sock_, &got, &done));
+  sim_.RunToCompletion();
+  EXPECT_FALSE(done);
+  AppendRcv(Pattern(40));
+  sim_.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, Pattern(40));
+}
+
+TEST_F(SocketTest, SockBufDropReleasesFromFront) {
+  Write(Pattern(300));
+  {
+    CpuRun run(host_.cpu(), sim_.Now());
+    sock_.snd().Drop(&host_.pool(), 150);
+  }
+  EXPECT_EQ(sock_.snd().cc(), 150u);
+  const auto all = Pattern(300);
+  const auto rest = ChainToVector(sock_.snd().chain());
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), all.begin() + 150));
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -1,0 +1,133 @@
+// Tests for the latency-span instrumentation.
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/trace/latency_stats.h"
+#include "src/trace/span.h"
+
+namespace tcplat {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  SpanTest() : cpu_(&sim_, CostProfile::Decstation5000_200()) {
+    cpu_.set_charge_listener(&tracker_);
+    cpu_.BeginRun(sim_.Now());
+  }
+  ~SpanTest() override { cpu_.EndRun(); }
+
+  void Charge(double us) { cpu_.ChargeDuration(SimDuration::FromMicros(us)); }
+
+  Simulator sim_;
+  SpanTracker tracker_;
+  Cpu cpu_;
+};
+
+TEST_F(SpanTest, ChargesAccrueToTopOfStack) {
+  {
+    ScopedSpan outer(&tracker_, SpanId::kTxUser);
+    Charge(10);
+    {
+      ScopedSpan inner(&tracker_, SpanId::kTxTcpChecksum);
+      Charge(5);
+    }
+    Charge(2);
+  }
+  EXPECT_EQ(tracker_.total(SpanId::kTxUser), SimDuration::FromMicros(12));
+  EXPECT_EQ(tracker_.total(SpanId::kTxTcpChecksum), SimDuration::FromMicros(5));
+}
+
+TEST_F(SpanTest, ChargesWithEmptyStackAreDropped) {
+  Charge(7);
+  for (int i = 0; i < static_cast<int>(SpanId::kCount); ++i) {
+    EXPECT_EQ(tracker_.total(static_cast<SpanId>(i)), SimDuration());
+  }
+}
+
+TEST_F(SpanTest, MutedSwallowsCharges) {
+  ScopedSpan outer(&tracker_, SpanId::kTxIp);
+  Charge(3);
+  {
+    ScopedSpan mute(&tracker_, SpanId::kMuted);
+    Charge(100);
+  }
+  Charge(4);
+  EXPECT_EQ(tracker_.total(SpanId::kTxIp), SimDuration::FromMicros(7));
+  EXPECT_EQ(tracker_.total(SpanId::kMuted), SimDuration());
+}
+
+TEST_F(SpanTest, IntervalsAccumulateIndependently) {
+  tracker_.AddInterval(SpanId::kRxIpq, SimDuration::FromMicros(22));
+  tracker_.AddInterval(SpanId::kRxIpq, SimDuration::FromMicros(23));
+  EXPECT_EQ(tracker_.total(SpanId::kRxIpq), SimDuration::FromMicros(45));
+  EXPECT_EQ(tracker_.count(SpanId::kRxIpq), 2u);
+}
+
+TEST_F(SpanTest, DisabledTrackerIgnoresEverything) {
+  tracker_.set_enabled(false);
+  {
+    ScopedSpan s(&tracker_, SpanId::kTxUser);
+    Charge(10);
+  }
+  tracker_.AddInterval(SpanId::kRxIpq, SimDuration::FromMicros(5));
+  EXPECT_EQ(tracker_.total(SpanId::kTxUser), SimDuration());
+  EXPECT_EQ(tracker_.total(SpanId::kRxIpq), SimDuration());
+}
+
+TEST_F(SpanTest, NullTrackerScopedSpanIsSafe) {
+  ScopedSpan s(nullptr, SpanId::kTxUser);
+  Charge(1);  // nothing to observe; must not crash
+}
+
+TEST_F(SpanTest, ResetClearsTotals) {
+  {
+    ScopedSpan s(&tracker_, SpanId::kTxUser);
+    Charge(10);
+  }
+  tracker_.Reset();
+  EXPECT_EQ(tracker_.total(SpanId::kTxUser), SimDuration());
+  EXPECT_EQ(tracker_.count(SpanId::kTxUser), 0u);
+}
+
+TEST_F(SpanTest, NamesAreDistinct) {
+  for (int i = 0; i < static_cast<int>(SpanId::kCount); ++i) {
+    for (int j = i + 1; j < static_cast<int>(SpanId::kCount); ++j) {
+      EXPECT_NE(SpanName(static_cast<SpanId>(i)), SpanName(static_cast<SpanId>(j)));
+    }
+  }
+}
+
+TEST(LatencyStats, BasicMoments) {
+  LatencyStats s;
+  for (int us : {10, 20, 30, 40}) {
+    s.Add(SimDuration::FromMicros(us));
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.Mean(), SimDuration::FromMicros(25));
+  EXPECT_EQ(s.Min(), SimDuration::FromMicros(10));
+  EXPECT_EQ(s.Max(), SimDuration::FromMicros(40));
+}
+
+TEST(LatencyStats, Percentiles) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(SimDuration::FromMicros(i));
+  }
+  EXPECT_EQ(s.Percentile(50).micros(), 50);
+  EXPECT_EQ(s.Percentile(99).micros(), 99);
+  EXPECT_EQ(s.Percentile(100).micros(), 100);
+  EXPECT_EQ(s.Percentile(0).micros(), 1);
+}
+
+TEST(LatencyStats, ResetClears) {
+  LatencyStats s;
+  s.Add(SimDuration::FromMicros(5));
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), SimDuration());
+}
+
+}  // namespace
+}  // namespace tcplat
