@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_speed.dir/ablation_cpu_speed.cc.o"
+  "CMakeFiles/ablation_cpu_speed.dir/ablation_cpu_speed.cc.o.d"
+  "ablation_cpu_speed"
+  "ablation_cpu_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

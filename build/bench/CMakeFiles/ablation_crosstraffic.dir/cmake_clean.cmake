@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crosstraffic.dir/ablation_crosstraffic.cc.o"
+  "CMakeFiles/ablation_crosstraffic.dir/ablation_crosstraffic.cc.o.d"
+  "ablation_crosstraffic"
+  "ablation_crosstraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crosstraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

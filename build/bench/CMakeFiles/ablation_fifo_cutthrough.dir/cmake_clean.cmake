@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifo_cutthrough.dir/ablation_fifo_cutthrough.cc.o"
+  "CMakeFiles/ablation_fifo_cutthrough.dir/ablation_fifo_cutthrough.cc.o.d"
+  "ablation_fifo_cutthrough"
+  "ablation_fifo_cutthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifo_cutthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mbuf_threshold.dir/ablation_mbuf_threshold.cc.o"
+  "CMakeFiles/ablation_mbuf_threshold.dir/ablation_mbuf_threshold.cc.o.d"
+  "ablation_mbuf_threshold"
+  "ablation_mbuf_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mbuf_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_detection.dir/error_detection.cc.o"
+  "CMakeFiles/error_detection.dir/error_detection.cc.o.d"
+  "error_detection"
+  "error_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_dma.dir/future_dma.cc.o"
+  "CMakeFiles/future_dma.dir/future_dma.cc.o.d"
+  "future_dma"
+  "future_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

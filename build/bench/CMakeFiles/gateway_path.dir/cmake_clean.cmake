@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_path.dir/gateway_path.cc.o"
+  "CMakeFiles/gateway_path.dir/gateway_path.cc.o.d"
+  "gateway_path"
+  "gateway_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_checksum.dir/native_checksum.cc.o"
+  "CMakeFiles/native_checksum.dir/native_checksum.cc.o.d"
+  "native_checksum"
+  "native_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_lookup.dir/pcb_lookup.cc.o"
+  "CMakeFiles/pcb_lookup.dir/pcb_lookup.cc.o.d"
+  "pcb_lookup"
+  "pcb_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

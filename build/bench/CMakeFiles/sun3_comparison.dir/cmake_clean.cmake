@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sun3_comparison.dir/sun3_comparison.cc.o"
+  "CMakeFiles/sun3_comparison.dir/sun3_comparison.cc.o.d"
+  "sun3_comparison"
+  "sun3_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sun3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_atm_vs_ethernet.dir/table1_atm_vs_ethernet.cc.o"
+  "CMakeFiles/table1_atm_vs_ethernet.dir/table1_atm_vs_ethernet.cc.o.d"
+  "table1_atm_vs_ethernet"
+  "table1_atm_vs_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_atm_vs_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

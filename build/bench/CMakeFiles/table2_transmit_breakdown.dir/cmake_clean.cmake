@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_transmit_breakdown.dir/table2_transmit_breakdown.cc.o"
+  "CMakeFiles/table2_transmit_breakdown.dir/table2_transmit_breakdown.cc.o.d"
+  "table2_transmit_breakdown"
+  "table2_transmit_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transmit_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

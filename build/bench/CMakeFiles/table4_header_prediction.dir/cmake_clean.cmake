@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_header_prediction.dir/table4_header_prediction.cc.o"
+  "CMakeFiles/table4_header_prediction.dir/table4_header_prediction.cc.o.d"
+  "table4_header_prediction"
+  "table4_header_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_header_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_checksum_copy.dir/table5_checksum_copy.cc.o"
+  "CMakeFiles/table5_checksum_copy.dir/table5_checksum_copy.cc.o.d"
+  "table5_checksum_copy"
+  "table5_checksum_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_checksum_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_combined_checksum.dir/table6_combined_checksum.cc.o"
+  "CMakeFiles/table6_combined_checksum.dir/table6_combined_checksum.cc.o.d"
+  "table6_combined_checksum"
+  "table6_combined_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_combined_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

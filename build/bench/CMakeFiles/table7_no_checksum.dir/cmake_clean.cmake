@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_no_checksum.dir/table7_no_checksum.cc.o"
+  "CMakeFiles/table7_no_checksum.dir/table7_no_checksum.cc.o.d"
+  "table7_no_checksum"
+  "table7_no_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_no_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_checksum.dir/throughput_checksum.cc.o"
+  "CMakeFiles/throughput_checksum.dir/throughput_checksum.cc.o.d"
+  "throughput_checksum"
+  "throughput_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

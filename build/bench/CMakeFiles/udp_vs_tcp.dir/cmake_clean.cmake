@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_vs_tcp.dir/udp_vs_tcp.cc.o"
+  "CMakeFiles/udp_vs_tcp.dir/udp_vs_tcp.cc.o.d"
+  "udp_vs_tcp"
+  "udp_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_tuning.dir/checksum_tuning.cpp.o"
+  "CMakeFiles/checksum_tuning.dir/checksum_tuning.cpp.o.d"
+  "checksum_tuning"
+  "checksum_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_latency.dir/rpc_latency.cpp.o"
+  "CMakeFiles/rpc_latency.dir/rpc_latency.cpp.o.d"
+  "rpc_latency"
+  "rpc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

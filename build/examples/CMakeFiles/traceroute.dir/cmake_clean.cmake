@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceroute.dir/traceroute.cpp.o"
+  "CMakeFiles/traceroute.dir/traceroute.cpp.o.d"
+  "traceroute"
+  "traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

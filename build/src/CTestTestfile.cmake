@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("cpu")
+subdirs("net")
+subdirs("buf")
+subdirs("os")
+subdirs("link")
+subdirs("trace")
+subdirs("atm")
+subdirs("ether")
+subdirs("ip")
+subdirs("sock")
+subdirs("tcp")
+subdirs("udp")
+subdirs("rpc")
+subdirs("icmp")
+subdirs("core")
+subdirs("fault")

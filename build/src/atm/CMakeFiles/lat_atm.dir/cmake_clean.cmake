@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_atm.dir/aal34.cc.o"
+  "CMakeFiles/lat_atm.dir/aal34.cc.o.d"
+  "CMakeFiles/lat_atm.dir/atm_netif.cc.o"
+  "CMakeFiles/lat_atm.dir/atm_netif.cc.o.d"
+  "CMakeFiles/lat_atm.dir/atm_switch.cc.o"
+  "CMakeFiles/lat_atm.dir/atm_switch.cc.o.d"
+  "CMakeFiles/lat_atm.dir/tca100.cc.o"
+  "CMakeFiles/lat_atm.dir/tca100.cc.o.d"
+  "liblat_atm.a"
+  "liblat_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

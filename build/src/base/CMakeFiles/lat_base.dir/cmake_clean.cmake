@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_base.dir/check.cc.o"
+  "CMakeFiles/lat_base.dir/check.cc.o.d"
+  "CMakeFiles/lat_base.dir/random.cc.o"
+  "CMakeFiles/lat_base.dir/random.cc.o.d"
+  "liblat_base.a"
+  "liblat_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

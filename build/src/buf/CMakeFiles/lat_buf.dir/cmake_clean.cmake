@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_buf.dir/mbuf.cc.o"
+  "CMakeFiles/lat_buf.dir/mbuf.cc.o.d"
+  "liblat_buf.a"
+  "liblat_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_core.dir/routed_testbed.cc.o"
+  "CMakeFiles/lat_core.dir/routed_testbed.cc.o.d"
+  "CMakeFiles/lat_core.dir/rpc_benchmark.cc.o"
+  "CMakeFiles/lat_core.dir/rpc_benchmark.cc.o.d"
+  "CMakeFiles/lat_core.dir/stats_report.cc.o"
+  "CMakeFiles/lat_core.dir/stats_report.cc.o.d"
+  "CMakeFiles/lat_core.dir/table.cc.o"
+  "CMakeFiles/lat_core.dir/table.cc.o.d"
+  "CMakeFiles/lat_core.dir/testbed.cc.o"
+  "CMakeFiles/lat_core.dir/testbed.cc.o.d"
+  "liblat_core.a"
+  "liblat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

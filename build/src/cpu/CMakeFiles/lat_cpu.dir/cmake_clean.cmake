@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_cpu.dir/cost_profile.cc.o"
+  "CMakeFiles/lat_cpu.dir/cost_profile.cc.o.d"
+  "CMakeFiles/lat_cpu.dir/cpu.cc.o"
+  "CMakeFiles/lat_cpu.dir/cpu.cc.o.d"
+  "liblat_cpu.a"
+  "liblat_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_ether.dir/arp.cc.o"
+  "CMakeFiles/lat_ether.dir/arp.cc.o.d"
+  "CMakeFiles/lat_ether.dir/ether_netif.cc.o"
+  "CMakeFiles/lat_ether.dir/ether_netif.cc.o.d"
+  "liblat_ether.a"
+  "liblat_ether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_ether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_fault.dir/error_experiment.cc.o"
+  "CMakeFiles/lat_fault.dir/error_experiment.cc.o.d"
+  "CMakeFiles/lat_fault.dir/injector.cc.o"
+  "CMakeFiles/lat_fault.dir/injector.cc.o.d"
+  "liblat_fault.a"
+  "liblat_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_icmp.dir/icmp.cc.o"
+  "CMakeFiles/lat_icmp.dir/icmp.cc.o.d"
+  "liblat_icmp.a"
+  "liblat_icmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

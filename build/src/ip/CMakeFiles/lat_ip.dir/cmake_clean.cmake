@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_ip.dir/ip_stack.cc.o"
+  "CMakeFiles/lat_ip.dir/ip_stack.cc.o.d"
+  "liblat_ip.a"
+  "liblat_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

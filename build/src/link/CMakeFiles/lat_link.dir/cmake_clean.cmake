@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_link.dir/wire.cc.o"
+  "CMakeFiles/lat_link.dir/wire.cc.o.d"
+  "liblat_link.a"
+  "liblat_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_net.dir/checksum.cc.o"
+  "CMakeFiles/lat_net.dir/checksum.cc.o.d"
+  "CMakeFiles/lat_net.dir/crc.cc.o"
+  "CMakeFiles/lat_net.dir/crc.cc.o.d"
+  "CMakeFiles/lat_net.dir/wire.cc.o"
+  "CMakeFiles/lat_net.dir/wire.cc.o.d"
+  "liblat_net.a"
+  "liblat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

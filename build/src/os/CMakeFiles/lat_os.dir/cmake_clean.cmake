@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_os.dir/host.cc.o"
+  "CMakeFiles/lat_os.dir/host.cc.o.d"
+  "liblat_os.a"
+  "liblat_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_rpc.dir/rpc.cc.o"
+  "CMakeFiles/lat_rpc.dir/rpc.cc.o.d"
+  "liblat_rpc.a"
+  "liblat_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

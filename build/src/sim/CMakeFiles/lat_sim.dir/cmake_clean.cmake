@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lat_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/lat_sim.dir/simulator.cc.o"
+  "CMakeFiles/lat_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/lat_sim.dir/time.cc.o"
+  "CMakeFiles/lat_sim.dir/time.cc.o.d"
+  "liblat_sim.a"
+  "liblat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_sock.dir/socket.cc.o"
+  "CMakeFiles/lat_sock.dir/socket.cc.o.d"
+  "liblat_sock.a"
+  "liblat_sock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

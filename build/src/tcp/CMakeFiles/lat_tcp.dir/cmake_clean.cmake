@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_tcp.dir/pcb.cc.o"
+  "CMakeFiles/lat_tcp.dir/pcb.cc.o.d"
+  "CMakeFiles/lat_tcp.dir/segment_tap.cc.o"
+  "CMakeFiles/lat_tcp.dir/segment_tap.cc.o.d"
+  "CMakeFiles/lat_tcp.dir/tcp_connection.cc.o"
+  "CMakeFiles/lat_tcp.dir/tcp_connection.cc.o.d"
+  "CMakeFiles/lat_tcp.dir/tcp_stack.cc.o"
+  "CMakeFiles/lat_tcp.dir/tcp_stack.cc.o.d"
+  "liblat_tcp.a"
+  "liblat_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblat_tcp.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/latency_stats.cc" "src/trace/CMakeFiles/lat_trace.dir/latency_stats.cc.o" "gcc" "src/trace/CMakeFiles/lat_trace.dir/latency_stats.cc.o.d"
+  "/root/repo/src/trace/span.cc" "src/trace/CMakeFiles/lat_trace.dir/span.cc.o" "gcc" "src/trace/CMakeFiles/lat_trace.dir/span.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lat_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lat_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

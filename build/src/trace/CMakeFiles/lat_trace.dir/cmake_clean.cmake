@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_trace.dir/latency_stats.cc.o"
+  "CMakeFiles/lat_trace.dir/latency_stats.cc.o.d"
+  "CMakeFiles/lat_trace.dir/span.cc.o"
+  "CMakeFiles/lat_trace.dir/span.cc.o.d"
+  "liblat_trace.a"
+  "liblat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

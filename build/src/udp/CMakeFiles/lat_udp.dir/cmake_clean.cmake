@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lat_udp.dir/udp.cc.o"
+  "CMakeFiles/lat_udp.dir/udp.cc.o.d"
+  "liblat_udp.a"
+  "liblat_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal34_test.dir/aal34_test.cc.o"
+  "CMakeFiles/aal34_test.dir/aal34_test.cc.o.d"
+  "aal34_test"
+  "aal34_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal34_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arp_test.dir/arp_test.cc.o"
+  "CMakeFiles/arp_test.dir/arp_test.cc.o.d"
+  "arp_test"
+  "arp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ether_test.dir/ether_test.cc.o"
+  "CMakeFiles/ether_test.dir/ether_test.cc.o.d"
+  "ether_test"
+  "ether_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ether_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_test.dir/ip_test.cc.o"
+  "CMakeFiles/ip_test.dir/ip_test.cc.o.d"
+  "ip_test"
+  "ip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

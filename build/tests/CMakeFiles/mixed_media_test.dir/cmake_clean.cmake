@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_media_test.dir/mixed_media_test.cc.o"
+  "CMakeFiles/mixed_media_test.dir/mixed_media_test.cc.o.d"
+  "mixed_media_test"
+  "mixed_media_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_test.dir/pcb_test.cc.o"
+  "CMakeFiles/pcb_test.dir/pcb_test.cc.o.d"
+  "pcb_test"
+  "pcb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

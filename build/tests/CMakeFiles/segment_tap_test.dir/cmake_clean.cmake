@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_tap_test.dir/segment_tap_test.cc.o"
+  "CMakeFiles/segment_tap_test.dir/segment_tap_test.cc.o.d"
+  "segment_tap_test"
+  "segment_tap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_tap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tca100_test.dir/tca100_test.cc.o"
+  "CMakeFiles/tca100_test.dir/tca100_test.cc.o.d"
+  "tca100_test"
+  "tca100_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tca100_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_conformance_test.dir/tcp_conformance_test.cc.o"
+  "CMakeFiles/tcp_conformance_test.dir/tcp_conformance_test.cc.o.d"
+  "tcp_conformance_test"
+  "tcp_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/lat_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ether/CMakeFiles/lat_ether.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/lat_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lat_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sock/CMakeFiles/lat_sock.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/lat_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/lat_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/lat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/buf/CMakeFiles/lat_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lat_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lat_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
