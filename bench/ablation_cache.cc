@@ -6,11 +6,14 @@
 // checksums and copies — to ask how the headline results shift if the
 // caches had been colder or warmer, leaving per-packet bookkeeping alone.
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -29,12 +32,22 @@ double Rtt(double cache_factor, ChecksumMode mode, size_t size) {
 void Run() {
   std::printf("Ablation A6: cache factor on data-touching costs (calibrated = 1.0x, warm)\n\n");
   TextTable t({"Cache factor", "4B RTT", "1400B RTT", "8000B RTT", "8000B cksum-elim saving"});
-  for (double f : {0.5, 1.0, 1.5, 2.0, 3.0}) {
-    const double r8000 = Rtt(f, ChecksumMode::kStandard, 8000);
-    const double n8000 = Rtt(f, ChecksumMode::kNone, 8000);
-    t.AddRow({TextTable::Num(f, 1) + "x", TextTable::Us(Rtt(f, ChecksumMode::kStandard, 4)),
-              TextTable::Us(Rtt(f, ChecksumMode::kStandard, 1400)), TextTable::Us(r8000),
-              TextTable::Pct(100.0 * (r8000 - n8000) / r8000, 1)});
+  const std::array<double, 5> factors = {0.5, 1.0, 1.5, 2.0, 3.0};
+  struct Row {
+    double r4;
+    double r1400;
+    double r8000;
+    double n8000;
+  };
+  const std::vector<Row> rows = ParallelMap<Row>(factors.size(), [&factors](size_t i) {
+    const double f = factors[i];
+    return Row{Rtt(f, ChecksumMode::kStandard, 4), Rtt(f, ChecksumMode::kStandard, 1400),
+               Rtt(f, ChecksumMode::kStandard, 8000), Rtt(f, ChecksumMode::kNone, 8000)};
+  });
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const auto& [r4, r1400, r8000, n8000] = rows[i];
+    t.AddRow({TextTable::Num(factors[i], 1) + "x", TextTable::Us(r4), TextTable::Us(r1400),
+              TextTable::Us(r8000), TextTable::Pct(100.0 * (r8000 - n8000) / r8000, 1)});
   }
   t.Print();
   std::printf("\nReadings: small-message latency is nearly cache-insensitive (per-packet\n"

@@ -5,11 +5,14 @@
 // questions at each point: what does the checksum cost, does header
 // prediction matter, how big is the scheduling share?
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -53,17 +56,25 @@ void Run() {
   std::printf("Ablation A4: scale the CPU, keep the 1994 network (8000-byte echoes)\n\n");
   TextTable t({"CPU speedup", "RTT (us)", "Checksum-elim saving", "4B RTT (us)",
                "4B wire+sched floor (%)"});
-  for (double f : {1.0, 2.0, 4.0, 10.0, 100.0}) {
-    const CostProfile prof = ScaledProfile(f);
-    const double rtt = Rtt(prof, ChecksumMode::kStandard, 8000);
-    const double rtt_none = Rtt(prof, ChecksumMode::kNone, 8000);
-    const double rtt4 = Rtt(prof, ChecksumMode::kStandard, 4);
-
+  const std::array<double, 5> factors = {1.0, 2.0, 4.0, 10.0, 100.0};
+  struct Row {
+    double rtt;
+    double rtt_none;
+    double rtt4;
+    double floor4;
+  };
+  const std::vector<Row> rows = ParallelMap<Row>(factors.size(), [&factors](size_t i) {
+    const CostProfile prof = ScaledProfile(factors[i]);
     // The irreducible part of a 4-byte RTT: wire time + propagation, which
     // the CPU speedup cannot touch. Approximate it with an infinitely fast
     // CPU's RTT.
-    const double floor4 = Rtt(ScaledProfile(1e6), ChecksumMode::kStandard, 4);
-    t.AddRow({TextTable::Num(f, 0) + "x", TextTable::Us(rtt),
+    return Row{Rtt(prof, ChecksumMode::kStandard, 8000), Rtt(prof, ChecksumMode::kNone, 8000),
+               Rtt(prof, ChecksumMode::kStandard, 4),
+               Rtt(ScaledProfile(1e6), ChecksumMode::kStandard, 4)};
+  });
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const auto& [rtt, rtt_none, rtt4, floor4] = rows[i];
+    t.AddRow({TextTable::Num(factors[i], 0) + "x", TextTable::Us(rtt),
               TextTable::Pct(100.0 * (rtt - rtt_none) / rtt, 1), TextTable::Us(rtt4),
               TextTable::Pct(100.0 * floor4 / rtt4, 1)});
   }

@@ -7,9 +7,12 @@
 #include <cstdio>
 #include <vector>
 
+#include <array>
+
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 #include "src/os/task.h"
 
 namespace tcplat {
@@ -72,10 +75,17 @@ void Run() {
   std::printf("Ablation A7: RPC latency with a competing bulk transfer on the same\n"
               "hosts and fiber (the paper measured idle machines)\n\n");
   TextTable t({"Size", "Idle testbed (us)", "With cross-traffic (us)", "Inflation"});
-  for (size_t size : {4u, 200u, 1400u, 4000u}) {
-    const double idle = MeasureRtt(size, false);
-    const double loaded = MeasureRtt(size, true);
-    t.AddRow({std::to_string(size), TextTable::Us(idle), TextTable::Us(loaded),
+  const std::array<size_t, 4> sizes = {4u, 200u, 1400u, 4000u};
+  struct Pair {
+    double idle;
+    double loaded;
+  };
+  const std::vector<Pair> rows = ParallelMap<Pair>(sizes.size(), [&sizes](size_t i) {
+    return Pair{MeasureRtt(sizes[i], false), MeasureRtt(sizes[i], true)};
+  });
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const auto& [idle, loaded] = rows[i];
+    t.AddRow({std::to_string(sizes[i]), TextTable::Us(idle), TextTable::Us(loaded),
               TextTable::Pct(100.0 * (loaded - idle) / idle)});
   }
   t.Print();

@@ -8,11 +8,13 @@
 // pays the full timer, and the 8000-byte case's Nagle-held second segment
 // is released by the window update, not the timer.
 
+#include <array>
 #include <cstdio>
 
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 #include "src/os/task.h"
 
 namespace tcplat {
@@ -88,10 +90,20 @@ void Run() {
   std::printf("Ablation A5: delayed-ACK timeout vs workload shape\n\n");
   TextTable t({"delack timeout", "200B echo RTT (us)", "8000B echo RTT (us)",
                "one-way Nagle release (us)"});
-  for (double ms : {50.0, 100.0, 200.0, 500.0}) {
-    const SimDuration d = SimDuration::FromMillis(ms);
-    t.AddRow({TextTable::Num(ms, 0) + " ms", TextTable::Us(EchoRtt(d, 200)),
-              TextTable::Us(EchoRtt(d, 8000)), TextTable::Us(OneWayDelay(d))});
+  const std::array<double, 4> timeouts_ms = {50.0, 100.0, 200.0, 500.0};
+  struct Row {
+    double echo200;
+    double echo8000;
+    double oneway;
+  };
+  const std::vector<Row> rows = ParallelMap<Row>(timeouts_ms.size(), [&timeouts_ms](size_t i) {
+    const SimDuration d = SimDuration::FromMillis(timeouts_ms[i]);
+    return Row{EchoRtt(d, 200), EchoRtt(d, 8000), OneWayDelay(d)};
+  });
+  for (size_t i = 0; i < timeouts_ms.size(); ++i) {
+    const auto& [echo200, echo8000, oneway] = rows[i];
+    t.AddRow({TextTable::Num(timeouts_ms[i], 0) + " ms", TextTable::Us(echo200),
+              TextTable::Us(echo8000), TextTable::Us(oneway)});
   }
   t.Print();
   std::printf(

@@ -6,11 +6,13 @@
 // adapter fast.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -29,10 +31,17 @@ RpcResult Measure(bool cut_through, size_t size) {
 void Run() {
   std::printf("Ablation A2: TX FIFO cut-through vs store-and-forward (round-trip us)\n\n");
   TextTable t({"Size (bytes)", "Cut-through", "Store-and-forward", "Penalty (%)"});
-  for (size_t size : paper::kSizes) {
-    const double ct = Measure(true, size).MeanRtt().micros();
-    const double sf = Measure(false, size).MeanRtt().micros();
-    t.AddRow({std::to_string(size), TextTable::Us(ct), TextTable::Us(sf),
+  struct Pair {
+    double ct;
+    double sf;
+  };
+  const std::vector<Pair> rows = ParallelMap<Pair>(paper::kSizes.size(), [](size_t i) {
+    return Pair{Measure(true, paper::kSizes[i]).MeanRtt().micros(),
+                Measure(false, paper::kSizes[i]).MeanRtt().micros()};
+  });
+  for (size_t i = 0; i < paper::kSizes.size(); ++i) {
+    const auto& [ct, sf] = rows[i];
+    t.AddRow({std::to_string(paper::kSizes[i]), TextTable::Us(ct), TextTable::Us(sf),
               TextTable::Pct(100.0 * (sf - ct) / ct, 1)});
   }
   t.Print();

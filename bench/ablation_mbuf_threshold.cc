@@ -5,10 +5,12 @@
 // Sweeping the threshold moves the kink.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -18,22 +20,36 @@ void Run() {
   const size_t sizes[] = {200, 500, 1000, 1400, 2000, 4000};
   const size_t thresholds[] = {0, 256, 1024, 2048, 4096};
 
+  constexpr size_t kNumSizes = std::size(sizes);
+  constexpr size_t kNumThresholds = std::size(thresholds);
+
+  // One flat 30-job grid (threshold-major to match the serial loop order).
+  struct Cell {
+    double rtt_us;
+    double copy_us;
+  };
+  const std::vector<Cell> grid =
+      ParallelMap<Cell>(kNumThresholds * kNumSizes, [&sizes, &thresholds](size_t i) {
+        TestbedConfig cfg;
+        cfg.tcp.cluster_threshold = thresholds[i / kNumSizes];
+        Testbed tb(cfg);
+        RpcOptions opt;
+        opt.size = sizes[i % kNumSizes];
+        opt.iterations = 100;
+        const RpcResult r = RunRpcBenchmark(tb, opt);
+        return Cell{r.MeanRtt().micros(), r.SpanMean(SpanId::kTxUser).micros() +
+                                              r.SpanMean(SpanId::kTxTcpMcopy).micros()};
+      });
+
   TextTable rtt({"Threshold", "200", "500", "1000", "1400", "2000", "4000"});
   TextTable copy({"Threshold", "200", "500", "1000", "1400", "2000", "4000"});
-  for (size_t threshold : thresholds) {
-    std::vector<std::string> rtt_row = {std::to_string(threshold)};
-    std::vector<std::string> copy_row = {std::to_string(threshold)};
-    for (size_t size : sizes) {
-      TestbedConfig cfg;
-      cfg.tcp.cluster_threshold = threshold;
-      Testbed tb(cfg);
-      RpcOptions opt;
-      opt.size = size;
-      opt.iterations = 100;
-      const RpcResult r = RunRpcBenchmark(tb, opt);
-      rtt_row.push_back(TextTable::Us(r.MeanRtt().micros()));
-      copy_row.push_back(TextTable::Us(
-          r.SpanMean(SpanId::kTxUser).micros() + r.SpanMean(SpanId::kTxTcpMcopy).micros()));
+  for (size_t ti = 0; ti < kNumThresholds; ++ti) {
+    std::vector<std::string> rtt_row = {std::to_string(thresholds[ti])};
+    std::vector<std::string> copy_row = {std::to_string(thresholds[ti])};
+    for (size_t si = 0; si < kNumSizes; ++si) {
+      const Cell& c = grid[ti * kNumSizes + si];
+      rtt_row.push_back(TextTable::Us(c.rtt_us));
+      copy_row.push_back(TextTable::Us(c.copy_us));
     }
     rtt.AddRow(rtt_row);
     copy.AddRow(copy_row);

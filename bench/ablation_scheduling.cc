@@ -5,11 +5,13 @@
 // switch costs zeroed), the bound on what a scheduling-free OS could save.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -18,9 +20,14 @@ void Run() {
   std::printf("Ablation A3: scheduling's share of round-trip latency\n\n");
   TextTable t({"Size (bytes)", "RTT (us)", "IPQ+Wakeup per transfer (us)", "Share (%)",
                "RTT, free scheduling (us)", "Saving (%)"});
-  for (size_t size : paper::kSizes) {
+  struct Row {
+    double rtt;
+    double sched;
+    double free_rtt;
+  };
+  const std::vector<Row> rows = ParallelMap<Row>(paper::kSizes.size(), [](size_t i) {
     RpcOptions opt;
-    opt.size = size;
+    opt.size = paper::kSizes[i];
     opt.iterations = 100;
 
     TestbedConfig cfg;
@@ -33,13 +40,15 @@ void Run() {
     Testbed free_tb(free_cfg);
     const RpcResult free_sched = RunRpcBenchmark(free_tb, opt);
 
-    const double rtt = base.MeanRtt().micros();
     // One transfer's scheduling cost over the whole round trip — the
     // paper's own arithmetic (68 us / 1021 us at 4 bytes).
-    const double sched = base.SpanMean(SpanId::kRxIpq).micros() +
-                         base.SpanMean(SpanId::kRxWakeup).micros();
-    const double free_rtt = free_sched.MeanRtt().micros();
-    t.AddRow({std::to_string(size), TextTable::Us(rtt), TextTable::Us(sched),
+    return Row{base.MeanRtt().micros(),
+               base.SpanMean(SpanId::kRxIpq).micros() + base.SpanMean(SpanId::kRxWakeup).micros(),
+               free_sched.MeanRtt().micros()};
+  });
+  for (size_t i = 0; i < paper::kSizes.size(); ++i) {
+    const auto& [rtt, sched, free_rtt] = rows[i];
+    t.AddRow({std::to_string(paper::kSizes[i]), TextTable::Us(rtt), TextTable::Us(sched),
               TextTable::Pct(100.0 * sched / rtt, 1), TextTable::Us(free_rtt),
               TextTable::Pct(100.0 * (rtt - free_rtt) / rtt, 1)});
   }

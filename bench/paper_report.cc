@@ -16,6 +16,7 @@
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
 #include "src/cpu/cost_profile.h"
+#include "src/exec/executor.h"
 #include "src/sim/simulator.h"
 #include "src/tcp/pcb.h"
 
@@ -49,8 +50,11 @@ struct Sweep {
 
 Sweep MeasureSweep(const TestbedConfig& cfg) {
   Sweep out;
+  const std::vector<double> rtts = ParallelMap<double>(paper::kSizes.size(), [&cfg](size_t i) {
+    return Measure(cfg, paper::kSizes[i]).MeanRtt().micros();
+  });
   for (size_t i = 0; i < paper::kSizes.size(); ++i) {
-    out.rtt_us[i] = Measure(cfg, paper::kSizes[i]).MeanRtt().micros();
+    out.rtt_us[i] = rtts[i];
   }
   return out;
 }
@@ -89,8 +93,12 @@ void Tables2And3() {
   std::printf("| Size | tx cksum (ours/paper) | tx IP | rx segment | rx wakeup |\n");
   std::printf("|---|---|---|---|---|\n");
   double cksum_err = 0;
-  for (size_t i : {0u, 3u, 5u, 6u}) {
-    const RpcResult r = Measure(cfg, paper::kSizes[i]);
+  const std::array<size_t, 4> rows = {0u, 3u, 5u, 6u};
+  const std::vector<RpcResult> results = ParallelMap<RpcResult>(
+      rows.size(), [&cfg, &rows](size_t j) { return Measure(cfg, paper::kSizes[rows[j]]); });
+  for (size_t j = 0; j < rows.size(); ++j) {
+    const size_t i = rows[j];
+    const RpcResult& r = results[j];
     std::printf("| %zu | %.0f / %.0f | %.0f / %.0f | %.0f / %.0f | %.0f / %.0f |\n",
                 paper::kSizes[i], r.SpanMean(SpanId::kTxTcpChecksum).micros(),
                 paper::kTable2Checksum[i], r.SpanMean(SpanId::kTxIp).micros(),
@@ -110,10 +118,15 @@ void Table4() {
   TestbedConfig on_cfg;
   TestbedConfig off_cfg;
   off_cfg.tcp.header_prediction = false;
-  const double on4 = Measure(on_cfg, 4).MeanRtt().micros();
-  const double off4 = Measure(off_cfg, 4).MeanRtt().micros();
-  const RpcResult on8000 = Measure(on_cfg, 8000);
-  const double off8000 = Measure(off_cfg, 8000).MeanRtt().micros();
+  const std::vector<RpcResult> r =
+      ParallelMap<RpcResult>(4, [&on_cfg, &off_cfg](size_t i) {
+        const TestbedConfig& cfg = (i % 2 == 0) ? on_cfg : off_cfg;
+        return Measure(cfg, i < 2 ? 4 : 8000);
+      });
+  const double on4 = r[0].MeanRtt().micros();
+  const double off4 = r[1].MeanRtt().micros();
+  const RpcResult& on8000 = r[2];
+  const double off8000 = r[3].MeanRtt().micros();
   std::printf("4 B: %.0f -> %.0f us; 8000 B: %.0f -> %.0f us with prediction\n\n", off4, on4,
               off8000, on8000.MeanRtt().micros());
   Check(on4 <= off4 && on8000.MeanRtt().micros() <= off8000, "prediction never hurts");
@@ -173,12 +186,12 @@ void Table6() {
   TestbedConfig std_cfg;
   TestbedConfig comb_cfg;
   comb_cfg.tcp.checksum = ChecksumMode::kCombined;
-  const double s4 = Measure(std_cfg, 4).MeanRtt().micros();
-  const double c4 = Measure(comb_cfg, 4).MeanRtt().micros();
-  const double s1400 = Measure(std_cfg, 1400).MeanRtt().micros();
-  const double c1400 = Measure(comb_cfg, 1400).MeanRtt().micros();
-  const double s8000 = Measure(std_cfg, 8000).MeanRtt().micros();
-  const double c8000 = Measure(comb_cfg, 8000).MeanRtt().micros();
+  const std::array<size_t, 3> sizes = {4, 1400, 8000};
+  const std::vector<double> r =
+      ParallelMap<double>(6, [&std_cfg, &comb_cfg, &sizes](size_t i) {
+        return Measure(i % 2 == 0 ? std_cfg : comb_cfg, sizes[i / 2]).MeanRtt().micros();
+      });
+  const double s4 = r[0], c4 = r[1], s1400 = r[2], c1400 = r[3], s8000 = r[4], c8000 = r[5];
   std::printf("4 B: %+.0f%%; 1400 B: %+.0f%%; 8000 B: %+.0f%% (paper: -22/+10/+24)\n\n",
               100 * (s4 - c4) / s4, 100 * (s1400 - c1400) / s1400,
               100 * (s8000 - c8000) / s8000);
@@ -196,9 +209,17 @@ void Table7() {
   bool monotone = true;
   double save8000 = 0;
   std::printf("| Size | saving | paper |\n|---|---|---|\n");
+  struct Pair {
+    double s;
+    double n;
+  };
+  const std::vector<Pair> grid =
+      ParallelMap<Pair>(paper::kSizes.size(), [&std_cfg, &none_cfg](size_t i) {
+        return Pair{Measure(std_cfg, paper::kSizes[i]).MeanRtt().micros(),
+                    Measure(none_cfg, paper::kSizes[i]).MeanRtt().micros()};
+      });
   for (size_t i = 0; i < paper::kSizes.size(); ++i) {
-    const double s = Measure(std_cfg, paper::kSizes[i]).MeanRtt().micros();
-    const double n = Measure(none_cfg, paper::kSizes[i]).MeanRtt().micros();
+    const auto& [s, n] = grid[i];
     const double saving = 100 * (s - n) / s;
     const double paper_saving = 100 *
                                 (paper::kTable7Checksum[i] - paper::kTable7NoChecksum[i]) /

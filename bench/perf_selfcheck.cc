@@ -1,0 +1,232 @@
+// Wall-clock self-benchmark: the perf trajectory of the simulator itself.
+//
+// The paper is a study of where cycles go; this binary applies the same
+// discipline to our own harness. It measures, in real (wall-clock) time:
+//
+//   1. raw event-queue throughput — dispatched events/sec for a
+//      self-rescheduling chain, and schedule+cancel pairs/sec for the
+//      TCP-timer-like churn pattern that motivated the O(1) cancel path;
+//   2. end-to-end simulator throughput — RPC round-trips/sec and simulated
+//      events/sec for a standard 1400-byte ATM echo run;
+//   3. experiment-grid throughput — the paper's 8-size sweep run serially
+//      vs through the parallel executor, with the speedup and a check that
+//      both produce identical measurements.
+//
+// Results go to BENCH_perf.json (override with --out PATH) so successive
+// PRs can track the trend. --quick shrinks iteration counts for the
+// `ctest -L perf` smoke; wall-clock numbers are only meaningful from a
+// Release (-O2) build on an otherwise idle machine.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/paper_data.h"
+#include "src/core/rpc_benchmark.h"
+#include "src/core/testbed.h"
+#include "src/exec/executor.h"
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// 1a. Pure dispatch: one self-rescheduling chain, the event loop's floor.
+double MeasureDispatchRate(uint64_t events) {
+  Simulator sim;
+  uint64_t remaining = events;
+  std::function<void()> chain = [&] {
+    if (--remaining > 0) {
+      sim.Schedule(SimDuration::FromNanos(100), chain);
+    }
+  };
+  sim.Schedule(SimDuration::FromNanos(100), chain);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.RunToCompletion();
+  return static_cast<double>(events) / SecondsSince(t0);
+}
+
+// 1b. Timer churn: every dispatched event schedules a batch of timers far in
+// the future and cancels the previous batch — the retransmit/delack pattern
+// where almost every scheduled event dies by cancellation.
+double MeasureCancelRate(uint64_t pairs) {
+  Simulator sim;
+  constexpr int kBatch = 8;
+  std::vector<EventId> pending;
+  uint64_t scheduled = 0;
+  std::function<void()> tick = [&] {
+    for (EventId id : pending) {
+      sim.Cancel(id);
+    }
+    pending.clear();
+    if (scheduled >= pairs) {
+      return;
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      pending.push_back(
+          sim.Schedule(SimDuration::FromMillis(200 + i), [] {}));
+      ++scheduled;
+    }
+    sim.Schedule(SimDuration::FromMicros(10), tick);
+  };
+  sim.Schedule(SimDuration::FromMicros(10), tick);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.RunToCompletion();
+  return static_cast<double>(scheduled) / SecondsSince(t0);
+}
+
+struct RpcRate {
+  double round_trips_per_sec = 0;
+  double sim_events_per_sec = 0;
+};
+
+// 2. A full testbed run: protocol stacks, mbuf churn, spans, the lot.
+RpcRate MeasureRpcRate(int iterations) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  RpcOptions opt;
+  opt.size = 1400;
+  opt.iterations = iterations;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunRpcBenchmark(tb, opt);
+  const double wall = SecondsSince(t0);
+  RpcRate out;
+  out.round_trips_per_sec = static_cast<double>(iterations) / wall;
+  out.sim_events_per_sec = static_cast<double>(tb.sim().events_dispatched()) / wall;
+  return out;
+}
+
+// 3. The paper's 8-size sweep, serial vs parallel.
+struct GridTiming {
+  double serial_sec = 0;
+  double parallel_sec = 0;
+  unsigned jobs = 0;
+  bool identical = true;
+};
+
+RpcResult RunGridCell(size_t size, int iterations) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = iterations;
+  return RunRpcBenchmark(tb, opt);
+}
+
+GridTiming MeasureGrid(int iterations, unsigned jobs) {
+  GridTiming out;
+  out.jobs = jobs;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<RpcResult> serial;
+  for (size_t size : paper::kSizes) {
+    serial.push_back(RunGridCell(size, iterations));
+  }
+  out.serial_sec = SecondsSince(t0);
+
+  Executor ex(jobs);
+  std::vector<std::function<RpcResult()>> thunks;
+  for (size_t size : paper::kSizes) {
+    thunks.emplace_back([size, iterations] { return RunGridCell(size, iterations); });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto outcomes = ex.Run<RpcResult>(thunks);
+  out.parallel_sec = SecondsSince(t1);
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok() ||
+        outcomes[i].value->MeanRtt().nanos() != serial[i].MeanRtt().nanos()) {
+      out.identical = false;
+    }
+  }
+  return out;
+}
+
+int Run(bool quick, const std::string& out_path) {
+  const uint64_t chain_events = quick ? 200'000 : 2'000'000;
+  const uint64_t cancel_pairs = quick ? 200'000 : 2'000'000;
+  const int rpc_iters = quick ? 200 : 2'000;
+  const int grid_iters = quick ? 50 : 400;
+  // The acceptance grid: 8 configs on 8 workers. On hosts with fewer cores
+  // the speedup degrades toward 1x by construction; the JSON records
+  // hardware_concurrency so the number can be read in context.
+  const unsigned jobs = 8;
+
+  std::printf("perf_selfcheck (%s mode; wall-clock numbers need a Release build)\n\n",
+              quick ? "quick" : "full");
+
+  const double dispatch_rate = MeasureDispatchRate(chain_events);
+  std::printf("event dispatch      : %12.0f events/sec (%llu-event chain)\n", dispatch_rate,
+              static_cast<unsigned long long>(chain_events));
+
+  const double cancel_rate = MeasureCancelRate(cancel_pairs);
+  std::printf("schedule+cancel     : %12.0f pairs/sec  (timer churn)\n", cancel_rate);
+
+  const RpcRate rpc = MeasureRpcRate(rpc_iters);
+  std::printf("RPC round trips     : %12.0f rt/sec     (1400-byte ATM echo)\n",
+              rpc.round_trips_per_sec);
+  std::printf("simulated events    : %12.0f events/sec (same run)\n", rpc.sim_events_per_sec);
+
+  const GridTiming grid = MeasureGrid(grid_iters, jobs);
+  const double speedup = grid.parallel_sec > 0 ? grid.serial_sec / grid.parallel_sec : 0;
+  std::printf("8-config grid       : serial %.3fs, parallel %.3fs on %u threads "
+              "-> %.2fx speedup\n",
+              grid.serial_sec, grid.parallel_sec, grid.jobs, speedup);
+  std::printf("parallel == serial  : %s\n", grid.identical ? "yes (bit-identical)" : "NO");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"quick\": %s,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"event_dispatch_per_sec\": %.0f,\n"
+               "  \"event_schedule_cancel_pairs_per_sec\": %.0f,\n"
+               "  \"rpc_round_trips_per_sec\": %.0f,\n"
+               "  \"rpc_sim_events_per_sec\": %.0f,\n"
+               "  \"grid_configs\": 8,\n"
+               "  \"grid_iterations\": %d,\n"
+               "  \"grid_jobs\": %u,\n"
+               "  \"grid_serial_sec\": %.4f,\n"
+               "  \"grid_parallel_sec\": %.4f,\n"
+               "  \"grid_speedup\": %.3f,\n"
+               "  \"grid_results_identical\": %s\n"
+               "}\n",
+               quick ? "true" : "false", std::thread::hardware_concurrency(), dispatch_rate,
+               cancel_rate, rpc.round_trips_per_sec, rpc.sim_events_per_sec, grid_iters,
+               grid.jobs, grid.serial_sec, grid.parallel_sec, speedup,
+               grid.identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Determinism is a hard failure; wall-clock numbers are reported, not
+  // asserted, so the smoke stays green on loaded or single-core hosts.
+  return grid.identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tcplat::Run(quick, out_path);
+}

@@ -2,11 +2,13 @@
 // testbed vs. the Ethernet baseline, for the paper's eight transfer sizes.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -21,14 +23,25 @@ double MeasureRtt(NetworkKind network, size_t size) {
   return r.MeanRtt().micros();
 }
 
+struct Row {
+  double ether;
+  double atm;
+};
+
 void Run() {
   std::printf("Table 1: Comparison of ATM versus Ethernet round-trip latencies (us)\n\n");
+  // Grid: each (size, network) cell is an isolated testbed; run them through
+  // the parallel executor and render in submission order.
+  const std::vector<Row> rows = ParallelMap<Row>(paper::kSizes.size(), [](size_t i) {
+    return Row{MeasureRtt(NetworkKind::kEthernet, paper::kSizes[i]),
+               MeasureRtt(NetworkKind::kAtm, paper::kSizes[i])};
+  });
   TextTable t({"Size (bytes)", "Ethernet", "ATM", "Decrease (%)", "paper Ether", "paper ATM",
                "paper Decr (%)"});
   for (size_t i = 0; i < paper::kSizes.size(); ++i) {
     const size_t size = paper::kSizes[i];
-    const double ether = MeasureRtt(NetworkKind::kEthernet, size);
-    const double atm = MeasureRtt(NetworkKind::kAtm, size);
+    const double ether = rows[i].ether;
+    const double atm = rows[i].atm;
     t.AddRow({std::to_string(size), TextTable::Us(ether), TextTable::Us(atm),
               TextTable::Pct(100.0 * (ether - atm) / ether),
               TextTable::Us(paper::kTable1Ethernet[i]), TextTable::Us(paper::kTable1Atm[i]),

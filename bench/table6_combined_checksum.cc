@@ -6,11 +6,13 @@
 // between 500 and 1400 bytes.
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -24,14 +26,23 @@ RpcResult Measure(ChecksumMode mode, size_t size) {
   return RunRpcBenchmark(tb, opt);
 }
 
+struct Pair {
+  RpcResult std_r;
+  RpcResult comb_r;
+};
+
 void Run() {
   std::printf("Table 6: standard checksum vs combined copy and checksum (round-trip us)\n\n");
+  const std::vector<Pair> grid = ParallelMap<Pair>(paper::kSizes.size(), [](size_t i) {
+    return Pair{Measure(ChecksumMode::kStandard, paper::kSizes[i]),
+                Measure(ChecksumMode::kCombined, paper::kSizes[i])};
+  });
   TextTable t({"Size (bytes)", "Standard", "Combined", "Saving (%)", "paper Std",
                "paper Comb", "paper Saving (%)", "combine fallbacks/iter"});
   for (size_t i = 0; i < paper::kSizes.size(); ++i) {
     const size_t size = paper::kSizes[i];
-    const RpcResult std_r = Measure(ChecksumMode::kStandard, size);
-    const RpcResult comb_r = Measure(ChecksumMode::kCombined, size);
+    const RpcResult& std_r = grid[i].std_r;
+    const RpcResult& comb_r = grid[i].comb_r;
     const double std_us = std_r.MeanRtt().micros();
     const double comb_us = comb_r.MeanRtt().micros();
     const double fallbacks =

@@ -5,12 +5,14 @@
 // DECstation 5000/200". Streams bulk data one way and reports goodput,
 // plus the per-byte data-touching budget that explains it.
 
+#include <array>
 #include <cstdio>
 #include <vector>
 
 #include "src/base/random.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 #include "src/os/task.h"
 
 namespace tcplat {
@@ -97,11 +99,20 @@ void Run() {
   std::printf("Bulk TCP throughput over ATM by checksum strategy (4 MiB one way)\n\n");
   TextTable t({"Socket buffers", "Standard (Mbit/s)", "Combined (Mbit/s)", "None (Mbit/s)",
                "None vs Standard"});
-  for (size_t window : {8192u, 16384u, 32768u, 65535u}) {
-    const double std_mbps = MeasureMbps(ChecksumMode::kStandard, window);
-    const double comb_mbps = MeasureMbps(ChecksumMode::kCombined, window);
-    const double none_mbps = MeasureMbps(ChecksumMode::kNone, window);
-    t.AddRow({std::to_string(window), TextTable::Num(std_mbps, 2),
+  const std::array<size_t, 4> windows = {8192u, 16384u, 32768u, 65535u};
+  struct Row {
+    double std_mbps;
+    double comb_mbps;
+    double none_mbps;
+  };
+  const std::vector<Row> rows = ParallelMap<Row>(windows.size(), [&windows](size_t i) {
+    return Row{MeasureMbps(ChecksumMode::kStandard, windows[i]),
+               MeasureMbps(ChecksumMode::kCombined, windows[i]),
+               MeasureMbps(ChecksumMode::kNone, windows[i])};
+  });
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const auto& [std_mbps, comb_mbps, none_mbps] = rows[i];
+    t.AddRow({std::to_string(windows[i]), TextTable::Num(std_mbps, 2),
               TextTable::Num(comb_mbps, 2), TextTable::Num(none_mbps, 2),
               TextTable::Pct(100.0 * (none_mbps - std_mbps) / std_mbps, 1)});
   }

@@ -12,6 +12,7 @@
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/exec/executor.h"
 #include "src/os/task.h"
 #include "src/udp/udp.h"
 
@@ -80,16 +81,25 @@ double TcpRtt(size_t size, ChecksumMode mode) {
   return RunRpcBenchmark(tb, opt).MeanRtt().micros();
 }
 
+struct Row {
+  double udp;
+  double udp_nock;
+  double tcp;
+  double tcp_nock;
+};
+
 void Run() {
   std::printf("UDP vs TCP round-trip latency over ATM (us); 'nock' = checksum off\n\n");
+  const std::vector<Row> rows = ParallelMap<Row>(paper::kSizes.size(), [](size_t i) {
+    const size_t size = paper::kSizes[i];
+    return Row{UdpRtt(size, true), UdpRtt(size, false), TcpRtt(size, ChecksumMode::kStandard),
+               TcpRtt(size, ChecksumMode::kNone)};
+  });
   TextTable t({"Size", "UDP", "UDP nock", "TCP", "TCP nock", "TCP tax (%)",
                "UDP cksum cost", "TCP cksum cost"});
-  for (size_t size : paper::kSizes) {
-    const double udp = UdpRtt(size, true);
-    const double udp_nock = UdpRtt(size, false);
-    const double tcp = TcpRtt(size, ChecksumMode::kStandard);
-    const double tcp_nock = TcpRtt(size, ChecksumMode::kNone);
-    t.AddRow({std::to_string(size), TextTable::Us(udp), TextTable::Us(udp_nock),
+  for (size_t i = 0; i < paper::kSizes.size(); ++i) {
+    const auto& [udp, udp_nock, tcp, tcp_nock] = rows[i];
+    t.AddRow({std::to_string(paper::kSizes[i]), TextTable::Us(udp), TextTable::Us(udp_nock),
               TextTable::Us(tcp), TextTable::Us(tcp_nock),
               TextTable::Pct(100.0 * (tcp - udp) / udp),
               TextTable::Us(udp - udp_nock), TextTable::Us(tcp - tcp_nock)});

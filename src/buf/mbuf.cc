@@ -44,11 +44,56 @@ void Mbuf::TrimBack(size_t n) {
   partial_cksum_.reset();
 }
 
+void Mbuf::ResetForReuse() {
+  next_.reset();
+  cluster_.reset();
+  offset_ = 0;
+  len_ = 0;
+  partial_cksum_.reset();
+}
+
+namespace {
+// Freelist caps: enough to absorb a benchmark's steady-state working set
+// without letting a transient burst pin memory forever.
+constexpr size_t kMaxFreeMbufs = 1024;
+constexpr size_t kMaxFreeClusters = 256;
+}  // namespace
+
 MbufPool::MbufPool(Cpu* cpu) : cpu_(cpu) { TCPLAT_CHECK(cpu != nullptr); }
 
+MbufPool::~MbufPool() {
+  for (Mbuf* m : free_mbufs_) {
+    delete m;
+  }
+}
+
+MbufPtr MbufPool::TakeMbuf() {
+  if (!free_mbufs_.empty()) {
+    MbufPtr m(free_mbufs_.back());
+    free_mbufs_.pop_back();
+    ++stats_.mbuf_freelist_hits;
+    return m;
+  }
+  return std::make_unique<Mbuf>();
+}
+
+std::shared_ptr<std::vector<uint8_t>> MbufPool::TakeCluster() {
+  if (!free_clusters_.empty()) {
+    auto c = std::move(free_clusters_.back());
+    free_clusters_.pop_back();
+    // Re-zero so a recycled page is indistinguishable from a fresh one.
+    std::fill(c->begin(), c->end(), uint8_t{0});
+    ++stats_.cluster_freelist_hits;
+    return c;
+  }
+  return std::make_shared<std::vector<uint8_t>>(kClusterBytes);
+}
+
 MbufPtr MbufPool::NewSmall(size_t leading) {
-  auto m = std::make_unique<Mbuf>();
-  m->storage_.resize(kMbufDataBytes);
+  MbufPtr m = TakeMbuf();
+  // assign (not resize) so recycled storage is re-zeroed like a fresh
+  // allocation; capacity is retained, so no allocator traffic on reuse.
+  m->storage_.assign(kMbufDataBytes, 0);
   m->offset_ = leading;
   m->len_ = 0;
   ++stats_.small_allocs;
@@ -74,8 +119,8 @@ MbufPtr MbufPool::GetHeader(size_t leading) {
 }
 
 MbufPtr MbufPool::GetCluster() {
-  auto m = std::make_unique<Mbuf>();
-  m->cluster_ = std::make_shared<std::vector<uint8_t>>(kClusterBytes);
+  MbufPtr m = TakeMbuf();
+  m->cluster_ = TakeCluster();
   m->offset_ = 0;
   m->len_ = 0;
   ++stats_.cluster_allocs;
@@ -92,7 +137,18 @@ void MbufPool::FreeChain(MbufPtr chain) {
     ++stats_.frees;
     --stats_.in_use;
     cpu_->Charge(cpu_->profile().mbuf_free);
-    chain.reset();
+    // Recycle the cluster page if this was the last reference, then the
+    // header itself.
+    if (chain->cluster_ != nullptr && chain->cluster_.use_count() == 1 &&
+        free_clusters_.size() < kMaxFreeClusters) {
+      free_clusters_.push_back(std::move(chain->cluster_));
+    }
+    if (free_mbufs_.size() < kMaxFreeMbufs) {
+      chain->ResetForReuse();
+      free_mbufs_.push_back(chain.release());
+    } else {
+      chain.reset();
+    }
     chain = std::move(next);
   }
 }
@@ -120,7 +176,7 @@ MbufPtr MbufPool::CopyRange(const Mbuf* chain, size_t off, size_t len) {
     if (m->is_cluster()) {
       // Cluster mbufs "copy" by reference count: no storage allocated, no
       // data moved (§2.2.1).
-      copy = std::make_unique<Mbuf>();
+      copy = TakeMbuf();
       copy->cluster_ = m->cluster_;
       copy->offset_ = m->offset_ + off;
       copy->len_ = take;

@@ -82,6 +82,10 @@ class Mbuf {
  private:
   friend class MbufPool;
 
+  // Returns the mbuf to freshly-allocated state, keeping storage_ capacity
+  // so a recycled mbuf does not touch the allocator.
+  void ResetForReuse();
+
   MbufPtr next_;  // next mbuf in this chain
   std::vector<uint8_t> storage_;                      // small mbuf storage
   std::shared_ptr<std::vector<uint8_t>> cluster_;     // or shared cluster
@@ -99,12 +103,23 @@ struct MbufStats {
   uint64_t bytes_copied = 0;  // data actually moved by chain copies
   int64_t in_use = 0;
   int64_t peak_in_use = 0;
+  // Wall-clock freelist effectiveness (simulated costs are unaffected).
+  uint64_t mbuf_freelist_hits = 0;
+  uint64_t cluster_freelist_hits = 0;
 };
 
 // Allocator + chain operations, bound to one host CPU for cost charging.
+//
+// Freed mbuf headers and exclusively-owned cluster pages are recycled on
+// per-pool freelists, so the alloc/free storm of a long benchmark run stops
+// hitting the global allocator. Recycled storage is re-zeroed, making a
+// recycled mbuf indistinguishable from a fresh one (runs stay byte-for-byte
+// reproducible); the *simulated* costs charged to the host CPU are identical
+// either way — only wall-clock time improves.
 class MbufPool {
  public:
   explicit MbufPool(Cpu* cpu);
+  ~MbufPool();
 
   // MGET: a small mbuf with no leading space reserved.
   MbufPtr Get();
@@ -127,8 +142,16 @@ class MbufPool {
 
  private:
   MbufPtr NewSmall(size_t leading);
+  // Takes a recycled mbuf header (or allocates one); clean state, no cost
+  // charged — callers charge the operation they model.
+  MbufPtr TakeMbuf();
+  // Takes a recycled (re-zeroed) cluster page or allocates a fresh one.
+  std::shared_ptr<std::vector<uint8_t>> TakeCluster();
+
   Cpu* cpu_;
   MbufStats stats_;
+  std::vector<Mbuf*> free_mbufs_;
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> free_clusters_;
 };
 
 // --- chain utilities (no cost charged; bookkeeping only) ---

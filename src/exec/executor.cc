@@ -1,0 +1,88 @@
+#include "src/exec/executor.h"
+
+#include <cstdlib>
+
+namespace tcplat {
+
+unsigned DefaultExecutorJobs() {
+  if (const char* env = std::getenv("TCPLAT_JOBS"); env != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
+  threads_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    threads_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : threads_) {
+      t.request_stop();
+    }
+  }
+  work_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void Executor::RunIndexed(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  // One batch at a time: a second submitting thread queues here rather than
+  // corrupting the in-flight batch.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  body_ = &body;
+  batch_size_ = n;
+  next_index_ = 0;
+  completed_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return completed_ == batch_size_; });
+  body_ = nullptr;
+}
+
+void Executor::WorkerLoop(const std::stop_token& stop) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop.stop_requested() ||
+             (generation_ != seen_generation && next_index_ < batch_size_);
+    });
+    if (stop.stop_requested()) {
+      return;
+    }
+    const uint64_t gen = generation_;
+    while (gen == generation_ && next_index_ < batch_size_) {
+      const size_t index = next_index_++;
+      lock.unlock();
+      (*body_)(index);
+      lock.lock();
+      if (gen != generation_) {
+        break;  // defensive: a new batch started after our claim drained
+      }
+      if (++completed_ == batch_size_) {
+        done_cv_.notify_all();
+      }
+    }
+    seen_generation = gen;
+  }
+}
+
+Executor& GlobalExecutor() {
+  static Executor executor;
+  return executor;
+}
+
+}  // namespace tcplat

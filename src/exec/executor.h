@@ -1,0 +1,137 @@
+// Deterministic parallel experiment executor.
+//
+// Every bench binary walks an experiment grid — transfer sizes x network
+// kinds x protocol configs — where each cell builds its own Testbed (its own
+// Simulator, clock, RNG, hosts) and runs it to completion. Cells share no
+// mutable state, so they are embarrassingly parallel; what must NOT change
+// is the output: tables and CSV exports have to stay byte-identical to a
+// serial run.
+//
+// The executor delivers exactly that contract:
+//  * a fixed pool of std::jthread workers (default: hardware_concurrency,
+//    overridable with the TCPLAT_JOBS environment variable),
+//  * each job runs in isolation and its result is stored at its submission
+//    index, so results always come back in submission order regardless of
+//    completion order,
+//  * a job that throws poisons only its own slot (crash isolation): the
+//    outcome records the error text and every sibling still completes.
+//
+// Simulations are pure functions of their config (no global mutable state,
+// all randomness from per-simulator seeded RNGs, all time integer
+// nanoseconds), so a parallel run computes bit-identical values to a serial
+// one; printing happens after the merge, on the submitting thread.
+
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcplat {
+
+// Worker count for new executors: TCPLAT_JOBS if set to a positive integer,
+// else std::thread::hardware_concurrency(), else 1.
+unsigned DefaultExecutorJobs();
+
+// Outcome of one submitted experiment: a value, or the error text of the
+// exception that killed it.
+template <typename T>
+struct JobOutcome {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+class Executor {
+ public:
+  explicit Executor(unsigned jobs = DefaultExecutorJobs());
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  unsigned jobs() const { return jobs_; }
+
+  // Runs body(0) .. body(n-1) across the pool and blocks until all have
+  // finished. Exceptions escaping `body` are fatal (the bench-facing
+  // entry points below wrap per-job try/catch around it); `body` must be
+  // safe to call concurrently from multiple workers. Concurrent submitters
+  // are serialized; submitting from inside a job (nesting) deadlocks and is
+  // not supported.
+  void RunIndexed(size_t n, const std::function<void(size_t)>& body);
+
+  // Runs every thunk, capturing each job's value or error at its submission
+  // index (crash isolation: one failure never poisons a sibling).
+  template <typename T>
+  std::vector<JobOutcome<T>> Run(const std::vector<std::function<T()>>& thunks) {
+    std::vector<JobOutcome<T>> out(thunks.size());
+    RunIndexed(thunks.size(), [&](size_t i) {
+      try {
+        out[i].value = thunks[i]();
+      } catch (const std::exception& e) {
+        out[i].error = e.what();
+      } catch (...) {
+        out[i].error = "unknown exception";
+      }
+    });
+    return out;
+  }
+
+ private:
+  void WorkerLoop(const std::stop_token& stop);
+
+  const unsigned jobs_;
+
+  std::mutex submit_mu_;  // serializes RunIndexed callers
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a batch
+  std::condition_variable done_cv_;   // the submitter waits here
+  const std::function<void(size_t)>* body_ = nullptr;  // current batch
+  size_t batch_size_ = 0;
+  size_t next_index_ = 0;
+  size_t completed_ = 0;
+  uint64_t generation_ = 0;  // bumped per batch so workers never re-enter one
+
+  std::vector<std::jthread> threads_;  // last member: joined before the rest dies
+};
+
+// The process-wide executor the bench binaries share (one fixed pool per
+// process, created on first use with DefaultExecutorJobs()).
+Executor& GlobalExecutor();
+
+// Runs fn(0) .. fn(n-1) on the global executor and returns the results in
+// index order. The first failed job's error is rethrown as std::runtime_error
+// after all jobs finished. This is the bench-facing entry point: build the
+// grid, ParallelMap it, then print — output is byte-identical to a serial
+// loop over fn.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+  std::vector<std::function<T()>> thunks;
+  thunks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    thunks.emplace_back([&fn, i] { return fn(i); });
+  }
+  std::vector<JobOutcome<T>> outcomes = GlobalExecutor().Run<T>(thunks);
+  std::vector<T> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!outcomes[i].ok()) {
+      throw std::runtime_error("experiment " + std::to_string(i) +
+                               " failed: " + outcomes[i].error);
+    }
+    out.push_back(std::move(*outcomes[i].value));
+  }
+  return out;
+}
+
+}  // namespace tcplat
+
+#endif  // SRC_EXEC_EXECUTOR_H_

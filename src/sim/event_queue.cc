@@ -6,78 +6,112 @@
 
 namespace tcplat {
 
+namespace {
+// Compaction triggers only past this many dead entries, so small queues
+// never pay for it; above it, compaction runs when dead entries outnumber
+// live ones, which keeps the heap within 2x the peak live count while
+// amortizing the O(n) sweep over at least n/2 cancellations.
+constexpr size_t kCompactMinDead = 64;
+// The freelist tracks the working set but is capped so a transient burst of
+// pending events cannot pin memory forever.
+constexpr size_t kMaxFreeEntries = 4096;
+}  // namespace
+
 EventQueue::~EventQueue() {
-  while (!heap_.empty()) {
-    delete heap_.top();
-    heap_.pop();
+  for (Entry* e : heap_) {
+    delete e;
   }
-  for (Entry* e : graveyard_) {
+  for (Entry* e : free_) {
+    delete e;
+  }
+}
+
+EventQueue::Entry* EventQueue::AllocEntry(SimTime when, Callback fn) {
+  Entry* e;
+  if (!free_.empty()) {
+    e = free_.back();
+    free_.pop_back();
+  } else {
+    e = new Entry;
+  }
+  e->time = when;
+  e->seq = next_seq_++;
+  e->id = next_id_++;
+  e->fn = std::move(fn);
+  e->cancelled = false;
+  return e;
+}
+
+void EventQueue::RecycleEntry(Entry* e) {
+  e->fn = nullptr;  // release captured state eagerly
+  if (free_.size() < kMaxFreeEntries) {
+    free_.push_back(e);
+  } else {
     delete e;
   }
 }
 
 EventId EventQueue::ScheduleAt(SimTime when, Callback fn) {
   TCPLAT_CHECK(fn != nullptr);
-  auto* entry = new Entry{when, next_seq_++, next_id_++, std::move(fn), false};
-  heap_.push(entry);
-  live_.emplace_back(entry->id, entry);
-  ++live_count_;
+  Entry* entry = AllocEntry(when, std::move(fn));
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  live_.emplace(entry->id, entry);
   return entry->id;
 }
 
-EventQueue::Entry* EventQueue::FindLive(EventId id) {
-  auto it = std::find_if(live_.begin(), live_.end(),
-                         [id](const auto& p) { return p.first == id; });
-  return it == live_.end() ? nullptr : it->second;
-}
-
-void EventQueue::EraseLive(EventId id) {
-  auto it = std::find_if(live_.begin(), live_.end(),
-                         [id](const auto& p) { return p.first == id; });
-  if (it != live_.end()) {
-    live_.erase(it);
-  }
-}
-
 bool EventQueue::Cancel(EventId id) {
-  Entry* entry = FindLive(id);
-  if (entry == nullptr || entry->cancelled) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
     return false;
   }
+  Entry* entry = it->second;
+  live_.erase(it);
   entry->cancelled = true;
-  entry->fn = nullptr;
-  EraseLive(id);
-  --live_count_;
+  entry->fn = nullptr;  // the captured state dies now, not at pop time
+  ++dead_in_heap_;
+  CompactIfWorthIt();
   return true;
 }
 
-void EventQueue::DropDeadHead() const {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    graveyard_.push_back(heap_.top());
-    heap_.pop();
+void EventQueue::DropDeadHead() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    RecycleEntry(heap_.back());
+    heap_.pop_back();
+    --dead_in_heap_;
   }
 }
 
-SimTime EventQueue::NextTime() const {
+void EventQueue::CompactIfWorthIt() {
+  if (dead_in_heap_ < kCompactMinDead || dead_in_heap_ * 2 < heap_.size()) {
+    return;
+  }
+  auto first_dead = std::partition(heap_.begin(), heap_.end(),
+                                   [](const Entry* e) { return !e->cancelled; });
+  for (auto it = first_dead; it != heap_.end(); ++it) {
+    RecycleEntry(*it);
+  }
+  heap_.erase(first_dead, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  dead_in_heap_ = 0;
+}
+
+SimTime EventQueue::NextTime() {
   DropDeadHead();
   TCPLAT_CHECK(!heap_.empty());
-  return heap_.top()->time;
+  return heap_.front()->time;
 }
 
 EventQueue::Dispatched EventQueue::PopNext() {
   DropDeadHead();
   TCPLAT_CHECK(!heap_.empty());
-  Entry* entry = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  Entry* entry = heap_.back();
+  heap_.pop_back();
   Dispatched out{entry->time, std::move(entry->fn)};
-  EraseLive(entry->id);
-  --live_count_;
-  delete entry;
-  // Reclaim cancelled entries opportunistically.
-  for (Entry* e : graveyard_) {
-    delete e;
-  }
-  graveyard_.clear();
+  live_.erase(entry->id);
+  RecycleEntry(entry);
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -108,6 +109,87 @@ TEST(EventQueue, NextTimeSkipsCancelledHead) {
   q.ScheduleAt(SimTime::FromNanos(9), [] {});
   q.Cancel(id);
   EXPECT_EQ(q.NextTime(), SimTime::FromNanos(9));
+}
+
+TEST(EventQueue, ScheduleCancelMillionEventsStaysBounded) {
+  // Regression: cancelled entries used to linger in the heap until they
+  // surfaced at pop time, so a schedule/cancel storm (TCP timers on every
+  // segment) grew memory without bound. With eager reclamation + compaction
+  // the footprint must track the peak *live* count, not the churn.
+  EventQueue q;
+  constexpr int kBatches = 10000;
+  constexpr int kPerBatch = 100;  // 1M schedule/cancel pairs in total
+  size_t max_allocated = 0;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    EventId ids[kPerBatch];
+    for (int i = 0; i < kPerBatch; ++i) {
+      ids[i] = q.ScheduleAt(SimTime::FromNanos(1000 + batch), [] {});
+    }
+    for (int i = 0; i < kPerBatch; ++i) {
+      EXPECT_TRUE(q.Cancel(ids[i]));
+    }
+    max_allocated = std::max(max_allocated, q.allocated_entries());
+  }
+  EXPECT_TRUE(q.empty());
+  // Peak live count is kPerBatch; allow compaction slack and the pooled
+  // freelist, but nothing within orders of magnitude of 1M.
+  EXPECT_LT(max_allocated, 5000u);
+}
+
+TEST(EventQueue, CancelledLongTailDoesNotOutliveCompaction) {
+  // Cancel events parked far in the future (they would never reach the heap
+  // top) and check the heap itself shrinks.
+  EventQueue q;
+  q.ScheduleAt(SimTime::FromNanos(1), [] {});
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100000; ++i) {
+    ids.push_back(q.ScheduleAt(SimTime::FromSeconds(1000 + i), [] {}));
+  }
+  for (EventId id : ids) {
+    q.Cancel(id);
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LT(q.heap_entries(), 1000u);
+  int ran = 0;
+  while (!q.empty()) {
+    q.PopNext().fn();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, EntriesAreRecycledThroughTheFreelist) {
+  // Steady-state schedule/pop traffic should settle into the entry pool
+  // instead of allocating per event.
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    q.ScheduleAt(SimTime::FromNanos(round + 1), [] {});
+    q.PopNext();
+  }
+  EXPECT_LE(q.allocated_entries(), 4u);
+}
+
+TEST(EventQueue, CancelAfterCompactionKeepsOrder) {
+  // Dispatch order must stay (time, seq) FIFO even after an internal heap
+  // rebuild.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 500; ++i) {
+    doomed.push_back(q.ScheduleAt(SimTime::FromNanos(10), [] {}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(SimTime::FromNanos(20), [&order, i] { order.push_back(i); });
+  }
+  for (EventId id : doomed) {
+    q.Cancel(id);  // triggers compaction mid-stream
+  }
+  while (!q.empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
 }
 
 TEST(Simulator, NowAdvancesWithEvents) {
