@@ -3,14 +3,23 @@
 // pipelines — regenerate Figures 1 and 2 in your plotting tool of choice.
 //
 //   $ ./export_csv > sweep.csv
+//
+// With --trace [--size N] it instead runs one echo benchmark with the
+// packet-lifecycle tracer attached and emits the raw event stream as flat
+// CSV (one row per event: timestamps, layer, kind, span, flow/packet ids).
+//
+//   $ ./export_csv --trace --size 1400 > trace.csv
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 namespace {
@@ -78,10 +87,39 @@ void Run() {
   std::fputs(csv.ToCsv().c_str(), stdout);
 }
 
+void RunTrace(size_t size) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  Tracer tracer;
+  tb.AttachTracer(&tracer);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = 50;
+  opt.warmup = 16;
+  RunRpcBenchmark(tb, opt);
+  std::fputs(tracer.ToCsv().c_str(), stdout);
+}
+
 }  // namespace
 }  // namespace tcplat
 
-int main() {
-  tcplat::Run();
+int main(int argc, char** argv) {
+  bool trace = false;
+  size_t size = 1400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace [--size N]]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (trace) {
+    tcplat::RunTrace(size);
+  } else {
+    tcplat::Run();
+  }
   return 0;
 }

@@ -1,0 +1,175 @@
+// Self-check for the observability subsystem: runs the standard 1400-byte
+// ATM echo with the packet-lifecycle tracer attached and verifies, end to
+// end, the properties the trace is allowed to be trusted for:
+//
+//   1. the trace is populated at every layer it claims to cover;
+//   2. per-layer span sums recovered from the trace equal the SpanTracker
+//      aggregate totals to the nanosecond (the trace is lossless);
+//   3. metrics-registry views read back exactly the stats-struct fields
+//      they alias;
+//   4. a fixed seed produces a byte-identical Perfetto JSON trace, run to
+//      run AND when the runs execute on the src/exec/ parallel executor.
+//
+// Writes the reference trace to BENCH_trace.json (override with --out) so
+// it can be eyeballed at ui.perfetto.dev. Exits nonzero on any failure.
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/rpc_benchmark.h"
+#include "src/core/testbed.h"
+#include "src/exec/executor.h"
+#include "src/trace/tracer.h"
+
+namespace tcplat {
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+  }
+  std::printf("%s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+struct TracedRun {
+  std::string json;
+  size_t events = 0;
+  int64_t max_span_delta_ns = 0;
+  bool metrics_match = true;
+  bool layers_covered = true;
+};
+
+TracedRun RunOnce(size_t size) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  Tracer tracer;
+  tb.AttachTracer(&tracer);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = 50;
+  opt.warmup = 16;
+  RunRpcBenchmark(tb, opt);
+
+  TracedRun out;
+  out.events = tracer.events().size();
+  out.json = tracer.ToPerfettoJson();
+
+  // (2) lossless: trace-recovered span sums == tracker totals.
+  for (Host* host : {&tb.client_host(), &tb.server_host()}) {
+    const auto from_trace = tracer.SpanSelfTotalsNanos(host->trace_id());
+    for (size_t i = 0; i < from_trace.size(); ++i) {
+      const int64_t tracker_ns = host->tracker().total(static_cast<SpanId>(i)).nanos();
+      out.max_span_delta_ns =
+          std::max(out.max_span_delta_ns, std::abs(from_trace[i] - tracker_ns));
+    }
+  }
+
+  // (3) registry views alias the live structs.
+  const TcpStats& tcp = tb.client_tcp().stats();
+  const IpStats& ip = tb.client_ip().stats();
+  MetricsRegistry& m = tb.client_host().metrics();
+  out.metrics_match =
+      m.contains("tcp.segs_sent") && m.contains("ip.ipq_wait_ns") &&
+      [&] {
+        for (const MetricsRegistry::Sample& s : m.Snapshot()) {
+          if (s.name == "tcp.segs_sent" && s.value != static_cast<int64_t>(tcp.segs_sent)) {
+            return false;
+          }
+          if (s.name == "ip.packets_sent" &&
+              s.value != static_cast<int64_t>(ip.packets_sent)) {
+            return false;
+          }
+          if (s.name == "mbuf.small_allocs" &&
+              s.value !=
+                  static_cast<int64_t>(tb.client_host().pool().stats().small_allocs)) {
+            return false;
+          }
+        }
+        return true;
+      }();
+
+  // (1) every layer an ATM echo exercises shows up in the event stream.
+  bool saw_sock = false, saw_tcp = false, saw_ip = false, saw_atm = false, saw_sched = false;
+  for (const TraceEvent& ev : tracer.events()) {
+    switch (ev.layer) {
+      case TraceLayer::kSock:
+        saw_sock = true;
+        break;
+      case TraceLayer::kTcp:
+        saw_tcp = true;
+        break;
+      case TraceLayer::kIp:
+        saw_ip = true;
+        break;
+      case TraceLayer::kAtm:
+        saw_atm = true;
+        break;
+      case TraceLayer::kSched:
+        saw_sched = true;
+        break;
+      default:
+        break;
+    }
+  }
+  out.layers_covered = saw_sock && saw_tcp && saw_ip && saw_atm && saw_sched;
+  return out;
+}
+
+int Run(const std::string& out_path) {
+  std::printf("observability_selfcheck\n\n");
+
+  const TracedRun a = RunOnce(1400);
+  std::printf("1400-byte echo: %zu events, max span delta %lld ns\n\n", a.events,
+              static_cast<long long>(a.max_span_delta_ns));
+  Check(a.events > 0, "trace is non-empty");
+  Check(a.layers_covered, "sock/tcp/ip/atm/sched layers all present in the trace");
+  Check(a.max_span_delta_ns <= 1, "trace span sums match tracker totals within 1 ns");
+  Check(a.metrics_match, "metrics-registry views read back the live struct fields");
+
+  // (4a) run-to-run determinism with a fixed seed.
+  const TracedRun b = RunOnce(1400);
+  Check(a.json == b.json, "same seed reproduces a byte-identical trace");
+
+  // (4b) serial vs parallel-executor determinism across a size grid.
+  const std::vector<size_t> sizes = {4, 536, 1400, 8000};
+  std::vector<std::string> serial;
+  for (size_t size : sizes) {
+    serial.push_back(RunOnce(size).json);
+  }
+  Executor ex(4);
+  std::vector<std::function<std::string()>> thunks;
+  for (size_t size : sizes) {
+    thunks.emplace_back([size] { return RunOnce(size).json; });
+  }
+  const auto outcomes = ex.Run<std::string>(thunks);
+  bool identical = outcomes.size() == serial.size();
+  for (size_t i = 0; identical && i < outcomes.size(); ++i) {
+    identical = outcomes[i].ok() && *outcomes[i].value == serial[i];
+  }
+  Check(identical, "4-size grid traces are byte-identical serial vs 4-job parallel");
+
+  Check(WriteTextFile(out_path, a.json), "reference trace written to " + out_path);
+  std::printf("\n%s\n", g_failures == 0 ? "all checks passed" : "FAILURES");
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tcplat::Run(out_path);
+}

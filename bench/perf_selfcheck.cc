@@ -28,6 +28,7 @@
 #include "src/core/testbed.h"
 #include "src/exec/executor.h"
 #include "src/sim/simulator.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 namespace {
@@ -86,9 +87,14 @@ struct RpcRate {
 };
 
 // 2. A full testbed run: protocol stacks, mbuf churn, spans, the lot.
-RpcRate MeasureRpcRate(int iterations) {
+// `tracer` (optional) is attached before the run — pass one with recording
+// disabled to price the hook sites themselves.
+RpcRate MeasureRpcRate(int iterations, Tracer* tracer = nullptr) {
   TestbedConfig cfg;
   Testbed tb(cfg);
+  if (tracer != nullptr) {
+    tb.AttachTracer(tracer);
+  }
   RpcOptions opt;
   opt.size = 1400;
   opt.iterations = iterations;
@@ -99,6 +105,21 @@ RpcRate MeasureRpcRate(int iterations) {
   out.round_trips_per_sec = static_cast<double>(iterations) / wall;
   out.sim_events_per_sec = static_cast<double>(tb.sim().events_dispatched()) / wall;
   return out;
+}
+
+// Tracing must cost nothing when off: every hook is a pointer test in
+// Host::TracePacket plus an `enabled_` test in the Tracer. Best-of-3 on
+// each side to shave scheduler noise; the acceptance bar is <= 2%.
+double MeasureTraceDisabledOverheadPct(int iterations) {
+  double base = 0;
+  double hooked = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    base = std::max(base, MeasureRpcRate(iterations).sim_events_per_sec);
+    Tracer tracer;
+    tracer.set_enabled(false);
+    hooked = std::max(hooked, MeasureRpcRate(iterations, &tracer).sim_events_per_sec);
+  }
+  return 100.0 * (base - hooked) / base;
 }
 
 // 3. The paper's 8-size sweep, serial vs parallel.
@@ -172,6 +193,10 @@ int Run(bool quick, const std::string& out_path) {
               rpc.round_trips_per_sec);
   std::printf("simulated events    : %12.0f events/sec (same run)\n", rpc.sim_events_per_sec);
 
+  const double trace_overhead = MeasureTraceDisabledOverheadPct(rpc_iters);
+  std::printf("tracer-off overhead : %12.2f %%         (hooks present, recording off)\n",
+              trace_overhead);
+
   const GridTiming grid = MeasureGrid(grid_iters, jobs);
   const double speedup = grid.parallel_sec > 0 ? grid.serial_sec / grid.parallel_sec : 0;
   std::printf("8-config grid       : serial %.3fs, parallel %.3fs on %u threads "
@@ -192,6 +217,7 @@ int Run(bool quick, const std::string& out_path) {
                "  \"event_schedule_cancel_pairs_per_sec\": %.0f,\n"
                "  \"rpc_round_trips_per_sec\": %.0f,\n"
                "  \"rpc_sim_events_per_sec\": %.0f,\n"
+               "  \"trace_disabled_overhead_pct\": %.2f,\n"
                "  \"grid_configs\": 8,\n"
                "  \"grid_iterations\": %d,\n"
                "  \"grid_jobs\": %u,\n"
@@ -201,7 +227,8 @@ int Run(bool quick, const std::string& out_path) {
                "  \"grid_results_identical\": %s\n"
                "}\n",
                quick ? "true" : "false", std::thread::hardware_concurrency(), dispatch_rate,
-               cancel_rate, rpc.round_trips_per_sec, rpc.sim_events_per_sec, grid_iters,
+               cancel_rate, rpc.round_trips_per_sec, rpc.sim_events_per_sec, trace_overhead,
+               grid_iters,
                grid.jobs, grid.serial_sec, grid.parallel_sec, speedup,
                grid.identical ? "true" : "false");
   std::fclose(f);

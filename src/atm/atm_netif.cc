@@ -15,6 +15,13 @@ AtmNetIf::AtmNetIf(IpStack* ip, Tca100* device, uint16_t vci)
   TCPLAT_CHECK(device != nullptr);
   ip_->AttachNetIf(this);
   device_->set_rx_interrupt([this] { RxInterrupt(); });
+
+  MetricsRegistry& m = device_->host().metrics();
+  if (!m.contains("atm.pdus_sent")) {
+    m.AddCounterView("atm.pdus_sent", &stats_.pdus_sent);
+    m.AddCounterView("atm.pdus_received", &stats_.pdus_received);
+    m.AddCounterView("atm.short_pdus", &stats_.short_pdus);
+  }
 }
 
 void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
@@ -45,6 +52,7 @@ void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
     device_->FlushTx();  // store-and-forward ablation only; no-op normally
   }
   ++stats_.pdus_sent;
+  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduTx, vci_, cells.size(), len);
   // "We only measure up to when the ATM adapter is signaled to send the
   // last byte of data" — everything after this point overlaps transmission.
   host.tracker().AddInterval(SpanId::kTxDriver, cpu.cursor() - t0);
@@ -81,6 +89,7 @@ void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
   Host& host = device_->host();
   if (payload.size() < kIpv4HeaderBytes) {
     ++stats_.short_pdus;
+    host.TracePacket(TraceLayer::kAtm, TraceEventKind::kDrop, vci_, 0, payload.size());
     return;
   }
   // Controller-copy corruption (§4.2.1 error source 2). In the standard
@@ -97,6 +106,7 @@ void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
     controller_fault_(payload);
   }
   ++stats_.pdus_received;
+  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduRx, vci_, 0, payload.size());
 
   // IP header into a leading small mbuf; the (checksummed) transport region
   // into data mbufs — small ones below the cluster threshold, clusters

@@ -40,10 +40,18 @@ void AtmSwitch::SwitchCell(int /*in_port*/, SimTime arrival, std::vector<uint8_t
   auto route = routes_.find(vci);
   if (route == routes_.end()) {
     ++stats_.no_route;
+    if (tracer_ != nullptr) {
+      tracer_->RecordPacket(trace_id_, TraceLayer::kAtm, TraceEventKind::kDrop, arrival, vci,
+                            0, wire_bytes.size());
+    }
     return;
   }
   OutputPort& out = outputs_.at(route->second);
   ++stats_.cells_switched;
+  if (tracer_ != nullptr) {
+    tracer_->RecordPacket(trace_id_, TraceLayer::kAtm, TraceEventKind::kCellSwitch, arrival,
+                          vci, static_cast<uint64_t>(route->second), wire_bytes.size());
+  }
 
   if (fabric_corrupt_) {
     fabric_corrupt_(wire_bytes);

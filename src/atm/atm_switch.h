@@ -25,6 +25,7 @@
 #include "src/atm/tca100.h"
 #include "src/link/wire.h"
 #include "src/sim/simulator.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 
@@ -57,6 +58,13 @@ class AtmSwitch {
 
   const AtmSwitchStats& stats() const { return stats_; }
 
+  // The switch has no Host, so it joins a trace as its own participant
+  // (`trace_id` from Tracer::RegisterHost). Pass nullptr to detach.
+  void AttachTracer(Tracer* tracer, uint8_t trace_id) {
+    tracer_ = tracer;
+    trace_id_ = trace_id;
+  }
+
  private:
   class InputPort : public CellSink {
    public:
@@ -86,6 +94,8 @@ class AtmSwitch {
   std::map<uint16_t, int> routes_;
   CorruptFn fabric_corrupt_;
   AtmSwitchStats stats_;
+  Tracer* tracer_ = nullptr;
+  uint8_t trace_id_ = 0;
 };
 
 }  // namespace tcplat

@@ -7,6 +7,14 @@ namespace tcplat {
 Tca100::Tca100(Host* host, Wire* tx_wire) : host_(host), tx_wire_(tx_wire) {
   TCPLAT_CHECK(host != nullptr);
   TCPLAT_CHECK(tx_wire != nullptr);
+
+  MetricsRegistry& m = host_->metrics();
+  if (!m.contains("atm.cells_sent")) {
+    m.AddCounterView("atm.cells_sent", &stats_.cells_sent);
+    m.AddCounterView("atm.cells_received", &stats_.cells_received);
+    m.AddCounterView("atm.rx_fifo_drops", &stats_.rx_fifo_drops);
+    m.AddCounterView("atm.tx_fifo_stalls", &stats_.tx_fifo_stalls);
+  }
 }
 
 void Tca100::ConnectSink(CellSink* sink) {
@@ -35,6 +43,8 @@ void Tca100::TxCell(const AtmCell& cell) {
     const SimTime free_at = tx_fifo_drain_.front();
     ++stats_.tx_fifo_stalls;
     stats_.tx_stall_time += free_at - cpu.cursor();
+    host_->TracePacket(TraceLayer::kAtm, TraceEventKind::kTxStall, cell.vci, 0, 0,
+                       free_at - cpu.cursor());
     cpu.StallUntil(free_at);
     tx_fifo_drain_.pop_front();
   }
@@ -83,6 +93,7 @@ void Tca100::DeliverCell(SimTime arrival, std::vector<uint8_t> wire_bytes) {
   ++stats_.cells_received;
   if (rx_fifo_.size() >= kTca100RxFifoCells) {
     ++stats_.rx_fifo_drops;
+    host_->TracePacket(TraceLayer::kAtm, TraceEventKind::kCellDrop, 0, 0, wire_bytes.size());
     return;
   }
   RxEntry entry;

@@ -89,20 +89,21 @@ std::string DumpMbufStats(const MbufStats& s) {
 }
 
 std::string DumpHostReport(const std::string& name, const TcpStats& tcp, const IpStats& ip,
-                           const MbufStats& mbufs) {
+                           const UdpStats& udp, const MbufStats& mbufs) {
   std::string out = "=== " + name + " ===\n";
   out += DumpTcpStats(tcp);
   out += DumpIpStats(ip);
+  out += DumpUdpStats(udp);
   out += DumpMbufStats(mbufs);
   return out;
 }
 
 std::string DumpTestbedReport(Testbed& testbed) {
   std::string out = DumpHostReport("client", testbed.client_tcp().stats(),
-                                   testbed.client_ip().stats(),
+                                   testbed.client_ip().stats(), testbed.client_udp().stats(),
                                    testbed.client_host().pool().stats());
   out += DumpHostReport("server", testbed.server_tcp().stats(), testbed.server_ip().stats(),
-                        testbed.server_host().pool().stats());
+                        testbed.server_udp().stats(), testbed.server_host().pool().stats());
   return out;
 }
 

@@ -22,7 +22,7 @@ std::string DumpMbufStats(const MbufStats& s);
 
 // Everything about one host's stack, netstat-style.
 std::string DumpHostReport(const std::string& name, const TcpStats& tcp, const IpStats& ip,
-                           const MbufStats& mbufs);
+                           const UdpStats& udp, const MbufStats& mbufs);
 
 // Both hosts of a testbed.
 std::string DumpTestbedReport(Testbed& testbed);

@@ -59,6 +59,18 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), sim_(config
   server_udp_ = std::make_unique<UdpStack>(server_ip_.get());
 }
 
+void Testbed::AttachTracer(Tracer* tracer) {
+  client_host_->AttachTracer(tracer);
+  server_host_->AttachTracer(tracer);
+  if (atm_switch_ != nullptr) {
+    if (tracer != nullptr) {
+      atm_switch_->AttachTracer(tracer, tracer->RegisterHost("switch"));
+    } else {
+      atm_switch_->AttachTracer(nullptr, 0);
+    }
+  }
+}
+
 void Testbed::ResetTrackers() {
   client_host_->tracker().Reset();
   server_host_->tracker().Reset();

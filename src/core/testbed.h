@@ -70,6 +70,11 @@ class Testbed {
   AtmSwitch* atm_switch() { return atm_switch_.get(); }
   EtherSegment* ether_segment() { return ether_segment_.get(); }
 
+  // Attaches `tracer` to both hosts (and the switch, when present) so
+  // packet-lifecycle and span events are recorded. Pass nullptr to detach.
+  // The tracer is owned by the caller and must outlive the testbed's use.
+  void AttachTracer(Tracer* tracer);
+
   // Clears both hosts' span trackers (start of a measured region).
   void ResetTrackers();
 

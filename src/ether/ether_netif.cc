@@ -38,6 +38,17 @@ EtherNetIf::EtherNetIf(IpStack* ip, Host* host, EtherSegment* segment, MacAddr m
   TCPLAT_CHECK(segment != nullptr);
   ip_->AttachNetIf(this);
   segment_->Attach(this);
+
+  // First interface wins: multi-homed hosts (gateways) expose their first
+  // NIC's counters under the plain names.
+  MetricsRegistry& m = host_->metrics();
+  if (!m.contains("ether.frames_sent")) {
+    m.AddCounterView("ether.frames_sent", &stats_.frames_sent);
+    m.AddCounterView("ether.frames_received", &stats_.frames_received);
+    m.AddCounterView("ether.crc_errors", &stats_.crc_errors);
+    m.AddCounterView("ether.not_for_us", &stats_.not_for_us);
+    m.AddCounterView("ether.too_short", &stats_.too_short);
+  }
 }
 
 void EtherNetIf::AddRoute(Ipv4Addr addr, MacAddr mac) { arp_.Insert(addr, mac); }
@@ -61,6 +72,8 @@ size_t EtherNetIf::TransmitFrame(uint16_t ethertype, std::span<const uint8_t> pa
   cpu.Charge(cpu.profile().ether_tx, frame_len);
   segment_->Transmit(cpu.cursor(), std::move(frame));
   ++stats_.frames_sent;
+  host_->TracePacket(TraceLayer::kEther, TraceEventKind::kFrameTx, ethertype, stats_.frames_sent,
+                     frame_len);
   return frame_len;
 }
 
@@ -114,6 +127,7 @@ void EtherNetIf::Output(MbufPtr packet, Ipv4Addr next_hop) {
 void EtherNetIf::OnFrameArrival(SimTime arrival, std::vector<uint8_t> frame) {
   if (frame.size() < kEtherHeaderBytes + kEtherMinPayload + kEtherCrcBytes) {
     ++stats_.too_short;
+    host_->TracePacket(TraceLayer::kEther, TraceEventKind::kDrop, 0, 0, frame.size());
     return;
   }
   auto hdr = EtherHeader::Parse(frame);
@@ -123,6 +137,8 @@ void EtherNetIf::OnFrameArrival(SimTime arrival, std::vector<uint8_t> frame) {
   }
   if (hdr->dst != mac_ && hdr->dst != kBroadcastMac) {
     ++stats_.not_for_us;
+    host_->TracePacket(TraceLayer::kEther, TraceEventKind::kDrop, hdr->ethertype, 0,
+                       frame.size());
     return;
   }
   // The adapter verifies the FCS in hardware before interrupting.
@@ -130,6 +146,8 @@ void EtherNetIf::OnFrameArrival(SimTime arrival, std::vector<uint8_t> frame) {
   const uint32_t want = LoadBe32(frame.data() + fcs_off);
   if (Crc32({frame.data(), fcs_off}) != want) {
     ++stats_.crc_errors;
+    host_->TracePacket(TraceLayer::kEther, TraceEventKind::kDrop, hdr->ethertype, 0,
+                       frame.size());
     return;
   }
   host_->RunAsInterrupt([this, arrival, &frame] { RxInterrupt(arrival, std::move(frame)); });
@@ -178,6 +196,8 @@ void EtherNetIf::RxInterrupt(SimTime arrival, std::vector<uint8_t> frame) {
   ScopedSpan mute(&host_->tracker(), SpanId::kMuted);
   cpu.Charge(cpu.profile().ether_rx, frame.size());
   ++stats_.frames_received;
+  host_->TracePacket(TraceLayer::kEther, TraceEventKind::kFrameRx, 0, stats_.frames_received,
+                     frame.size());
 
   auto hdr = EtherHeader::Parse(frame);
   const std::span<const uint8_t> payload(frame.data() + kEtherHeaderBytes,
@@ -195,6 +215,8 @@ void EtherNetIf::RxInterrupt(SimTime arrival, std::vector<uint8_t> frame) {
   // later by ip_input using the IP total length.
   if (payload.size() < kIpv4HeaderBytes) {
     ++stats_.too_short;
+    host_->TracePacket(TraceLayer::kEther, TraceEventKind::kDrop, hdr->ethertype, 0,
+                       frame.size());
     return;
   }
   MbufPtr head = host_->pool().GetHeader();

@@ -10,6 +10,23 @@ namespace tcplat {
 IpStack::IpStack(Host* host, Ipv4Addr addr) : host_(host), addr_(addr) {
   TCPLAT_CHECK(host != nullptr);
   host_->RegisterNetisr([this] { IpIntr(); });
+
+  MetricsRegistry& m = host_->metrics();
+  if (!m.contains("ip.packets_sent")) {
+    m.AddCounterView("ip.packets_sent", &stats_.packets_sent);
+    m.AddCounterView("ip.packets_received", &stats_.packets_received);
+    m.AddCounterView("ip.fragments_sent", &stats_.fragments_sent);
+    m.AddCounterView("ip.fragments_received", &stats_.fragments_received);
+    m.AddCounterView("ip.reassembled", &stats_.reassembled);
+    m.AddCounterView("ip.header_checksum_errors", &stats_.header_checksum_errors);
+    m.AddCounterView("ip.no_protocol", &stats_.no_protocol);
+    m.AddCounterView("ip.bad_length", &stats_.bad_length);
+    m.AddCounterView("ip.not_for_us", &stats_.not_for_us);
+    m.AddCounterView("ip.forwarded", &stats_.forwarded);
+    m.AddCounterView("ip.no_route", &stats_.no_route);
+    m.AddCounterView("ip.ttl_expired", &stats_.ttl_expired);
+  }
+  ipq_wait_hist_ = &m.histogram("ip.ipq_wait_ns");
 }
 
 void IpStack::AttachNetIf(NetIf* nif) {
@@ -61,10 +78,14 @@ void IpStack::SendOnePacket(MbufPtr packet, Ipv4Header hdr, Ipv4Addr dst) {
     packet = std::move(hm);
   }
   ++stats_.packets_sent;
+  host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktTx, hdr.protocol, hdr.id,
+                     hdr.total_length);
   Ipv4Addr next_hop = 0;
   NetIf* nif = LookupRoute(dst, &next_hop);
   if (nif == nullptr) {
     ++stats_.no_route;
+    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+                       hdr.total_length);
     host_->pool().FreeChain(std::move(packet));
     return;
   }
@@ -138,6 +159,7 @@ void IpStack::InputFromDriver(MbufPtr packet) {
   TCPLAT_CHECK(packet != nullptr);
   host_->cpu().Charge(host_->cpu().profile().ipq_enqueue);
   ipintrq_.push_back(Queued{std::move(packet), host_->CurrentTime()});
+  host_->TracePacket(TraceLayer::kIp, TraceEventKind::kEnqueue, 0, ipintrq_.size());
   host_->RaiseNetisr();
 }
 
@@ -147,7 +169,10 @@ void IpStack::IpIntr() {
     ipintrq_.pop_front();
     // The paper's "IPQ" row: time from driver enqueue + softint request to
     // the packet being pulled off the queue at softint level.
-    host_->tracker().AddInterval(SpanId::kRxIpq, host_->CurrentTime() - q.enqueued_at);
+    const SimDuration wait = host_->CurrentTime() - q.enqueued_at;
+    host_->tracker().AddInterval(SpanId::kRxIpq, wait);
+    ipq_wait_hist_->Add(wait.nanos());
+    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDequeue, 0, ipintrq_.size(), 0, wait);
     HandlePacket(std::move(q.packet));
   }
 }
@@ -164,12 +189,15 @@ void IpStack::HandlePacket(MbufPtr packet) {
     auto parsed = Ipv4Header::Parse(first->bytes());
     if (!parsed.has_value()) {
       ++stats_.bad_length;
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop);
       host_->pool().FreeChain(std::move(packet));
       return;
     }
     hdr = *parsed;
     if (!Ipv4Header::VerifyChecksum(first->bytes())) {
       ++stats_.header_checksum_errors;
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kChecksumError, hdr.protocol, hdr.id,
+                         hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
     }
@@ -178,6 +206,8 @@ void IpStack::HandlePacket(MbufPtr packet) {
         ForwardPacket(std::move(packet), hdr);
       } else {
         ++stats_.not_for_us;
+        host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+                           hdr.total_length);
         host_->pool().FreeChain(std::move(packet));
       }
       return;
@@ -185,6 +215,8 @@ void IpStack::HandlePacket(MbufPtr packet) {
     const size_t chain_len = ChainLength(packet.get());
     if (chain_len < hdr.total_length) {
       ++stats_.bad_length;
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+                         hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
     }
@@ -222,11 +254,15 @@ void IpStack::HandlePacket(MbufPtr packet) {
     auto it = protocols_.find(hdr.protocol);
     if (it == protocols_.end()) {
       ++stats_.no_protocol;
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+                         hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
     }
     handler = it->second;
     ++stats_.packets_received;
+    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktRx, hdr.protocol, hdr.id,
+                       hdr.total_length);
   }
   handler->IpInput(std::move(packet), hdr);
 }

@@ -136,6 +136,8 @@ class IpStack {
 
   Host* host_;
   Ipv4Addr addr_;
+  // Registry-owned distribution of ipintrq wait times (the IPQ row).
+  Histogram* ipq_wait_hist_ = nullptr;
   std::vector<NetIf*> interfaces_;
   std::vector<Route> routes_;
   bool forwarding_ = false;

@@ -9,6 +9,28 @@ namespace tcplat {
 Host::Host(Simulator* sim, std::string name, CostProfile profile)
     : sim_(sim), name_(std::move(name)), cpu_(sim, std::move(profile)), pool_(&cpu_) {
   cpu_.set_charge_listener(&tracker_);
+  tracker_.set_clock(&cpu_);
+  // The mbuf pool predates the registry and belongs to a layer below it, so
+  // the host registers the views on its behalf.
+  const MbufStats& mb = pool_.stats();
+  metrics_.AddCounterView("mbuf.small_allocs", &mb.small_allocs);
+  metrics_.AddCounterView("mbuf.cluster_allocs", &mb.cluster_allocs);
+  metrics_.AddCounterView("mbuf.cluster_refs", &mb.cluster_refs);
+  metrics_.AddCounterView("mbuf.frees", &mb.frees);
+  metrics_.AddCounterView("mbuf.copym_calls", &mb.copym_calls);
+  metrics_.AddCounterView("mbuf.bytes_copied", &mb.bytes_copied);
+  metrics_.AddGaugeView("mbuf.in_use", &mb.in_use);
+  metrics_.AddGaugeView("mbuf.peak_in_use", &mb.peak_in_use);
+  metrics_.AddCounterView("mbuf.freelist_hits", &mb.mbuf_freelist_hits);
+  metrics_.AddCounterView("mbuf.cluster_freelist_hits", &mb.cluster_freelist_hits);
+}
+
+void Host::AttachTracer(Tracer* tracer) {
+  if (tracer != nullptr) {
+    trace_id_ = tracer->RegisterHost(name_);
+  }
+  tracer_ = tracer;
+  tracker_.AttachTracer(tracer, trace_id_);
 }
 
 SimTime Host::CurrentTime() const {
@@ -32,6 +54,7 @@ void Host::Wakeup(WaitChannel& chan) {
     TCPLAT_CHECK(p->state_ == ProcessState::kBlocked);
     p->state_ = ProcessState::kRunnable;
     p->wakeup_issued_at_ = now;
+    TracePacket(TraceLayer::kSched, TraceEventKind::kWakeup);
     ScheduleResume(p, now, /*charge_wakeup=*/true);
   }
   chan.waiters_.clear();

@@ -24,7 +24,9 @@
 #include "src/cpu/cpu.h"
 #include "src/os/task.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metrics.h"
 #include "src/trace/span.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 
@@ -76,6 +78,30 @@ class Host {
   Cpu& cpu() { return cpu_; }
   MbufPool& pool() { return pool_; }
   SpanTracker& tracker() { return tracker_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // --- packet-lifecycle tracing ---
+
+  // Registers this host with `tracer` and mirrors span tracking plus every
+  // TracePacket call into it. Pass nullptr to detach.
+  void AttachTracer(Tracer* tracer);
+  Tracer* tracer() const {
+#ifdef TCPLAT_NO_TRACE_HOOKS
+    return nullptr;  // folds every hook site to dead code
+#else
+    return tracer_;
+#endif
+  }
+  uint8_t trace_id() const { return trace_id_; }
+
+  // The one-line hook used by the protocol layers: a single pointer test
+  // when no tracer is attached.
+  void TracePacket(TraceLayer layer, TraceEventKind kind, uint64_t flow = 0,
+                   uint64_t packet = 0, uint64_t bytes = 0, SimDuration dur = SimDuration()) {
+    if (Tracer* t = tracer(); t != nullptr) [[unlikely]] {
+      t->RecordPacket(trace_id_, layer, kind, CurrentTime(), flow, packet, bytes, dur);
+    }
+  }
 
   // The current time as visible to code on this host: the CPU cursor during
   // a run, the global simulation clock otherwise.
@@ -134,6 +160,9 @@ class Host {
   Cpu cpu_;
   MbufPool pool_;
   SpanTracker tracker_;
+  MetricsRegistry metrics_;
+  Tracer* tracer_ = nullptr;
+  uint8_t trace_id_ = 0;
 
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;

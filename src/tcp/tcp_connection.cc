@@ -268,6 +268,8 @@ bool TcpConnection::TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size
         rtt_timing_ = false;
       }
       const uint32_t acked = th.ack - snd_una_;
+      host.TracePacket(TraceLayer::kTcp, TraceEventKind::kAck, TraceFlow(), th.ack - iss_,
+                       acked);
       socket_->snd().Drop(&host.pool(), std::min<size_t>(acked, socket_->snd().cc()));
       snd_una_ = th.ack;
       rexmt_shift_ = 0;
@@ -338,6 +340,8 @@ void TcpConnection::Input(MbufPtr chain, const TcpHeader& th, const Ipv4Header& 
   const bool checksum_exempt = no_checksum_ && !th.flags.syn;
   if (!checksum_exempt && !VerifyChecksum(chain.get(), th, iph)) {
     ++stack_->stats().checksum_errors;
+    host.TracePacket(TraceLayer::kTcp, TraceEventKind::kChecksumError, TraceFlow(),
+                     th.seq - irs_, len);
     if (TraceEnabled()) {
       std::fprintf(stderr, "[%s] DROP bad checksum seq=%u len=%zu\n", host.name().c_str(),
                    th.seq - irs_, len);
@@ -530,6 +534,8 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
       snd_cwnd_ = snd_ssthresh_;
       snd_nxt_ = snd_una_;
       ++stack_->stats().retransmits;
+      host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
+                       snd_una_ - iss_);
       Output();
     }
     return;
@@ -540,6 +546,8 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
   }
 
   dup_acks_ = 0;
+  host.TracePacket(TraceLayer::kTcp, TraceEventKind::kAck, TraceFlow(), ack - iss_,
+                   ack - snd_una_);
   cpu.Charge(cpu.profile().tcp_ack_proc);
 
   if (rtt_timing_ && SeqGt(ack, rtt_seq_)) {
@@ -971,6 +979,8 @@ void TcpConnection::EmitSegment(const SegmentPlan& plan) {
     snd_max_ = snd_nxt_;
   } else if (plan.len > 0) {
     ++stats.retransmits;
+    host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
+                     th.seq - iss_, plan.len);
   }
   if (snd_nxt_ != snd_una_ && rexmt_timer_ == kInvalidEventId) {
     ArmRexmt();
@@ -990,7 +1000,12 @@ void TcpConnection::EmitSegment(const SegmentPlan& plan) {
   if (plan.len > 0) {
     ++stats.data_segs_sent;
     stats.bytes_sent += plan.len;
+    if (Histogram* hist = stack_->tx_bytes_histogram(); hist != nullptr) {
+      hist->Add(static_cast<int64_t>(plan.len));
+    }
   }
+  host.TracePacket(TraceLayer::kTcp, TraceEventKind::kSegTx, TraceFlow(), th.seq - iss_,
+                   plan.len);
   if (stack_->tap() != nullptr) {
     stack_->tap()->OnSegment({host.CurrentTime(), /*outbound=*/true, pcb_.local, pcb_.remote,
                               th, plan.len});

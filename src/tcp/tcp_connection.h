@@ -110,6 +110,11 @@ class TcpConnection : public ProtocolOps {
   uint32_t cwnd() const { return snd_cwnd_; }
 
  private:
+  // Flow id carried on this connection's trace events.
+  uint64_t TraceFlow() const {
+    return (static_cast<uint64_t>(pcb_.local.port) << 16) | pcb_.remote.port;
+  }
+
   // Input helpers.
   bool VerifyChecksum(const Mbuf* chain, const TcpHeader& th, const Ipv4Header& iph);
   bool TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size_t data_len);

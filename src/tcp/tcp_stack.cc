@@ -11,6 +11,34 @@ TcpStack::TcpStack(IpStack* ip, TcpConfig config)
   TCPLAT_CHECK(ip != nullptr);
   ip_->RegisterProtocol(kIpProtoTcp, this);
   pcbs_.set_cache_enabled(config_.header_prediction);
+
+  // Expose the stats struct through the host's metrics registry. The guard
+  // keeps the first stack's registration if a test builds more than one TCP
+  // stack on a host.
+  MetricsRegistry& m = host().metrics();
+  if (!m.contains("tcp.segs_sent")) {
+    m.AddCounterView("tcp.segs_sent", &stats_.segs_sent);
+    m.AddCounterView("tcp.segs_received", &stats_.segs_received);
+    m.AddCounterView("tcp.data_segs_sent", &stats_.data_segs_sent);
+    m.AddCounterView("tcp.bytes_sent", &stats_.bytes_sent);
+    m.AddCounterView("tcp.predict_ack_hits", &stats_.predict_ack_hits);
+    m.AddCounterView("tcp.predict_data_hits", &stats_.predict_data_hits);
+    m.AddCounterView("tcp.predict_misses", &stats_.predict_misses);
+    m.AddCounterView("tcp.checksum_errors", &stats_.checksum_errors);
+    m.AddCounterView("tcp.checksum_fallbacks", &stats_.checksum_fallbacks);
+    m.AddCounterView("tcp.retransmits", &stats_.retransmits);
+    m.AddCounterView("tcp.rexmt_timeouts", &stats_.rexmt_timeouts);
+    m.AddCounterView("tcp.delayed_acks_fired", &stats_.delayed_acks_fired);
+    m.AddCounterView("tcp.keepalive_probes_sent", &stats_.keepalive_probes_sent);
+    m.AddCounterView("tcp.keepalive_drops", &stats_.keepalive_drops);
+    m.AddCounterView("tcp.out_of_order_segs", &stats_.out_of_order_segs);
+    m.AddCounterView("tcp.dropped_no_pcb", &stats_.dropped_no_pcb);
+    m.AddCounterView("tcp.rst_sent", &stats_.rst_sent);
+    m.AddCounterView("tcp.rst_received", &stats_.rst_received);
+    m.AddCounterView("tcp.conns_established", &stats_.conns_established);
+    m.AddCounterView("tcp.conns_dropped", &stats_.conns_dropped);
+    tx_bytes_hist_ = &m.histogram("tcp.tx.segment_bytes");
+  }
 }
 
 TcpStack::~TcpStack() = default;
@@ -130,9 +158,14 @@ void TcpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
     tap_->OnSegment({h.CurrentTime(), /*outbound=*/false, remote, local, *th,
                      hdr.total_length - kIpv4HeaderBytes - th->HeaderLength()});
   }
+  h.TracePacket(TraceLayer::kTcp, TraceEventKind::kSegRx,
+                (static_cast<uint64_t>(th->dst_port) << 16) | th->src_port, th->seq,
+                hdr.total_length - kIpv4HeaderBytes - th->HeaderLength());
   Pcb* pcb = pcbs_.Lookup(remote, local);
   if (pcb == nullptr || pcb->conn == nullptr) {
     ++stats_.dropped_no_pcb;
+    h.TracePacket(TraceLayer::kTcp, TraceEventKind::kDrop,
+                  (static_cast<uint64_t>(th->dst_port) << 16) | th->src_port, th->seq);
     const size_t data_len =
         hdr.total_length - kIpv4HeaderBytes - th->HeaderLength();
     if (!th->flags.rst) {

@@ -10,6 +10,7 @@
 
 #include "src/ip/ip_stack.h"
 #include "src/tcp/pcb.h"
+#include "src/trace/metrics.h"
 #include "src/tcp/segment_tap.h"
 #include "src/tcp/tcp_connection.h"
 
@@ -76,6 +77,9 @@ class TcpStack : public IpProtocolHandler {
   uint16_t NextEphemeralPort() { return next_port_++; }
   // Creates the socket + connection pair for a passive open.
   TcpConnection* SpawnPassive();
+  // Registry-owned distribution of transmitted payload sizes (null when a
+  // second stack on the host lost the registration race).
+  Histogram* tx_bytes_histogram() { return tx_bytes_hist_; }
 
  private:
   // Answers a segment that reached no connection (RFC 793 RESET rules).
@@ -86,6 +90,7 @@ class TcpStack : public IpProtocolHandler {
   SegmentTap* tap_ = nullptr;
   PcbTable pcbs_;
   TcpStats stats_;
+  Histogram* tx_bytes_hist_ = nullptr;
   uint32_t iss_ = 1;
   uint16_t next_port_ = 20000;
   std::vector<std::unique_ptr<Socket>> sockets_;

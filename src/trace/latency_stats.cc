@@ -10,7 +10,6 @@ namespace tcplat {
 void LatencyStats::Add(SimDuration sample) {
   samples_.push_back(sample);
   sum_ += sample;
-  sorted_ = false;
 }
 
 SimDuration LatencyStats::Mean() const {
@@ -30,14 +29,37 @@ SimDuration LatencyStats::Max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+SimDuration LatencyStats::Stddev() const {
+  const size_t n = samples_.size();
+  if (n < 2) {
+    return SimDuration();
+  }
+  const double mean = static_cast<double>(sum_.nanos()) / static_cast<double>(n);
+  double sq = 0;
+  for (SimDuration s : samples_) {
+    const double d = static_cast<double>(s.nanos()) - mean;
+    sq += d * d;
+  }
+  return SimDuration::FromNanos(
+      static_cast<int64_t>(std::lround(std::sqrt(sq / static_cast<double>(n)))));
+}
+
 SimDuration LatencyStats::Percentile(double p) const {
-  TCPLAT_CHECK(!samples_.empty());
   TCPLAT_CHECK_GE(p, 0.0);
   TCPLAT_CHECK_LE(p, 100.0);
-  if (!sorted_) {
-    sorted_samples_ = samples_;
-    std::sort(sorted_samples_.begin(), sorted_samples_.end());
-    sorted_ = true;
+  if (samples_.empty()) {
+    return SimDuration();
+  }
+  if (sorted_count_ < samples_.size()) {
+    // Sort only the new tail and merge it in, instead of re-sorting all
+    // samples on every query after an Add.
+    const size_t old = sorted_samples_.size();
+    sorted_samples_.insert(sorted_samples_.end(), samples_.begin() + static_cast<long>(old),
+                           samples_.end());
+    std::sort(sorted_samples_.begin() + static_cast<long>(old), sorted_samples_.end());
+    std::inplace_merge(sorted_samples_.begin(), sorted_samples_.begin() + static_cast<long>(old),
+                       sorted_samples_.end());
+    sorted_count_ = sorted_samples_.size();
   }
   const size_t n = sorted_samples_.size();
   size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
@@ -50,8 +72,8 @@ SimDuration LatencyStats::Percentile(double p) const {
 void LatencyStats::Reset() {
   samples_.clear();
   sorted_samples_.clear();
+  sorted_count_ = 0;
   sum_ = SimDuration();
-  sorted_ = true;
 }
 
 }  // namespace tcplat

@@ -1,5 +1,5 @@
-// Simple latency sample statistics (mean / min / max / percentiles) used by
-// the round-trip benchmarks.
+// Simple latency sample statistics (mean / min / max / stddev / percentiles)
+// used by the round-trip benchmarks.
 
 #ifndef SRC_TRACE_LATENCY_STATS_H_
 #define SRC_TRACE_LATENCY_STATS_H_
@@ -20,7 +20,9 @@ class LatencyStats {
   SimDuration Mean() const;
   SimDuration Min() const;
   SimDuration Max() const;
-  // p in [0, 100]; nearest-rank percentile.
+  // Population standard deviation; zero for fewer than two samples.
+  SimDuration Stddev() const;
+  // p in [0, 100]; nearest-rank percentile. Zero when empty.
   SimDuration Percentile(double p) const;
 
   void Reset();
@@ -28,8 +30,11 @@ class LatencyStats {
  private:
   std::vector<SimDuration> samples_;
   SimDuration sum_;
-  mutable bool sorted_ = true;
+  // Sorted view of samples_[0, sorted_count_). Percentile() merges only the
+  // unsorted tail, so interleaved Add/Percentile costs O(new + merge), not a
+  // full re-sort per query.
   mutable std::vector<SimDuration> sorted_samples_;
+  mutable size_t sorted_count_ = 0;
 };
 
 }  // namespace tcplat

@@ -1,6 +1,7 @@
 #include "src/trace/span.h"
 
 #include "src/base/check.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 
@@ -42,6 +43,18 @@ std::string_view SpanName(SpanId id) {
   return "?";
 }
 
+void SpanTracker::AttachTracer(Tracer* tracer, uint8_t host) {
+  if (tracer != nullptr) {
+    TCPLAT_CHECK(clock_ != nullptr) << "AttachTracer requires set_clock";
+  }
+  tracer_ = tracer;
+  trace_host_ = host;
+}
+
+SimTime SpanTracker::TraceNow() const {
+  return clock_->running() ? clock_->cursor() : clock_->sim().Now();
+}
+
 void SpanTracker::OnCharge(SimDuration amount) {
   if (!enabled_ || depth_ == 0) {
     return;
@@ -51,6 +64,9 @@ void SpanTracker::OnCharge(SimDuration amount) {
     return;
   }
   totals_[static_cast<size_t>(top)] += amount;
+  if (tracer_ != nullptr) {
+    scope_self_ns_[depth_ - 1] += amount.nanos();
+  }
 }
 
 void SpanTracker::Push(SpanId id) {
@@ -58,7 +74,12 @@ void SpanTracker::Push(SpanId id) {
     return;
   }
   TCPLAT_CHECK_LT(depth_, static_cast<int>(stack_.size())) << "span stack overflow";
-  stack_[depth_++] = id;
+  stack_[depth_] = id;
+  if (tracer_ != nullptr) {
+    scope_self_ns_[depth_] = 0;
+    tracer_->RecordSpanBegin(trace_host_, id, TraceNow());
+  }
+  ++depth_;
   ++counts_[static_cast<size_t>(id)];
 }
 
@@ -69,6 +90,10 @@ void SpanTracker::Pop(SpanId id) {
   TCPLAT_CHECK_GT(depth_, 0) << "span stack underflow";
   TCPLAT_CHECK(stack_[depth_ - 1] == id) << "unbalanced span pop";
   --depth_;
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpanEnd(trace_host_, id, TraceNow(),
+                           SimDuration::FromNanos(scope_self_ns_[depth_]));
+  }
 }
 
 void SpanTracker::AddInterval(SpanId id, SimDuration amount) {
@@ -78,12 +103,18 @@ void SpanTracker::AddInterval(SpanId id, SimDuration amount) {
   TCPLAT_CHECK_GE(amount.nanos(), 0);
   totals_[static_cast<size_t>(id)] += amount;
   ++counts_[static_cast<size_t>(id)];
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpanInterval(trace_host_, id, TraceNow(), amount);
+  }
 }
 
 void SpanTracker::Reset() {
   totals_.fill(SimDuration());
   counts_.fill(0);
   depth_ = 0;
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpanReset(trace_host_, TraceNow());
+  }
 }
 
 }  // namespace tcplat

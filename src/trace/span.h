@@ -55,6 +55,8 @@ enum class SpanId : int {
 
 std::string_view SpanName(SpanId id);
 
+class Tracer;
+
 class SpanTracker : public ChargeListener {
  public:
   SpanTracker() { Reset(); }
@@ -76,12 +78,30 @@ class SpanTracker : public ChargeListener {
 
   void Reset();
 
+  // Timestamp source for trace events: the owning host's CPU (cursor during
+  // a run, simulation clock otherwise). Required before AttachTracer.
+  void set_clock(Cpu* cpu) { clock_ = cpu; }
+
+  // Mirrors every Push/Pop/AddInterval/Reset into `tracer` as span events
+  // under host id `host`. Span-end events carry the charge-attributed self
+  // time of that span instance, so summing a trace reproduces total()
+  // exactly. Pass nullptr to detach.
+  void AttachTracer(Tracer* tracer, uint8_t host);
+
  private:
+  SimTime TraceNow() const;
+
   bool enabled_ = true;
   std::array<SimDuration, static_cast<size_t>(SpanId::kCount)> totals_;
   std::array<uint64_t, static_cast<size_t>(SpanId::kCount)> counts_;
   std::array<SpanId, 16> stack_{};
+  // Per-depth self-time accumulator for the span instance at that depth;
+  // maintained only while a tracer is attached.
+  std::array<int64_t, 16> scope_self_ns_{};
   int depth_ = 0;
+  Cpu* clock_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  uint8_t trace_host_ = 0;
 };
 
 // RAII span scope. Tolerates a null tracker (instrumentation disabled).

@@ -1,0 +1,261 @@
+#include "src/trace/tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+namespace {
+
+// Perfetto timestamps are microseconds; emit them as exact fixed-point
+// strings (ns resolution) so traces are byte-stable across platforms.
+void AppendMicros(std::string* out, int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  out->append(buf);
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+}
+
+// Track (Perfetto tid) layout within each host's process.
+constexpr int kTidSpans = 0;      // nested B/E charge-attributed spans
+constexpr int kTidIntervals = 1;  // wall-interval spans (X events)
+constexpr int kTidPackets = 2;    // packet-lifecycle instants
+
+}  // namespace
+
+std::string_view TraceLayerName(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kSock:
+      return "sock";
+    case TraceLayer::kTcp:
+      return "tcp";
+    case TraceLayer::kIp:
+      return "ip";
+    case TraceLayer::kAtm:
+      return "atm";
+    case TraceLayer::kEther:
+      return "ether";
+    case TraceLayer::kSched:
+      return "sched";
+  }
+  return "?";
+}
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpanBegin:
+      return "span.begin";
+    case TraceEventKind::kSpanEnd:
+      return "span.end";
+    case TraceEventKind::kSpanInterval:
+      return "span.interval";
+    case TraceEventKind::kSpanReset:
+      return "span.reset";
+    case TraceEventKind::kUserWrite:
+      return "user.write";
+    case TraceEventKind::kUserRead:
+      return "user.read";
+    case TraceEventKind::kWakeup:
+      return "wakeup";
+    case TraceEventKind::kSegTx:
+      return "seg.tx";
+    case TraceEventKind::kSegRx:
+      return "seg.rx";
+    case TraceEventKind::kRetransmit:
+      return "retransmit";
+    case TraceEventKind::kAck:
+      return "ack";
+    case TraceEventKind::kChecksumError:
+      return "checksum.error";
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kEnqueue:
+      return "enqueue";
+    case TraceEventKind::kDequeue:
+      return "dequeue";
+    case TraceEventKind::kPktTx:
+      return "pkt.tx";
+    case TraceEventKind::kPktRx:
+      return "pkt.rx";
+    case TraceEventKind::kPduTx:
+      return "pdu.tx";
+    case TraceEventKind::kPduRx:
+      return "pdu.rx";
+    case TraceEventKind::kCellDrop:
+      return "cell.drop";
+    case TraceEventKind::kTxStall:
+      return "tx.stall";
+    case TraceEventKind::kCellSwitch:
+      return "cell.switch";
+    case TraceEventKind::kFrameTx:
+      return "frame.tx";
+    case TraceEventKind::kFrameRx:
+      return "frame.rx";
+  }
+  return "?";
+}
+
+uint8_t Tracer::RegisterHost(std::string name) {
+  TCPLAT_CHECK_LT(host_names_.size(), 255u) << "too many traced hosts";
+  host_names_.push_back(std::move(name));
+  return static_cast<uint8_t>(host_names_.size() - 1);
+}
+
+std::array<int64_t, static_cast<size_t>(SpanId::kCount)> Tracer::SpanSelfTotalsNanos(
+    uint8_t host) const {
+  std::array<int64_t, static_cast<size_t>(SpanId::kCount)> totals{};
+  for (const TraceEvent& ev : events_) {
+    if (ev.host != host) {
+      continue;
+    }
+    switch (ev.kind) {
+      case TraceEventKind::kSpanReset:
+        totals.fill(0);
+        break;
+      case TraceEventKind::kSpanEnd:
+        totals[static_cast<size_t>(ev.span)] += ev.self_ns;
+        break;
+      case TraceEventKind::kSpanInterval:
+        totals[static_cast<size_t>(ev.span)] += ev.dur_ns;
+        break;
+      default:
+        break;
+    }
+  }
+  return totals;
+}
+
+std::string Tracer::ToPerfettoJson() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+  char buf[256];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+
+  for (size_t pid = 0; pid < host_names_.size(); ++pid) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"args\":{\"name\":\"";
+    AppendEscaped(&out, host_names_[pid]);
+    out += "\"}}";
+    static constexpr std::string_view kTrackNames[] = {"spans", "intervals", "packets"};
+    for (int tid = 0; tid < 3; ++tid) {
+      comma();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,\"tid\":%d,"
+                    "\"args\":{\"name\":\"%s\"}}",
+                    pid, tid, std::string(kTrackNames[tid]).c_str());
+      out += buf;
+    }
+  }
+
+  for (const TraceEvent& ev : events_) {
+    comma();
+    const int pid = ev.host;
+    switch (ev.kind) {
+      case TraceEventKind::kSpanBegin:
+        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                      std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
+        out += buf;
+        AppendMicros(&out, ev.ts_ns);
+        out += "}";
+        break;
+      case TraceEventKind::kSpanEnd:
+        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                      std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
+        out += buf;
+        AppendMicros(&out, ev.ts_ns);
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"self_ns\":%" PRId64 "}}", ev.self_ns);
+        out += buf;
+        break;
+      case TraceEventKind::kSpanInterval:
+        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                      std::string(SpanName(ev.span)).c_str(), pid, kTidIntervals);
+        out += buf;
+        AppendMicros(&out, ev.ts_ns - ev.dur_ns);
+        out += ",\"dur\":";
+        AppendMicros(&out, ev.dur_ns);
+        out += "}";
+        break;
+      case TraceEventKind::kSpanReset:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"span.reset\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                      "\"ts\":",
+                      pid, kTidSpans);
+        out += buf;
+        AppendMicros(&out, ev.ts_ns);
+        out += "}";
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s.%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                      std::string(TraceLayerName(ev.layer)).c_str(),
+                      std::string(TraceEventKindName(ev.kind)).c_str(), pid, kTidPackets);
+        out += buf;
+        AppendMicros(&out, ev.ts_ns);
+        std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"flow\":%" PRIu64 ",\"packet\":%" PRIu64 ",\"bytes\":%" PRIu64
+                      ",\"dur_ns\":%" PRId64 "}}",
+                      ev.flow, ev.packet, ev.bytes, ev.dur_ns);
+        out += buf;
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::ToCsv() const {
+  std::string out = "ts_ns,host,layer,kind,span,dur_ns,self_ns,flow,packet,bytes\n";
+  out.reserve(out.size() + events_.size() * 64);
+  char buf[256];
+  for (const TraceEvent& ev : events_) {
+    const bool is_span = ev.kind == TraceEventKind::kSpanBegin ||
+                         ev.kind == TraceEventKind::kSpanEnd ||
+                         ev.kind == TraceEventKind::kSpanInterval;
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRId64 ",%s,%s,%s,%s,%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64
+                  ",%" PRIu64 "\n",
+                  ev.ts_ns,
+                  ev.host < host_names_.size() ? host_names_[ev.host].c_str() : "?",
+                  std::string(TraceLayerName(ev.layer)).c_str(),
+                  std::string(TraceEventKindName(ev.kind)).c_str(),
+                  is_span ? std::string(SpanName(ev.span)).c_str() : "",
+                  ev.dur_ns, ev.self_ns, ev.flow, ev.packet, ev.bytes);
+    out += buf;
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "short write: %s\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace tcplat

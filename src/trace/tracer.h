@@ -1,0 +1,197 @@
+// Per-packet lifecycle tracing.
+//
+// The paper's methodology is aggregate: read a 40 ns clock at layer
+// boundaries and accumulate per-layer totals (SpanTracker). A Tracer keeps
+// the individual readings instead — every span entry/exit, every interval,
+// and discrete packet-lifecycle events (segment tx/rx, retransmit, drop,
+// ACK, queue hand-off, wakeup) — each stamped with the simulated time, the
+// host it happened on, the stack layer, and a flow/packet id. The result
+// answers "where did *this* packet's time go", not just "where did the
+// microseconds go on average".
+//
+// Design constraints:
+//  * Deterministic. Events carry only simulated time and protocol state, so
+//    a fixed seed produces a byte-identical trace — including when the run
+//    executes inside the src/exec/ parallel grid runner, because a Tracer is
+//    owned by one Testbed and shares nothing global.
+//  * Zero-cost when disabled. Hook sites go through Host::TracePacket,
+//    which is a single pointer test when no tracer is attached and compiles
+//    away entirely under -DTCPLAT_NO_TRACE_HOOKS.
+//  * Exact. Span-end events carry the charge-attributed self time
+//    accumulated by SpanTracker for that instance, so per-layer sums over a
+//    trace reproduce the tracker's totals to the nanosecond.
+//
+// Exporters: Chrome/Perfetto trace_event JSON (load at ui.perfetto.dev or
+// chrome://tracing) and a flat CSV, one row per event.
+
+#ifndef SRC_TRACE_TRACER_H_
+#define SRC_TRACE_TRACER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/trace/span.h"
+
+namespace tcplat {
+
+// Which layer of the simulated stack emitted an event.
+enum class TraceLayer : uint8_t {
+  kSock,   // socket layer (sosend/soreceive, wakeups)
+  kTcp,    // TCP input/output
+  kIp,     // ip_input/ip_output and the ipintrq
+  kAtm,    // AAL3/4 + TCA-100 adapter + cell switch
+  kEther,  // Ethernet driver
+  kSched,  // span bookkeeping (begin/end/interval/reset markers)
+};
+
+enum class TraceEventKind : uint8_t {
+  // Span events, emitted by SpanTracker (layer kSched).
+  kSpanBegin,     // span = id
+  kSpanEnd,       // span = id, self_ns = charge-attributed self time
+  kSpanInterval,  // span = id, dur_ns = wall interval (ts is interval end)
+  kSpanReset,     // tracker totals zeroed (measurement region boundary)
+  // Socket layer.
+  kUserWrite,  // write() accepted `bytes` from the user
+  kUserRead,   // read() returned `bytes` to the user
+  kWakeup,     // sowakeup: a blocked process was made runnable
+  // TCP.
+  kSegTx,          // segment emitted; packet = seq, bytes = payload length
+  kSegRx,          // segment arrived at tcp_input
+  kRetransmit,     // segment tx was a retransmission
+  kAck,            // ACK advanced snd_una; bytes = newly acked
+  kChecksumError,  // inbound segment failed checksum verification
+  kDrop,           // packet/segment/frame discarded (any layer)
+  // IP.
+  kEnqueue,  // driver appended a packet to the ipintrq; packet = queue depth
+  kDequeue,  // ipintr picked it up; dur_ns = queue wait
+  kPktTx,    // ip_output handed a datagram to a driver; packet = header id
+  kPktRx,    // ip_input delivered a datagram to a protocol; packet = header id
+  // ATM (AAL3/4 + TCA-100 + switch).
+  kPduTx,       // AAL3/4 PDU segmented and handed to the adapter; packet = cells
+  kPduRx,       // EOM interrupt reassembled a PDU; packet = cells
+  kCellDrop,    // receive FIFO overflow dropped a cell
+  kTxStall,     // transmit FIFO full: cell DMA stalled; dur_ns = stall time
+  kCellSwitch,  // switch forwarded a cell; flow = VCI
+  // Ethernet.
+  kFrameTx,
+  kFrameRx,
+};
+
+std::string_view TraceLayerName(TraceLayer layer);
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  int64_t ts_ns = 0;    // simulated timestamp
+  int64_t dur_ns = 0;   // kSpanInterval / kTxStall
+  int64_t self_ns = 0;  // kSpanEnd: charge-attributed self time
+  uint64_t flow = 0;    // flow id (TCP: local<<16|remote port; ATM: VCI)
+  uint64_t packet = 0;  // packet id (TCP: seq; IP: header id; ATM: cells)
+  uint64_t bytes = 0;
+  TraceEventKind kind = TraceEventKind::kSpanBegin;
+  TraceLayer layer = TraceLayer::kSched;
+  SpanId span = SpanId::kOther;  // span events only
+  uint8_t host = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Registers a participant and returns its id (Perfetto pid). Hosts call
+  // this once when the tracer is attached.
+  uint8_t RegisterHost(std::string name);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void RecordSpanBegin(uint8_t host, SpanId id, SimTime ts) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.ts_ns = ts.nanos();
+    ev.kind = TraceEventKind::kSpanBegin;
+    ev.span = id;
+    ev.host = host;
+    events_.push_back(ev);
+  }
+  void RecordSpanEnd(uint8_t host, SpanId id, SimTime ts, SimDuration self) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.ts_ns = ts.nanos();
+    ev.self_ns = self.nanos();
+    ev.kind = TraceEventKind::kSpanEnd;
+    ev.span = id;
+    ev.host = host;
+    events_.push_back(ev);
+  }
+  void RecordSpanInterval(uint8_t host, SpanId id, SimTime end, SimDuration dur) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.ts_ns = end.nanos();
+    ev.dur_ns = dur.nanos();
+    ev.kind = TraceEventKind::kSpanInterval;
+    ev.span = id;
+    ev.host = host;
+    events_.push_back(ev);
+  }
+  void RecordSpanReset(uint8_t host, SimTime ts) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.ts_ns = ts.nanos();
+    ev.kind = TraceEventKind::kSpanReset;
+    ev.host = host;
+    events_.push_back(ev);
+  }
+  void RecordPacket(uint8_t host, TraceLayer layer, TraceEventKind kind, SimTime ts,
+                    uint64_t flow, uint64_t packet, uint64_t bytes,
+                    SimDuration dur = SimDuration()) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.ts_ns = ts.nanos();
+    ev.dur_ns = dur.nanos();
+    ev.flow = flow;
+    ev.packet = packet;
+    ev.bytes = bytes;
+    ev.kind = kind;
+    ev.layer = layer;
+    ev.host = host;
+    events_.push_back(ev);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& host_names() const { return host_names_; }
+
+  // Drops recorded events; registered hosts are kept.
+  void Clear() { events_.clear(); }
+
+  // Per-span self-time sums for `host`, in nanoseconds, counting only events
+  // after that host's last kSpanReset marker: kSpanEnd contributes self_ns,
+  // kSpanInterval contributes dur_ns. By construction these equal the
+  // SpanTracker totals for the same measurement region exactly.
+  std::array<int64_t, static_cast<size_t>(SpanId::kCount)> SpanSelfTotalsNanos(
+      uint8_t host) const;
+
+  // Chrome trace_event JSON: one process per host, with separate tracks for
+  // nested spans (B/E), interval spans (X) and packet events (instants).
+  std::string ToPerfettoJson() const;
+
+  // Flat CSV, one row per event.
+  std::string ToCsv() const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> host_names_;
+};
+
+// Writes `contents` to `path`; returns false (after perror) on failure.
+bool WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace tcplat
+
+#endif  // SRC_TRACE_TRACER_H_

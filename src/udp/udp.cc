@@ -64,6 +64,16 @@ size_t UdpSocket::RecvFrom(std::span<uint8_t> out, SockAddr* from) {
 UdpStack::UdpStack(IpStack* ip) : ip_(ip) {
   TCPLAT_CHECK(ip != nullptr);
   ip_->RegisterProtocol(kIpProtoUdp, this);
+
+  MetricsRegistry& m = host().metrics();
+  if (!m.contains("udp.datagrams_sent")) {
+    m.AddCounterView("udp.datagrams_sent", &stats_.datagrams_sent);
+    m.AddCounterView("udp.datagrams_received", &stats_.datagrams_received);
+    m.AddCounterView("udp.checksum_errors", &stats_.checksum_errors);
+    m.AddCounterView("udp.no_port", &stats_.no_port);
+    m.AddCounterView("udp.truncated", &stats_.truncated);
+    m.AddCounterView("udp.queue_drops", &stats_.queue_drops);
+  }
 }
 
 UdpSocket* UdpStack::CreateSocket(uint16_t port) {

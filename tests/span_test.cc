@@ -6,6 +6,7 @@
 #include "src/sim/simulator.h"
 #include "src/trace/latency_stats.h"
 #include "src/trace/span.h"
+#include "src/trace/tracer.h"
 
 namespace tcplat {
 namespace {
@@ -99,6 +100,64 @@ TEST_F(SpanTest, NamesAreDistinct) {
   }
 }
 
+using SpanDeathTest = SpanTest;
+
+TEST_F(SpanDeathTest, PushBeyondStackDepthDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 17; ++i) {
+          tracker_.Push(SpanId::kOther);
+        }
+      },
+      "span stack overflow");
+}
+
+TEST_F(SpanDeathTest, PopOnEmptyStackDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(tracker_.Pop(SpanId::kOther), "");
+}
+
+TEST_F(SpanDeathTest, UnbalancedPopDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        tracker_.Push(SpanId::kTxUser);
+        tracker_.Pop(SpanId::kTxIp);
+      },
+      "");
+}
+
+TEST_F(SpanTest, AttachedTracerMirrorsSpansExactly) {
+  Tracer tracer;
+  tracker_.set_clock(&cpu_);
+  const uint8_t host = tracer.RegisterHost("h");
+  tracker_.AttachTracer(&tracer, host);
+
+  {
+    ScopedSpan outer(&tracker_, SpanId::kTxUser);
+    Charge(10);
+    {
+      ScopedSpan inner(&tracker_, SpanId::kTxTcpChecksum);
+      Charge(5);
+    }
+    Charge(2);
+  }
+  tracker_.AddInterval(SpanId::kRxIpq, SimDuration::FromMicros(3));
+
+  const auto totals = tracer.SpanSelfTotalsNanos(host);
+  for (int i = 0; i < static_cast<int>(SpanId::kCount); ++i) {
+    EXPECT_EQ(totals[static_cast<size_t>(i)], tracker_.total(static_cast<SpanId>(i)).nanos())
+        << SpanName(static_cast<SpanId>(i));
+  }
+  // Reset emits a marker; trace-derived totals restart from zero with it.
+  tracker_.Reset();
+  const auto after = tracer.SpanSelfTotalsNanos(host);
+  for (int64_t t : after) {
+    EXPECT_EQ(t, 0);
+  }
+}
+
 TEST(LatencyStats, BasicMoments) {
   LatencyStats s;
   for (int us : {10, 20, 30, 40}) {
@@ -127,6 +186,52 @@ TEST(LatencyStats, ResetClears) {
   s.Reset();
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.Mean(), SimDuration());
+  EXPECT_EQ(s.Percentile(50), SimDuration());
+}
+
+TEST(LatencyStats, EmptyIsAllZero) {
+  LatencyStats s;
+  EXPECT_EQ(s.Mean(), SimDuration());
+  EXPECT_EQ(s.Stddev(), SimDuration());
+  EXPECT_EQ(s.Percentile(0), SimDuration());
+  EXPECT_EQ(s.Percentile(50), SimDuration());
+  EXPECT_EQ(s.Percentile(100), SimDuration());
+}
+
+TEST(LatencyStats, SingleSample) {
+  LatencyStats s;
+  s.Add(SimDuration::FromMicros(42));
+  EXPECT_EQ(s.Mean(), SimDuration::FromMicros(42));
+  EXPECT_EQ(s.Stddev(), SimDuration());
+  EXPECT_EQ(s.Percentile(0), SimDuration::FromMicros(42));
+  EXPECT_EQ(s.Percentile(50), SimDuration::FromMicros(42));
+  EXPECT_EQ(s.Percentile(100), SimDuration::FromMicros(42));
+}
+
+TEST(LatencyStats, Stddev) {
+  LatencyStats s;
+  for (int us : {10, 20, 30, 40}) {
+    s.Add(SimDuration::FromMicros(us));
+  }
+  // Population stddev of {10,20,30,40} us: sqrt(125) us = 11180.34 ns.
+  EXPECT_EQ(s.Stddev().nanos(), 11180);
+
+  LatencyStats constant;
+  constant.Add(SimDuration::FromMicros(7));
+  constant.Add(SimDuration::FromMicros(7));
+  EXPECT_EQ(constant.Stddev(), SimDuration());
+}
+
+TEST(LatencyStats, InterleavedAddAndPercentile) {
+  LatencyStats s;
+  // Queries between Adds must see every sample so far, even when new samples
+  // sort below already-sorted ones (exercises the incremental merge).
+  for (int i = 100; i >= 1; --i) {
+    s.Add(SimDuration::FromMicros(i));
+    EXPECT_EQ(s.Percentile(0).micros(), i);     // min so far
+    EXPECT_EQ(s.Percentile(100).micros(), 100);  // max so far
+  }
+  EXPECT_EQ(s.Percentile(50).micros(), 50);
 }
 
 }  // namespace
