@@ -1,0 +1,214 @@
+// Loss-recovery grid: what does TCP's recovery machinery — and the paper's
+// checksum-elimination argument (§4.2.1) — look like when the link is *not*
+// clean? Sweeps loss-rate x transfer-size over seeded link impairment and
+// reports goodput, retransmission activity, and RTT inflation versus the
+// clean link. Runs on the parallel executor; output is byte-identical for a
+// fixed --seed across repeated runs and thread counts.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/fault/scenario.h"
+
+namespace tcplat {
+namespace {
+
+constexpr char kHeader[] =
+    "   size       cells     dropped (loss %%)   rexmt  timeouts    goodput    mean rtt"
+    "     p99 rtt  inflatn\n"
+    "  (B)        offered                                            (Mb/s)       (us)"
+    "        (us)\n";
+
+LossScenarioConfig BaseConfig(uint64_t seed) {
+  LossScenarioConfig cfg;
+  cfg.network = NetworkKind::kAtm;
+  cfg.iterations = 100;
+  cfg.warmup = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void PrintUniformLossGrid(uint64_t seed, bool quick) {
+  const std::vector<size_t> sizes = quick ? std::vector<size_t>{64, 4096}
+                                          : std::vector<size_t>{64, 1024, 4096};
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 1e-3}
+            : std::vector<double>{0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2};
+
+  std::vector<LossScenarioConfig> grid;
+  for (size_t size : sizes) {
+    for (double rate : rates) {
+      LossScenarioConfig cfg = BaseConfig(seed);
+      cfg.size = size;
+      cfg.impairment.drop_prob = rate;
+      grid.push_back(cfg);
+    }
+  }
+
+  const std::vector<LossScenarioResult> results =
+      ParallelMap<LossScenarioResult>(grid.size(), [&](size_t i) {
+        return RunLossScenario(grid[i]);
+      });
+
+  std::printf("Uniform per-cell loss x transfer size (ATM, %d echo round trips)\n\n",
+              grid[0].iterations);
+  std::printf(kHeader);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    // The zero-loss row of the same size anchors the inflation column.
+    const double baseline = results[(i / rates.size()) * rates.size()].mean_rtt_us;
+    std::printf("%s\n", LossScenarioRow(grid[i], results[i], baseline).c_str());
+    if ((i + 1) % rates.size() == 0) {
+      std::printf("\n");
+    }
+  }
+}
+
+void PrintImpairmentMixes(uint64_t seed, bool quick) {
+  struct Mix {
+    const char* name;
+    ImpairmentConfig imp;
+  };
+  std::vector<Mix> mixes;
+  mixes.push_back({"clean", {}});
+  {
+    ImpairmentConfig c;
+    c.drop_prob = 1e-3;
+    mixes.push_back({"uniform 0.1% loss", c});
+  }
+  {
+    ImpairmentConfig c;
+    c.ge_good_to_bad = 0.002;
+    c.ge_bad_to_good = 0.25;
+    c.ge_bad_loss = 0.5;
+    mixes.push_back({"bursty (Gilbert-Elliott)", c});
+  }
+  {
+    // A duplicated cell voids its whole segment at AAL reassembly, so even
+    // 0.2% cell duplication behaves like several percent segment loss.
+    ImpairmentConfig c;
+    c.duplicate_prob = 0.002;
+    mixes.push_back({"0.2% duplication", c});
+  }
+  {
+    ImpairmentConfig c;
+    c.reorder_prob = 0.005;
+    c.reorder_hold = SimDuration::FromMicros(10);
+    mixes.push_back({"0.5% reorder (10us hold)", c});
+  }
+  {
+    // Below the ~3 us cell serialization gap: jitter that cannot reorder
+    // cells is invisible to TCP.
+    ImpairmentConfig c;
+    c.jitter_max = SimDuration::FromMicros(2);
+    mixes.push_back({"jitter U[0,2us)", c});
+  }
+  if (!quick) {
+    // Above the cell gap the same jitter scrambles cell order inside every
+    // multi-cell segment, AAL reassembly drops them all, and the connection
+    // dies: ATM's in-order-delivery premise is absolute.
+    ImpairmentConfig c;
+    c.jitter_max = SimDuration::FromMicros(20);
+    mixes.push_back({"cell-scramble jitter 20us", c});
+  }
+
+  std::vector<LossScenarioConfig> grid;
+  for (const Mix& mix : mixes) {
+    LossScenarioConfig cfg = BaseConfig(seed);
+    cfg.size = 1024;
+    cfg.impairment = mix.imp;
+    grid.push_back(cfg);
+  }
+  const std::vector<LossScenarioResult> results =
+      ParallelMap<LossScenarioResult>(grid.size(), [&](size_t i) {
+        return RunLossScenario(grid[i]);
+      });
+
+  std::printf("Impairment mixes (ATM, 1024-byte echo, %d round trips)\n\n", grid[0].iterations);
+  std::printf("  %-26s %9s %8s %8s %8s %6s %9s %11s\n", "mix", "offered", "dropped", "dup",
+              "reorder", "rexmt", "goodput", "mean rtt us");
+  const double baseline = results[0].mean_rtt_us;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const LossScenarioResult& r = results[i];
+    std::printf("  %-26s %9" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %6" PRIu64
+                " %9.3f %11.1f (%.2fx)%s\n",
+                mixes[i].name, r.link.offered, r.link.dropped, r.link.duplicated,
+                r.link.reordered, r.retransmits, r.goodput_mbps, r.mean_rtt_us,
+                baseline > 0 ? r.mean_rtt_us / baseline : 0.0, r.completed ? "" : "  DEAD");
+  }
+  std::printf("\n");
+}
+
+void PrintChecksumUnderLoss(uint64_t seed, bool quick) {
+  // §4.2.1 asks whether the TCP checksum can go because the link never
+  // corrupts data. The flip side: once the link *loses* data, the ~WR/2
+  // microseconds the elimination saved per transfer are noise against
+  // recovery stalls. Standard vs no-checksum mean RTT under rising loss.
+  const std::vector<double> rates = quick ? std::vector<double>{0.0, 1e-3}
+                                          : std::vector<double>{0.0, 3e-4, 1e-3, 3e-3};
+  std::vector<LossScenarioConfig> grid;
+  for (double rate : rates) {
+    for (ChecksumMode mode : {ChecksumMode::kStandard, ChecksumMode::kNone}) {
+      LossScenarioConfig cfg = BaseConfig(seed);
+      cfg.size = 4096;
+      cfg.impairment.drop_prob = rate;
+      cfg.checksum = mode;
+      grid.push_back(cfg);
+    }
+  }
+  const std::vector<LossScenarioResult> results =
+      ParallelMap<LossScenarioResult>(grid.size(), [&](size_t i) {
+        return RunLossScenario(grid[i]);
+      });
+
+  std::printf("Checksum elimination under loss (ATM, 4096-byte echo)\n\n");
+  std::printf("  %-12s %14s %14s %14s\n", "cell loss", "standard (us)", "no cksum (us)",
+              "saving (us)");
+  for (size_t i = 0; i < rates.size(); ++i) {
+    const double with_ck = results[2 * i].mean_rtt_us;
+    const double no_ck = results[2 * i + 1].mean_rtt_us;
+    std::printf("  %-12g %14.1f %14.1f %14.1f\n", rates[i], with_ck, no_ck, with_ck - no_ck);
+  }
+  std::printf("\n");
+}
+
+void Run(uint64_t seed, bool quick) {
+  std::printf("Loss/recovery scenario grid (seed %" PRIu64 ")\n"
+              "Impairment is applied per link direction with seeds derived from --seed;\n"
+              "all rows are deterministic and independent of TCPLAT_JOBS.\n\n",
+              seed);
+  PrintUniformLossGrid(seed, quick);
+  PrintImpairmentMixes(seed, quick);
+  PrintChecksumUnderLoss(seed, quick);
+  std::printf("Reading: recovery is timer-dominated on this testbed — a lost segment\n"
+              "costs a full RTO (>= 300 ms against millisecond-scale clean RTTs), so\n"
+              "even 0.1%% cell loss inflates mean RTT by an order of magnitude while\n"
+              "goodput collapses; and the checksum-elimination saving stays constant\n"
+              "while the total inflates, i.e. it is invisible next to one recovery\n"
+              "stall. The paper's clean-link premise is load-bearing: eliminate the\n"
+              "checksum only where loss is, too, absent.\n");
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed=N] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  tcplat::Run(seed, quick);
+  return 0;
+}

@@ -17,8 +17,16 @@ void AtmSwitch::AttachOutput(int port, CellSink* sink) {
   TCPLAT_CHECK(outputs_.find(port) == outputs_.end()) << "output port in use";
   OutputPort out;
   out.wire = std::make_unique<Wire>(sim_, bits_per_second_, propagation_);
+  out.wire->set_impairment(output_impairment_);
   out.sink = sink;
   outputs_[port] = std::move(out);
+}
+
+void AtmSwitch::set_output_impairment(LinkImpairment* impairment) {
+  output_impairment_ = impairment;
+  for (auto& [port, out] : outputs_) {
+    out.wire->set_impairment(impairment);
+  }
 }
 
 CellSink* AtmSwitch::input(int port) {

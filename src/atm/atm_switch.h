@@ -56,6 +56,11 @@ class AtmSwitch {
   // the damaged cell faithfully).
   void set_fabric_corrupt_hook(CorruptFn hook) { fabric_corrupt_ = std::move(hook); }
 
+  // Attaches an impairment policy to every output fiber (present and
+  // future): cells leaving the switch are subject to seeded loss /
+  // duplication / delay. Pass nullptr to detach.
+  void set_output_impairment(LinkImpairment* impairment);
+
   const AtmSwitchStats& stats() const { return stats_; }
 
   // The switch has no Host, so it joins a trace as its own participant
@@ -93,6 +98,7 @@ class AtmSwitch {
   std::map<int, OutputPort> outputs_;
   std::map<uint16_t, int> routes_;
   CorruptFn fabric_corrupt_;
+  LinkImpairment* output_impairment_ = nullptr;
   AtmSwitchStats stats_;
   Tracer* tracer_ = nullptr;
   uint8_t trace_id_ = 0;

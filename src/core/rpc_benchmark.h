@@ -21,11 +21,16 @@ struct RpcOptions {
                          // is deterministic, so a few hundred converge)
   int warmup = 32;       // untimed round trips first (opens cwnd, warms PCBs)
   bool verify_data = true;
+  // A connection error normally aborts the run (CHECK failure). Impairment
+  // sweeps can push TCP past max_rexmt; with this set the run instead
+  // returns with `aborted` raised and whatever RTTs completed.
+  bool tolerate_errors = false;
 };
 
 struct RpcResult {
   LatencyStats rtt;
   uint64_t iterations = 0;
+  bool aborted = false;          // connection died before all iterations finished
   uint64_t data_mismatches = 0;  // end-to-end application check failures
   // Total span time accumulated across both hosts during the measured
   // region. Each iteration contains two transfers (request + reply), so the

@@ -68,6 +68,18 @@ CorruptFn MakeCrc10DefeatingCorruptor(std::shared_ptr<Rng> rng,
   };
 }
 
+DropFn MakeUniformDropper(std::shared_ptr<Rng> rng, std::shared_ptr<InjectionCounter> counter,
+                          double prob) {
+  return [rng = std::move(rng), counter = std::move(counter),
+          prob](const std::vector<uint8_t>&) {
+    if (!rng->NextBool(prob)) {
+      return false;
+    }
+    ++counter->injected;
+    return true;
+  };
+}
+
 std::function<void(std::vector<uint8_t>&)> MakeControllerCorruptor(
     std::shared_ptr<Rng> rng, std::shared_ptr<InjectionCounter> counter, double prob) {
   return [rng = std::move(rng), counter = std::move(counter), prob](std::vector<uint8_t>& pdu) {

@@ -51,6 +51,13 @@ CorruptFn MakeCrc10DefeatingCorruptor(std::shared_ptr<Rng> rng,
 std::function<void(std::vector<uint8_t>&)> MakeControllerCorruptor(
     std::shared_ptr<Rng> rng, std::shared_ptr<InjectionCounter> counter, double prob);
 
+// Drops each unit with probability `prob`. Attach via Wire::set_drop_hook
+// (runs after the corruption hook, so corrupt-then-drop composes without
+// extra plumbing). For the richer loss models (bursty loss, duplication,
+// reordering, jitter) use ImpairmentPolicy from src/fault/impairment.h.
+DropFn MakeUniformDropper(std::shared_ptr<Rng> rng, std::shared_ptr<InjectionCounter> counter,
+                          double prob);
+
 }  // namespace tcplat
 
 #endif  // SRC_FAULT_INJECTOR_H_

@@ -25,10 +25,38 @@ SimTime Wire::Transmit(SimTime earliest, std::vector<uint8_t> data, DeliverFn de
   ++units_sent_;
   bytes_sent_ += data.size();
 
+  // Fate hooks compose corrupt-then-drop: a corrupted unit can still be
+  // discarded, and either way the sender already paid serialization — loss
+  // happens in flight, never refunding wire time.
   if (corrupt_) {
     corrupt_(data);
   }
-  const SimTime arrival = last_bit_out + propagation_;
+  if (drop_ && drop_(data)) {
+    ++units_dropped_;
+    return last_bit_out;
+  }
+  LinkImpairment::Verdict verdict;
+  if (impairment_ != nullptr) {
+    verdict = impairment_->OnTransmit(last_bit_out, data);
+    if (verdict.drop) {
+      ++units_dropped_;
+      return last_bit_out;
+    }
+  }
+  const SimTime arrival = last_bit_out + propagation_ + verdict.extra_delay;
+  if (verdict.duplicate) {
+    // The original is scheduled first so it is also delivered first when the
+    // duplicate lag is zero (event order at equal times is insertion order).
+    const SimTime dup_arrival = arrival + verdict.duplicate_lag;
+    sim_->ScheduleAt(arrival, [arrival, data, deliver]() mutable {
+      deliver(arrival, std::move(data));
+    });
+    sim_->ScheduleAt(dup_arrival,
+                     [dup_arrival, data = std::move(data), deliver = std::move(deliver)]() mutable {
+                       deliver(dup_arrival, std::move(data));
+                     });
+    return last_bit_out;
+  }
   sim_->ScheduleAt(arrival,
                    [arrival, data = std::move(data), deliver = std::move(deliver)]() mutable {
                      deliver(arrival, std::move(data));

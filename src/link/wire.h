@@ -27,6 +27,29 @@ namespace tcplat {
 using DeliverFn = std::function<void(SimTime arrival, std::vector<uint8_t> data)>;
 // May mutate the bytes of a unit in flight.
 using CorruptFn = std::function<void(std::vector<uint8_t>& data)>;
+// Pre-delivery fate hook: return true to discard the unit in flight. Runs
+// after the corruption hook (corrupt-then-drop), so fault injectors compose
+// without hand-rolled plumbing in each owner.
+using DropFn = std::function<bool(const std::vector<uint8_t>& data)>;
+
+// Per-link impairment policy: consulted once per transmitted unit, after the
+// corrupt/drop hooks, to decide loss, duplication, and added delay. The
+// concrete seeded policy lives in src/fault/impairment.h; this interface
+// keeps the link layer free of any dependency on the fault module.
+class LinkImpairment {
+ public:
+  struct Verdict {
+    bool drop = false;       // discard the unit in flight
+    bool duplicate = false;  // deliver a second copy
+    SimDuration extra_delay;      // added to this unit's arrival time
+    SimDuration duplicate_lag;    // duplicate arrives this much after the original
+  };
+
+  virtual ~LinkImpairment() = default;
+
+  // `departure` is the time the last bit leaves the sender.
+  virtual Verdict OnTransmit(SimTime departure, const std::vector<uint8_t>& data) = 0;
+};
 
 // One direction of a serial medium.
 class Wire {
@@ -47,9 +70,17 @@ class Wire {
   SimDuration SerializationDelay(size_t bytes) const;
 
   void set_corrupt_hook(CorruptFn hook) { corrupt_ = std::move(hook); }
+  void set_drop_hook(DropFn hook) { drop_ = std::move(hook); }
+
+  // `impairment` must outlive the wire (or be detached with nullptr). A null
+  // policy costs one pointer test per unit — zero-overhead when off.
+  void set_impairment(LinkImpairment* impairment) { impairment_ = impairment; }
+  LinkImpairment* impairment() const { return impairment_; }
 
   uint64_t units_sent() const { return units_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Units consumed in flight by the drop hook or the impairment policy.
+  uint64_t units_dropped() const { return units_dropped_; }
 
  private:
   Simulator* sim_;
@@ -58,8 +89,11 @@ class Wire {
   size_t gap_bytes_;
   SimTime busy_until_;
   CorruptFn corrupt_;
+  DropFn drop_;
+  LinkImpairment* impairment_ = nullptr;
   uint64_t units_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t units_dropped_ = 0;
 };
 
 // A full-duplex point-to-point link: direction 0 is a->b, 1 is b->a.
@@ -87,7 +121,10 @@ class SharedBus {
   SimTime free_at() const { return wire_.free_at(); }
   SimDuration SerializationDelay(size_t bytes) const { return wire_.SerializationDelay(bytes); }
   void set_corrupt_hook(CorruptFn hook) { wire_.set_corrupt_hook(std::move(hook)); }
+  void set_drop_hook(DropFn hook) { wire_.set_drop_hook(std::move(hook)); }
+  void set_impairment(LinkImpairment* impairment) { wire_.set_impairment(impairment); }
   uint64_t units_sent() const { return wire_.units_sent(); }
+  uint64_t units_dropped() const { return wire_.units_dropped(); }
 
  private:
   Wire wire_;

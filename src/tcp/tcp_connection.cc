@@ -528,15 +528,19 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
 
   if (SeqLeq(ack, snd_una_)) {
     // Duplicate ACK; three in a row trigger fast retransmit.
-    if (ack == snd_una_ && snd_una_ != snd_max_ && ++dup_acks_ == 3) {
-      snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
-                                         std::min(snd_wnd_, snd_cwnd_) / 2);
-      snd_cwnd_ = snd_ssthresh_;
-      snd_nxt_ = snd_una_;
-      ++stack_->stats().retransmits;
-      host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
-                       snd_una_ - iss_);
-      Output();
+    if (ack == snd_una_ && snd_una_ != snd_max_) {
+      ++stack_->stats().dup_acks_received;
+      if (++dup_acks_ == 3) {
+        snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
+                                           std::min(snd_wnd_, snd_cwnd_) / 2);
+        snd_cwnd_ = snd_ssthresh_;
+        snd_nxt_ = snd_una_;
+        ++stack_->stats().retransmits;
+        ++stack_->stats().fast_retransmits;
+        host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
+                         snd_una_ - iss_);
+        Output();
+      }
     }
     return;
   }
@@ -1078,6 +1082,7 @@ void TcpConnection::RexmtTimeout() {
   rtt_timing_ = false;
   if (snd_wnd_ == 0 && socket_->snd().cc() > 0) {
     force_probe_ = true;  // zero-window probe
+    ++stats.zero_window_probes;
   }
   Output();
   if (snd_una_ != snd_max_ || snd_nxt_ != snd_una_ || state_ == TcpState::kSynSent ||

@@ -28,6 +28,9 @@ TcpStack::TcpStack(IpStack* ip, TcpConfig config)
     m.AddCounterView("tcp.checksum_fallbacks", &stats_.checksum_fallbacks);
     m.AddCounterView("tcp.retransmits", &stats_.retransmits);
     m.AddCounterView("tcp.rexmt_timeouts", &stats_.rexmt_timeouts);
+    m.AddCounterView("tcp.dup_acks_received", &stats_.dup_acks_received);
+    m.AddCounterView("tcp.fast_retransmits", &stats_.fast_retransmits);
+    m.AddCounterView("tcp.zero_window_probes", &stats_.zero_window_probes);
     m.AddCounterView("tcp.delayed_acks_fired", &stats_.delayed_acks_fired);
     m.AddCounterView("tcp.keepalive_probes_sent", &stats_.keepalive_probes_sent);
     m.AddCounterView("tcp.keepalive_drops", &stats_.keepalive_drops);

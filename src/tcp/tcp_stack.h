@@ -28,6 +28,9 @@ struct TcpStats {
   uint64_t checksum_fallbacks = 0;  // combined mode had to recompute fully
   uint64_t retransmits = 0;
   uint64_t rexmt_timeouts = 0;
+  uint64_t dup_acks_received = 0;
+  uint64_t fast_retransmits = 0;    // triggered by the third duplicate ACK
+  uint64_t zero_window_probes = 0;  // rexmt timer fired against a closed window
   uint64_t delayed_acks_fired = 0;
   uint64_t keepalive_probes_sent = 0;
   uint64_t keepalive_drops = 0;

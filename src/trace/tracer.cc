@@ -44,6 +44,8 @@ std::string_view TraceLayerName(TraceLayer layer) {
       return "atm";
     case TraceLayer::kEther:
       return "ether";
+    case TraceLayer::kLink:
+      return "link";
     case TraceLayer::kSched:
       return "sched";
   }
@@ -100,6 +102,12 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "frame.tx";
     case TraceEventKind::kFrameRx:
       return "frame.rx";
+    case TraceEventKind::kImpairDrop:
+      return "impair.drop";
+    case TraceEventKind::kImpairDup:
+      return "impair.dup";
+    case TraceEventKind::kImpairDelay:
+      return "impair.delay";
   }
   return "?";
 }

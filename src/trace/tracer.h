@@ -45,6 +45,7 @@ enum class TraceLayer : uint8_t {
   kIp,     // ip_input/ip_output and the ipintrq
   kAtm,    // AAL3/4 + TCA-100 adapter + cell switch
   kEther,  // Ethernet driver
+  kLink,   // physical links (impairment policies: loss/dup/reorder/jitter)
   kSched,  // span bookkeeping (begin/end/interval/reset markers)
 };
 
@@ -79,6 +80,10 @@ enum class TraceEventKind : uint8_t {
   // Ethernet.
   kFrameTx,
   kFrameRx,
+  // Link impairment (layer kLink; packet = unit ordinal on that link).
+  kImpairDrop,   // unit discarded in flight
+  kImpairDup,    // a second copy will be delivered; dur_ns = duplicate lag
+  kImpairDelay,  // arrival delayed (reorder hold or jitter); dur_ns = delay
 };
 
 std::string_view TraceLayerName(TraceLayer layer);
