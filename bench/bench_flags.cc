@@ -1,0 +1,72 @@
+#include "bench/bench_flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tcplat {
+namespace {
+
+// Matches `--name=value` or `--name value`. Returns the value, or nullptr
+// when argv[*i] is not this flag. Advances *i past a detached value.
+const char* FlagValue(int argc, char** argv, int* i, const char* name) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(argv[*i], name, len) != 0) {
+    return nullptr;
+  }
+  const char* rest = argv[*i] + len;
+  if (*rest == '=') {
+    return rest + 1;
+  }
+  if (*rest == '\0' && *i + 1 < argc) {
+    return argv[++*i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags, const char* accepted) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      flags->quick = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace", 7) == 0 &&
+        (argv[i][7] == '\0' || argv[i][7] == '=')) {
+      flags->trace = true;
+      if (argv[i][7] == '=') {
+        flags->trace_path = argv[i] + 8;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        // Bare `--trace` is a valid toggle, so only a non-flag successor is
+        // taken as its path.
+        flags->trace_path = argv[++i];
+      }
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--seed")) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--jobs")) {
+      flags->jobs = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (flags->jobs > 0) {
+        ::setenv("TCPLAT_JOBS", v, /*overwrite=*/1);
+      }
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--out")) {
+      flags->out_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--size")) {
+      flags->size = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s %s\n", argv[0], accepted);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tcplat

@@ -1,0 +1,34 @@
+// Shared argv parsing for the bench binaries, replacing the per-binary
+// strcmp loops. Each flag takes either `--flag=value` or `--flag value`
+// form; `--trace` may also stand alone (trace to stdout / default sink).
+
+#ifndef BENCH_BENCH_FLAGS_H_
+#define BENCH_BENCH_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcplat {
+
+struct BenchFlags {
+  uint64_t seed = 1;
+  bool quick = false;
+  bool trace = false;      // --trace was given (with or without a path)
+  std::string trace_path;  // optional path following --trace
+  std::string out_path;    // --out; pre-set the default before parsing
+  size_t size = 0;         // --size; pre-set the default before parsing
+  int jobs = 0;            // --jobs; 0 = inherit TCPLAT_JOBS / core count
+};
+
+// Parses argv into `flags` (whose pre-set values are the defaults). On an
+// unknown flag prints a usage line mentioning `accepted` and returns false.
+// `--jobs N` also exports TCPLAT_JOBS=N so the global executor pool — which
+// is sized on first use — picks it up; pass it before any parallel work.
+bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
+                     const char* accepted =
+                         "[--seed N] [--jobs N] [--quick] [--trace [PATH]] "
+                         "[--out PATH] [--size N]");
+
+}  // namespace tcplat
+
+#endif  // BENCH_BENCH_FLAGS_H_

@@ -15,6 +15,8 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_flags.h"
+
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
@@ -104,20 +106,13 @@ void RunTrace(size_t size) {
 }  // namespace tcplat
 
 int main(int argc, char** argv) {
-  bool trace = false;
-  size_t size = 1400;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
-      trace = true;
-    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
-      size = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else {
-      std::fprintf(stderr, "usage: %s [--trace [--size N]]\n", argv[0]);
-      return 2;
-    }
+  tcplat::BenchFlags flags;
+  flags.size = 1400;
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--trace [--size N]]")) {
+    return 2;
   }
-  if (trace) {
-    tcplat::RunTrace(size);
+  if (flags.trace) {
+    tcplat::RunTrace(flags.size);
   } else {
     tcplat::Run();
   }

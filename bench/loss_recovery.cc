@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
+
 #include "src/exec/executor.h"
 #include "src/fault/scenario.h"
 
@@ -197,18 +199,10 @@ void Run(uint64_t seed, bool quick) {
 }  // namespace tcplat
 
 int main(int argc, char** argv) {
-  uint64_t seed = 1;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [--seed=N] [--quick]\n", argv[0]);
-      return 2;
-    }
+  tcplat::BenchFlags flags;
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--seed N] [--quick]")) {
+    return 2;
   }
-  tcplat::Run(seed, quick);
+  tcplat::Run(flags.seed, flags.quick);
   return 0;
 }

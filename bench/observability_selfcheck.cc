@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
+
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
 #include "src/exec/executor.h"
@@ -162,14 +164,10 @@ int Run(const std::string& out_path) {
 }  // namespace tcplat
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_trace.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
-      return 2;
-    }
+  tcplat::BenchFlags flags;
+  flags.out_path = "BENCH_trace.json";
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--out PATH]")) {
+    return 2;
   }
-  return tcplat::Run(out_path);
+  return tcplat::Run(flags.out_path);
 }

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
+
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
@@ -279,17 +281,11 @@ void TracedRun(const std::string& path) {
 }  // namespace tcplat
 
 int main(int argc, char** argv) {
-  std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--trace=PATH]\n", argv[0]);
-      return 2;
-    }
+  tcplat::BenchFlags flags;
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--trace=PATH]")) {
+    return 2;
   }
+  const std::string trace_path = flags.trace_path;
   std::printf("# Paper reproduction report\n");
   std::printf("\nWolman, Voelker & Thekkath, USENIX Winter 1994 — regenerated live.\n");
   tcplat::Table1();

@@ -23,12 +23,14 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/core/paper_data.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
 #include "src/exec/executor.h"
 #include "src/sim/simulator.h"
 #include "src/trace/tracer.h"
+#include "src/workload/capacity.h"
 
 namespace tcplat {
 namespace {
@@ -122,6 +124,30 @@ double MeasureTraceDisabledOverheadPct(int iterations) {
   return 100.0 * (base - hooked) / base;
 }
 
+// 2b. Multi-flow workload throughput: one 64-flow capacity cell (the
+// bench/capacity workhorse), timed wall-clock.
+struct CapacityRate {
+  double flows_per_sec = 0;
+  double sim_events_per_sec = 0;
+  int flows = 0;
+};
+
+CapacityRate MeasureCapacityRate(bool quick) {
+  CapacityCell cell;
+  cell.flows = 64;
+  cell.size = 200;
+  cell.iterations = quick ? 5 : 25;
+  cell.warmup = 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  const CapacityOutcome out = RunCapacityCell(cell);
+  const double wall = SecondsSince(t0);
+  CapacityRate rate;
+  rate.flows = cell.flows;
+  rate.flows_per_sec = static_cast<double>(cell.flows) / wall;
+  rate.sim_events_per_sec = static_cast<double>(out.sim_events) / wall;
+  return rate;
+}
+
 // 3. The paper's 8-size sweep, serial vs parallel.
 struct GridTiming {
   double serial_sec = 0;
@@ -197,6 +223,12 @@ int Run(bool quick, const std::string& out_path) {
   std::printf("tracer-off overhead : %12.2f %%         (hooks present, recording off)\n",
               trace_overhead);
 
+  const CapacityRate capacity = MeasureCapacityRate(quick);
+  std::printf("capacity flows      : %12.0f flows/sec  (%d-flow star workload)\n",
+              capacity.flows_per_sec, capacity.flows);
+  std::printf("capacity events     : %12.0f events/sec (same run)\n",
+              capacity.sim_events_per_sec);
+
   const GridTiming grid = MeasureGrid(grid_iters, jobs);
   const double speedup = grid.parallel_sec > 0 ? grid.serial_sec / grid.parallel_sec : 0;
   std::printf("8-config grid       : serial %.3fs, parallel %.3fs on %u threads "
@@ -218,6 +250,9 @@ int Run(bool quick, const std::string& out_path) {
                "  \"rpc_round_trips_per_sec\": %.0f,\n"
                "  \"rpc_sim_events_per_sec\": %.0f,\n"
                "  \"trace_disabled_overhead_pct\": %.2f,\n"
+               "  \"capacity_flows\": %d,\n"
+               "  \"capacity_flows_per_sec\": %.0f,\n"
+               "  \"capacity_sim_events_per_sec\": %.0f,\n"
                "  \"grid_configs\": 8,\n"
                "  \"grid_iterations\": %d,\n"
                "  \"grid_jobs\": %u,\n"
@@ -228,6 +263,7 @@ int Run(bool quick, const std::string& out_path) {
                "}\n",
                quick ? "true" : "false", std::thread::hardware_concurrency(), dispatch_rate,
                cancel_rate, rpc.round_trips_per_sec, rpc.sim_events_per_sec, trace_overhead,
+               capacity.flows, capacity.flows_per_sec, capacity.sim_events_per_sec,
                grid_iters,
                grid.jobs, grid.serial_sec, grid.parallel_sec, speedup,
                grid.identical ? "true" : "false");
@@ -243,17 +279,10 @@ int Run(bool quick, const std::string& out_path) {
 }  // namespace tcplat
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string out_path = "BENCH_perf.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
-      return 2;
-    }
+  tcplat::BenchFlags flags;
+  flags.out_path = "BENCH_perf.json";
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--quick] [--out PATH]")) {
+    return 2;
   }
-  return tcplat::Run(quick, out_path);
+  return tcplat::Run(flags.quick, flags.out_path);
 }

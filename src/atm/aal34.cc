@@ -139,6 +139,17 @@ std::optional<AtmCell> ParseCell(std::span<const uint8_t> wire, bool* crc_ok) {
   return cell;
 }
 
+SarReassemblerStats& SarReassemblerStats::operator+=(const SarReassemblerStats& o) {
+  cells += o.cells;
+  crc_errors += o.crc_errors;
+  sequence_errors += o.sequence_errors;
+  protocol_errors += o.protocol_errors;
+  cpcs_errors += o.cpcs_errors;
+  pdus_ok += o.pdus_ok;
+  pdus_dropped += o.pdus_dropped;
+  return *this;
+}
+
 void SarReassembler::AbortPdu() {
   if (in_progress_) {
     ++stats_.pdus_dropped;

@@ -81,6 +81,8 @@ struct SarReassemblerStats {
   uint64_t cpcs_errors = 0;      // tag/length/checksum trouble at CPCS level
   uint64_t pdus_ok = 0;
   uint64_t pdus_dropped = 0;
+
+  SarReassemblerStats& operator+=(const SarReassemblerStats& o);
 };
 
 // Receive-side SAR state machine for one VC. Feed cells in arrival order;

@@ -24,11 +24,16 @@ AtmNetIf::AtmNetIf(IpStack* ip, Tca100* device, uint16_t vci)
   }
 }
 
-void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
+void AtmNetIf::AddVc(Ipv4Addr next_hop, uint16_t vci) { tx_vcs_[next_hop] = vci; }
+
+void AtmNetIf::Output(MbufPtr packet, Ipv4Addr next_hop) {
   Host& host = device_->host();
   Cpu& cpu = host.cpu();
   const size_t len = ChainLength(packet.get());
   TCPLAT_CHECK_LE(len, mtu()) << "packet exceeds ATM MTU";
+
+  const auto vc = tx_vcs_.find(next_hop);
+  const uint16_t vci = vc != tx_vcs_.end() ? vc->second : vci_;
 
   // Driver time is measured as a wall interval (it includes FIFO stalls),
   // so charges inside are muted to avoid double counting.
@@ -38,7 +43,7 @@ void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
 
   const std::vector<uint8_t> flat = ChainToVector(packet.get());
   const std::vector<uint8_t> cpcs = BuildCpcsPdu(flat, next_btag_++);
-  const std::vector<AtmCell> cells = SegmentCpcsPdu(cpcs, vci_, kMid, &tx_sn_);
+  const std::vector<AtmCell> cells = SegmentCpcsPdu(cpcs, vci, kMid, &tx_sn_[vci]);
   if (dma_) {
     // One descriptor setup; the adapter fetches the data itself.
     cpu.Charge(cpu.profile().dma_setup);
@@ -52,7 +57,7 @@ void AtmNetIf::Output(MbufPtr packet, Ipv4Addr /*next_hop*/) {
     device_->FlushTx();  // store-and-forward ablation only; no-op normally
   }
   ++stats_.pdus_sent;
-  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduTx, vci_, cells.size(), len);
+  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduTx, vci, cells.size(), len);
   // "We only measure up to when the ATM adapter is signaled to send the
   // last byte of data" — everything after this point overlaps transmission.
   host.tracker().AddInterval(SpanId::kTxDriver, cpu.cursor() - t0);
@@ -75,21 +80,21 @@ void AtmNetIf::RxInterrupt() {
       cpu.Charge(rx_integrated_cksum_ ? cpu.profile().atm_rx_per_cell_cksum
                                       : cpu.profile().atm_rx_per_cell);
     }
-    auto pdu = reassembler_.Feed(entry.cell, entry.crc_ok);
+    auto pdu = reassemblers_[entry.cell.vci].Feed(entry.cell, entry.crc_ok);
     if (pdu.has_value()) {
       if (dma_) {
         cpu.Charge(cpu.profile().dma_setup);
       }
-      DeliverPdu(std::move(*pdu), entry.arrival);
+      DeliverPdu(std::move(*pdu), entry.cell.vci, entry.arrival);
     }
   }
 }
 
-void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
+void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, uint16_t vci, SimTime eom_arrival) {
   Host& host = device_->host();
   if (payload.size() < kIpv4HeaderBytes) {
     ++stats_.short_pdus;
-    host.TracePacket(TraceLayer::kAtm, TraceEventKind::kDrop, vci_, 0, payload.size());
+    host.TracePacket(TraceLayer::kAtm, TraceEventKind::kDrop, vci, 0, payload.size());
     return;
   }
   // Controller-copy corruption (§4.2.1 error source 2). In the standard
@@ -106,7 +111,7 @@ void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
     controller_fault_(payload);
   }
   ++stats_.pdus_received;
-  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduRx, vci_, 0, payload.size());
+  host.TracePacket(TraceLayer::kAtm, TraceEventKind::kPduRx, vci, 0, payload.size());
 
   // IP header into a leading small mbuf; the (checksummed) transport region
   // into data mbufs — small ones below the cluster threshold, clusters
@@ -141,6 +146,14 @@ void AtmNetIf::DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival) {
 
   ip_->InputFromDriver(std::move(head));
   host.tracker().AddInterval(SpanId::kRxDriver, host.cpu().cursor() - eom_arrival);
+}
+
+const SarReassemblerStats& AtmNetIf::sar_stats() const {
+  agg_sar_stats_ = {};
+  for (const auto& [vci, reassembler] : reassemblers_) {
+    agg_sar_stats_ += reassembler.stats();
+  }
+  return agg_sar_stats_;
 }
 
 }  // namespace tcplat

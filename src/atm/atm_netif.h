@@ -21,6 +21,7 @@
 #define SRC_ATM_ATM_NETIF_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,15 @@ struct AtmNetIfStats {
 
 class AtmNetIf : public NetIf {
  public:
+  // `vci` is the default transmit VC, used for every destination without an
+  // AddVc entry (the two-host testbeds run a single VC this way).
   AtmNetIf(IpStack* ip, Tca100* device, uint16_t vci);
+
+  // Adds a per-destination virtual circuit: packets whose next hop is
+  // `next_hop` are segmented onto `vci`. On a switched star each ordered
+  // host pair gets its own VC, so cells from different senders converging
+  // on one receiver stay separable (SAR state is per VC).
+  void AddVc(Ipv4Addr next_hop, uint16_t vci);
 
   // Enables the receive-side integrated copy + checksum (Table 6 kernel).
   void set_rx_integrated_checksum(bool enabled) { rx_integrated_cksum_ = enabled; }
@@ -65,18 +74,21 @@ class AtmNetIf : public NetIf {
   void Output(MbufPtr packet, Ipv4Addr next_hop) override;
 
   const AtmNetIfStats& stats() const { return stats_; }
-  const SarReassemblerStats& sar_stats() const { return reassembler_.stats(); }
+  // Aggregate SAR statistics across every receive VC.
+  const SarReassemblerStats& sar_stats() const;
 
  private:
   void RxInterrupt();
-  void DeliverPdu(std::vector<uint8_t> payload, SimTime eom_arrival);
+  void DeliverPdu(std::vector<uint8_t> payload, uint16_t vci, SimTime eom_arrival);
 
   IpStack* ip_;
   Tca100* device_;
   uint16_t vci_;
-  uint8_t tx_sn_ = 0;
+  std::map<Ipv4Addr, uint16_t> tx_vcs_;    // per-destination VC overrides
+  std::map<uint16_t, uint8_t> tx_sn_;      // per-VC 4-bit SAR sequence counters
   uint8_t next_btag_ = 0;
-  SarReassembler reassembler_;
+  std::map<uint16_t, SarReassembler> reassemblers_;  // per-VC receive state
+  mutable SarReassemblerStats agg_sar_stats_;
   bool rx_integrated_cksum_ = false;
   bool dma_ = false;
   std::function<void(std::vector<uint8_t>&)> controller_fault_;

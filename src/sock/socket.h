@@ -70,6 +70,9 @@ class SockBuf {
 
 enum class SocketState { kIdle, kListening, kConnecting, kConnected, kClosed };
 
+// Default listen backlog (queued + embryonic connections per listener).
+inline constexpr size_t kDefaultAcceptBacklog = 128;
+
 struct SocketStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
@@ -129,6 +132,20 @@ class Socket {
   bool eof() const { return eof_ && rcv_.cc() == 0; }
   bool has_error() const { return error_; }
 
+  // Accept backlog: counts connections queued for Accept() plus embryonic
+  // (handshake in flight) ones, like BSD's so_qlen + so_q0len vs so_qlimit.
+  void set_accept_backlog(size_t backlog) { accept_backlog_ = backlog; }
+  size_t accept_backlog() const { return accept_backlog_; }
+  bool AcceptBacklogFull() const {
+    return accept_queue_.size() + embryonic_ >= accept_backlog_;
+  }
+  void EmbryonicStarted() { ++embryonic_; }
+  void EmbryonicEnded() {
+    if (embryonic_ > 0) {
+      --embryonic_;
+    }
+  }
+
   void MarkListening() { state_ = SocketState::kListening; }
   void MarkConnecting() { state_ = SocketState::kConnecting; }
   void MarkConnected();
@@ -157,6 +174,8 @@ class Socket {
   std::optional<bool> nodelay_;
   WaitChannel state_chan_;
   std::deque<Socket*> accept_queue_;
+  size_t accept_backlog_ = kDefaultAcceptBacklog;
+  size_t embryonic_ = 0;  // accepted SYNs whose handshake has not completed
   SocketStats stats_;
 };
 

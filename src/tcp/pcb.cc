@@ -73,6 +73,15 @@ Pcb* PcbTable::Lookup(const SockAddr& remote, const SockAddr& local) {
   return found;
 }
 
+bool PcbTable::LocalPortInUse(uint16_t port) const {
+  for (const Pcb* pcb : list_) {
+    if (pcb->local.port == port) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Pcb* PcbTable::LookupLinear(const SockAddr& remote, const SockAddr& local, size_t* examined) {
   // BSD in_pcblookup: walk the whole list, preferring an exact match but
   // remembering the best wildcard match. An exact match ends the search.

@@ -61,6 +61,10 @@ class PcbTable {
   // win over wildcard (listen) matches. Charges the examination cost.
   Pcb* Lookup(const SockAddr& remote, const SockAddr& local);
 
+  // True if any block binds `port` locally. Used by ephemeral-port
+  // allocation; charges no CPU (allocation cost is not a measured path).
+  bool LocalPortInUse(uint16_t port) const;
+
   size_t size() const { return list_.size(); }
   const PcbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PcbStats{}; }

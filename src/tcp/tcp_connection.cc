@@ -114,6 +114,8 @@ void TcpConnection::AcceptSyn(SockAddr local, SockAddr remote, Socket* listener_
   pcb_.local = local;
   pcb_.remote = remote;
   listener_socket_ = listener_socket;
+  embryonic_ = true;
+  listener_socket_->EmbryonicStarted();
   stack_->pcbs().Insert(&pcb_);
 
   irs_ = syn.seq;
@@ -517,6 +519,10 @@ void TcpConnection::CompleteEstablishment() {
   }
   socket_->MarkConnected();
   if (listener_socket_ != nullptr) {
+    if (embryonic_) {
+      embryonic_ = false;
+      listener_socket_->EmbryonicEnded();
+    }
     listener_socket_->EnqueueAccepted(socket_);
   }
 }
@@ -1210,6 +1216,11 @@ void TcpConnection::DropConnection(bool error) {
     timewait_timer_ = kInvalidEventId;
   }
   stack_->pcbs().Remove(&pcb_);
+  if (embryonic_) {
+    // A passive open that died before establishing frees its backlog slot.
+    embryonic_ = false;
+    listener_socket_->EmbryonicEnded();
+  }
   if (error) {
     ++stack_->stats().conns_dropped;
     socket_->MarkError();

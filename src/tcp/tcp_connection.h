@@ -155,6 +155,7 @@ class TcpConnection : public ProtocolOps {
   TcpStack* stack_;
   Socket* socket_;
   Socket* listener_socket_ = nullptr;  // for passive opens
+  bool embryonic_ = false;  // counted against the listener's backlog
   Pcb pcb_;
   TcpState state_ = TcpState::kClosed;
 

@@ -36,6 +36,7 @@ TcpStack::TcpStack(IpStack* ip, TcpConfig config)
     m.AddCounterView("tcp.keepalive_drops", &stats_.keepalive_drops);
     m.AddCounterView("tcp.out_of_order_segs", &stats_.out_of_order_segs);
     m.AddCounterView("tcp.dropped_no_pcb", &stats_.dropped_no_pcb);
+    m.AddCounterView("tcp.listen_overflows", &stats_.listen_overflows);
     m.AddCounterView("tcp.rst_sent", &stats_.rst_sent);
     m.AddCounterView("tcp.rst_received", &stats_.rst_received);
     m.AddCounterView("tcp.conns_established", &stats_.conns_established);
@@ -58,8 +59,9 @@ Socket* TcpStack::CreateSocket() {
   return s;
 }
 
-Socket* TcpStack::Listen(uint16_t port) {
+Socket* TcpStack::Listen(uint16_t port, size_t backlog) {
   Socket* s = CreateSocket();
+  s->set_accept_backlog(backlog);
   auto* conn = static_cast<TcpConnection*>(conns_.back().get());
   conn->Listen(SockAddr{ip_->addr(), port});
   return s;
@@ -81,6 +83,20 @@ void TcpStack::AddBackgroundPcbs(size_t n) {
     pcbs_.Insert(pcb.get());
     background_pcbs_.push_back(std::move(pcb));
   }
+}
+
+uint16_t TcpStack::NextEphemeralPort() {
+  constexpr uint16_t kFirst = 20000;
+  constexpr uint32_t kSpan = 65535 - kFirst + 1;
+  for (uint32_t attempt = 0; attempt < kSpan; ++attempt) {
+    const uint16_t port = next_port_;
+    next_port_ = port == 65535 ? kFirst : static_cast<uint16_t>(port + 1);
+    if (!pcbs_.LocalPortInUse(port)) {
+      return port;
+    }
+  }
+  TCPLAT_CHECK(false) << "ephemeral port space exhausted";
+  return 0;
 }
 
 TcpConnection* TcpStack::SpawnPassive() {
@@ -181,8 +197,16 @@ void TcpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
   TcpConnection* conn = pcb->conn;
   if (conn->state() == TcpState::kListen) {
     if (th->flags.syn && !th->flags.ack && !th->flags.rst) {
-      TcpConnection* child = SpawnPassive();
-      child->AcceptSyn(local, remote, conn->socket(), *th);
+      if (conn->socket()->AcceptBacklogFull()) {
+        // sonewconn fails: the SYN is silently dropped and the client's
+        // connection timer retransmits it.
+        ++stats_.listen_overflows;
+        h.TracePacket(TraceLayer::kTcp, TraceEventKind::kDrop,
+                      (static_cast<uint64_t>(th->dst_port) << 16) | th->src_port, th->seq);
+      } else {
+        TcpConnection* child = SpawnPassive();
+        child->AcceptSyn(local, remote, conn->socket(), *th);
+      }
     }
     h.pool().FreeChain(std::move(packet));
     return;

@@ -36,6 +36,7 @@ struct TcpStats {
   uint64_t keepalive_drops = 0;
   uint64_t out_of_order_segs = 0;
   uint64_t dropped_no_pcb = 0;
+  uint64_t listen_overflows = 0;  // SYN dropped: accept backlog full
   uint64_t rst_sent = 0;
   uint64_t rst_received = 0;
   uint64_t conns_established = 0;
@@ -57,8 +58,10 @@ class TcpStack : public IpProtocolHandler {
   // stack owns both; pointers stay valid for the stack's lifetime.
   Socket* CreateSocket();
 
-  // Passive open: listen on `port` at this host's address.
-  Socket* Listen(uint16_t port);
+  // Passive open: listen on `port` at this host's address. `backlog` bounds
+  // queued-plus-embryonic connections; further SYNs are dropped (and the
+  // client retransmits), as in BSD sonewconn.
+  Socket* Listen(uint16_t port, size_t backlog = kDefaultAcceptBacklog);
 
   // Active open toward `remote`; complete with `co_await s->WaitConnected()`.
   Socket* Connect(SockAddr remote);
@@ -77,7 +80,9 @@ class TcpStack : public IpProtocolHandler {
 
   // Internal services for TcpConnection.
   uint32_t NextIss() { return iss_ += 64000; }
-  uint16_t NextEphemeralPort() { return next_port_++; }
+  // Next free ephemeral port, skipping ports with a live binding and
+  // wrapping within [20000, 65535].
+  uint16_t NextEphemeralPort();
   // Creates the socket + connection pair for a passive open.
   TcpConnection* SpawnPassive();
   // Registry-owned distribution of transmitted payload sizes (null when a

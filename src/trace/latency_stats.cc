@@ -69,6 +69,15 @@ SimDuration LatencyStats::Percentile(double p) const {
   return sorted_samples_[std::min(rank, n - 1)];
 }
 
+void LatencyStats::Merge(const LatencyStats& other) {
+  // Copy first so self-merge doesn't walk a vector it is growing.
+  const std::vector<SimDuration> incoming = other.samples_;
+  const SimDuration incoming_sum = other.sum_;
+  samples_.insert(samples_.end(), incoming.begin(), incoming.end());
+  sum_ += incoming_sum;
+  // The appended tail is unsorted; the Percentile() cache folds it in lazily.
+}
+
 void LatencyStats::Reset() {
   samples_.clear();
   sorted_samples_.clear();

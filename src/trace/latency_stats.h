@@ -25,6 +25,10 @@ class LatencyStats {
   // p in [0, 100]; nearest-rank percentile. Zero when empty.
   SimDuration Percentile(double p) const;
 
+  // Appends every sample of `other` (cross-flow aggregation). Merging an
+  // empty set is a no-op; self-merge doubles the sample set.
+  void Merge(const LatencyStats& other);
+
   void Reset();
 
  private:

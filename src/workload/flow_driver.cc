@@ -1,0 +1,227 @@
+#include "src/workload/flow_driver.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/os/task.h"
+
+namespace tcplat {
+namespace {
+
+// Deterministic per-iteration payload, identical to the single-flow
+// benchmark's pattern so the 1-flow star run is byte-for-byte the same.
+void FillPattern(std::vector<uint8_t>& buf, int iteration) {
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>((i * 131 + iteration * 17 + 7) & 0xFF);
+  }
+}
+
+struct RunState {
+  StarTestbed* tb = nullptr;
+  const WorkloadOptions* options = nullptr;
+  std::vector<FlowResult> results;
+  std::vector<bool> server_done;
+  std::vector<bool> client_done;
+  int in_flight = 0;       // flows currently inside an echo round trip
+  size_t max_in_flight = 0;
+};
+
+SimTask ServerProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  while (true) {
+    Socket* conn = listener->Accept();
+    if (conn != nullptr) {
+      std::vector<uint8_t> buf(spec->size);
+      const int total = spec->warmup + spec->iterations;
+      for (int iter = 0; iter < total; ++iter) {
+        size_t got = 0;
+        while (got < buf.size()) {
+          const size_t n = conn->Read({buf.data() + got, buf.size() - got});
+          got += n;
+          if (n == 0) {
+            if (conn->eof() || conn->has_error()) {
+              state->server_done[flow] = true;
+              co_return;
+            }
+            co_await conn->WaitReadable();
+          }
+        }
+        size_t sent = 0;
+        while (sent < buf.size()) {
+          const size_t n = conn->Write({buf.data() + sent, buf.size() - sent});
+          sent += n;
+          if (n == 0) {
+            if (conn->has_error()) {
+              state->server_done[flow] = true;
+              co_return;
+            }
+            co_await conn->WaitWritable();
+          }
+        }
+      }
+      conn->Close();
+      state->server_done[flow] = true;
+      co_return;
+    }
+    co_await listener->WaitAcceptable();
+  }
+}
+
+SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Host& host = state->tb->client_host(spec->client);
+  FlowResult& result = state->results[flow];
+  if (spec->start_delay.nanos() > 0) {
+    co_await host.SleepFor(spec->start_delay);
+  }
+  const Ipv4Addr server_addr = StarServerAddr(spec->server);
+  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  while (!sock->connected() && !sock->has_error()) {
+    co_await sock->WaitConnected();
+  }
+  if (sock->has_error() && spec->tolerate_errors) {
+    result.aborted = true;
+    state->client_done[flow] = true;
+    co_return;
+  }
+  TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " failed to connect";
+
+  std::vector<uint8_t> out(spec->size);
+  std::vector<uint8_t> in(spec->size);
+  const int total = spec->warmup + spec->iterations;
+  for (int iter = 0; iter < total; ++iter) {
+    if (iter == spec->warmup && flow == 0 && state->options->reset_trackers_at_warmup) {
+      // Start of the measured region: clear the layer accumulators, the
+      // way the single-flow benchmark re-initializes its kernel counters.
+      state->tb->ResetTrackers();
+    }
+    FillPattern(out, iter);
+    ++state->in_flight;
+    state->max_in_flight =
+        std::max(state->max_in_flight, static_cast<size_t>(state->in_flight));
+    const SimTime t0 = host.CurrentTime();
+
+    size_t sent = 0;
+    while (sent < out.size()) {
+      const size_t n = sock->Write({out.data() + sent, out.size() - sent});
+      sent += n;
+      if (n == 0) {
+        if (sock->has_error() && spec->tolerate_errors) {
+          result.aborted = true;
+          state->client_done[flow] = true;
+          --state->in_flight;
+          co_return;
+        }
+        TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error during send";
+        co_await sock->WaitWritable();
+      }
+    }
+    size_t got = 0;
+    while (got < in.size()) {
+      const size_t n = sock->Read({in.data() + got, in.size() - got});
+      got += n;
+      if (n == 0) {
+        if ((sock->eof() || sock->has_error()) && spec->tolerate_errors) {
+          result.aborted = true;
+          state->client_done[flow] = true;
+          --state->in_flight;
+          co_return;
+        }
+        TCPLAT_CHECK(!sock->eof() && !sock->has_error())
+            << "flow " << flow << " died mid-echo";
+        co_await sock->WaitReadable();
+      }
+    }
+
+    const SimTime t1 = host.CurrentTime();
+    --state->in_flight;
+    if (iter >= spec->warmup) {
+      result.rtt.Add(t1.QuantizeToClockTick() - t0.QuantizeToClockTick());
+      if (spec->verify_data && std::memcmp(in.data(), out.data(), out.size()) != 0) {
+        ++result.data_mismatches;
+      }
+    }
+    if (spec->think_time.nanos() > 0 && iter + 1 < total) {
+      co_await host.SleepFor(spec->think_time);
+    }
+  }
+  sock->Close();
+  result.completed = true;
+  state->client_done[flow] = true;
+  co_return;
+}
+
+}  // namespace
+
+WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& specs,
+                           const WorkloadOptions& options) {
+  TCPLAT_CHECK(!specs.empty());
+  for (const FlowSpec& spec : specs) {
+    TCPLAT_CHECK_GT(spec.size, 0u);
+    TCPLAT_CHECK_GT(spec.iterations, 0);
+    TCPLAT_CHECK_GE(spec.client, 0);
+    TCPLAT_CHECK_LT(spec.client, testbed.clients());
+    TCPLAT_CHECK_GE(spec.server, 0);
+    TCPLAT_CHECK_LT(spec.server, testbed.servers());
+  }
+
+  RunState state;
+  state.tb = &testbed;
+  state.options = &options;
+  state.results.resize(specs.size());
+  state.server_done.assign(specs.size(), false);
+  state.client_done.assign(specs.size(), false);
+  for (size_t f = 0; f < specs.size(); ++f) {
+    state.results[f].iterations = static_cast<uint64_t>(specs[f].iterations);
+  }
+
+  // Reset protocol statistics so each run reports its own numbers.
+  for (int idx = 0; idx < testbed.host_count(); ++idx) {
+    testbed.tcp(idx).stats() = TcpStats{};
+  }
+  testbed.ResetTrackers();
+
+  // All servers first, then all clients, extending the single-flow spawn
+  // order (the listener must exist before its SYN can arrive).
+  for (size_t f = 0; f < specs.size(); ++f) {
+    const uint16_t port =
+        specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
+    testbed.server_host(specs[f].server)
+        .Spawn("echo-server", ServerProc(&state, &specs[f], f, port));
+  }
+  for (size_t f = 0; f < specs.size(); ++f) {
+    const uint16_t port =
+        specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
+    testbed.client_host(specs[f].client)
+        .Spawn("echo-client", ClientProc(&state, &specs[f], f, port));
+  }
+
+  testbed.sim().RunToCompletion();
+
+  WorkloadResult result;
+  result.flows = std::move(state.results);
+  result.per_client.resize(static_cast<size_t>(testbed.clients()));
+  for (size_t f = 0; f < specs.size(); ++f) {
+    FlowResult& flow = result.flows[f];
+    if (specs[f].tolerate_errors) {
+      // A one-sided death can leave the peer parked on a wait channel with
+      // no events pending; that is an aborted flow, not a harness bug.
+      flow.aborted = flow.aborted || !state.client_done[f] || !state.server_done[f];
+      if (flow.aborted) {
+        flow.completed = false;
+      }
+    } else {
+      TCPLAT_CHECK(state.client_done[f]) << "flow " << f << " client did not finish";
+      TCPLAT_CHECK(state.server_done[f]) << "flow " << f << " server did not finish";
+    }
+    result.rtt.Merge(flow.rtt);
+    result.per_client[static_cast<size_t>(specs[f].client)].Merge(flow.rtt);
+    result.completed += flow.completed ? 1 : 0;
+    result.aborted += flow.aborted ? 1 : 0;
+    result.data_mismatches += flow.data_mismatches;
+  }
+  result.max_concurrent = state.max_in_flight;
+  return result;
+}
+
+}  // namespace tcplat

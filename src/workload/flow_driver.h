@@ -1,0 +1,74 @@
+// Runs many concurrent echo flows over a StarTestbed's socket layer.
+//
+// Each flow is the paper's measurement workload (src/core/rpc_benchmark):
+// a client process writes `size` bytes, waits for `size` bytes back, and
+// times each round trip. The driver generalizes it to F flows spread over
+// the star's host pairs, with optional per-flow start offsets (open-loop
+// arrivals) and think times (closed-loop load). A single flow between the
+// star's one client and one server reproduces RunRpcBenchmark byte-for-byte.
+//
+// Every flow gets a dedicated server port (listener), so a listener always
+// knows its flow's message size — the echo protocol is read-exactly-then-
+// write, as in the original benchmark.
+
+#ifndef SRC_WORKLOAD_FLOW_DRIVER_H_
+#define SRC_WORKLOAD_FLOW_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/latency_stats.h"
+#include "src/workload/star_testbed.h"
+
+namespace tcplat {
+
+struct FlowSpec {
+  int client = 0;  // client host index in [0, K)
+  int server = 0;  // server host index in [0, M)
+  size_t size = 4;
+  int iterations = 200;  // measured round trips
+  int warmup = 32;       // untimed round trips first
+  // Listener port; 0 auto-assigns kEchoPort + flow index, so flow 0 lands
+  // on the classic echo port.
+  uint16_t port = 0;
+  SimDuration start_delay;  // open-loop arrival offset before connecting
+  SimDuration think_time;   // closed-loop pause after each round trip
+  bool verify_data = true;
+  bool tolerate_errors = false;
+};
+
+struct FlowResult {
+  LatencyStats rtt;
+  uint64_t iterations = 0;
+  bool completed = false;  // every iteration finished and the flow closed
+  bool aborted = false;    // connection died first (tolerate_errors runs)
+  uint64_t data_mismatches = 0;
+};
+
+struct WorkloadOptions {
+  // Flow 0 clears the span trackers when it crosses its warmup boundary
+  // (the single-flow measured-region convention). Disable for mixes where
+  // no single flow owns the measured region.
+  bool reset_trackers_at_warmup = true;
+};
+
+struct WorkloadResult {
+  std::vector<FlowResult> flows;
+  LatencyStats rtt;  // all flows' measured round trips merged
+  std::vector<LatencyStats> per_client;  // merged by client host index
+  uint64_t completed = 0;
+  uint64_t aborted = 0;
+  uint64_t data_mismatches = 0;
+  // Peak number of flows simultaneously inside an echo round trip; a
+  // closed-loop run can never exceed its flow count (concurrency invariant).
+  size_t max_concurrent = 0;
+};
+
+// Runs every flow to completion on the testbed's simulator. The testbed can
+// be reused for further runs.
+WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& specs,
+                           const WorkloadOptions& options = {});
+
+}  // namespace tcplat
+
+#endif  // SRC_WORKLOAD_FLOW_DRIVER_H_

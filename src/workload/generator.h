@@ -1,0 +1,82 @@
+// Load generators: builders that turn a traffic intent into FlowSpecs.
+//
+// Two arrival disciplines:
+//  * Closed-loop — a fixed population of flows, each running its echo loop
+//    back-to-back with an optional think time. Offered load self-limits to
+//    the system's completion rate (the classic interactive-users model).
+//  * Open-loop — flows arrive by a deterministic seeded Poisson process
+//    (exponential interarrivals from src/base/random); offered load is set
+//    by the arrival rate regardless of how the system keeps up.
+//
+// Plus composable mixes: incast fan-in (every client hammers one server),
+// all-to-all, and background bulk under a foreground latency probe (the
+// many-flow version of bench/ablation_crosstraffic).
+
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/flow_driver.h"
+
+namespace tcplat {
+
+struct ClosedLoopConfig {
+  int flows = 1;
+  int clients = 1;  // flows round-robin over client hosts...
+  int servers = 1;  // ...and server hosts
+  size_t size = 4;
+  int iterations = 200;
+  int warmup = 32;
+  SimDuration think_time;
+};
+
+// Fixed-population flows, round-robining flow i onto client i%K and server
+// i%M, all starting at time zero.
+std::vector<FlowSpec> BuildClosedLoop(const ClosedLoopConfig& config);
+
+struct OpenLoopConfig {
+  int flows = 16;
+  int clients = 1;
+  int servers = 1;
+  size_t size = 4;
+  int iterations = 20;
+  int warmup = 4;
+  // Mean interarrival time of the Poisson process (its rate sets offered
+  // load); draws are seeded, so a seed fully determines every arrival.
+  SimDuration mean_interarrival = SimDuration::FromMicros(500);
+  uint64_t seed = 1;
+};
+
+// Poisson arrivals: flow i connects after the sum of i exponential draws.
+std::vector<FlowSpec> BuildOpenLoop(const OpenLoopConfig& config);
+
+// Incast fan-in: `flows` closed-loop flows from `clients` client hosts all
+// converging on server 0.
+std::vector<FlowSpec> BuildIncast(int flows, int clients, size_t size, int iterations,
+                                  int warmup);
+
+// All-to-all: one closed-loop flow for every (client, server) pair.
+std::vector<FlowSpec> BuildAllToAll(int clients, int servers, size_t size, int iterations,
+                                    int warmup);
+
+struct ProbeMixConfig {
+  int bulk_flows = 4;
+  int clients = 1;
+  int servers = 1;
+  size_t bulk_size = 8000;  // background bulk echo size
+  int bulk_iterations = 100;
+  size_t probe_size = 4;  // foreground latency probe
+  int probe_iterations = 200;
+  int probe_warmup = 32;
+};
+
+// Background bulk cross-traffic under a foreground latency probe. The probe
+// is flow 0 (so it owns the measured region and the classic echo port);
+// the bulk flows run unwarmed and untimed-by-convention alongside it.
+std::vector<FlowSpec> BuildProbeMix(const ProbeMixConfig& config);
+
+}  // namespace tcplat
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -222,6 +222,71 @@ TEST(LatencyStats, Stddev) {
   EXPECT_EQ(constant.Stddev(), SimDuration());
 }
 
+TEST(LatencyStats, MergePreservesPercentiles) {
+  // Split 1..100 us across two stats by parity; the merge must report the
+  // same percentiles as one stats fed all 100 samples.
+  LatencyStats odd;
+  LatencyStats even;
+  LatencyStats all;
+  for (int i = 1; i <= 100; ++i) {
+    (i % 2 != 0 ? odd : even).Add(SimDuration::FromMicros(i));
+    all.Add(SimDuration::FromMicros(i));
+  }
+  odd.Merge(even);
+  EXPECT_EQ(odd.count(), 100u);
+  EXPECT_EQ(odd.sum().nanos(), all.sum().nanos());
+  EXPECT_EQ(odd.Mean(), all.Mean());
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(odd.Percentile(p).nanos(), all.Percentile(p).nanos()) << "p" << p;
+  }
+}
+
+TEST(LatencyStats, MergeEmptyIsIdentityBothWays) {
+  LatencyStats filled;
+  for (int us : {10, 20, 30}) {
+    filled.Add(SimDuration::FromMicros(us));
+  }
+  LatencyStats empty;
+  filled.Merge(empty);  // merging an empty stats changes nothing
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_EQ(filled.Percentile(50), SimDuration::FromMicros(20));
+
+  empty.Merge(filled);  // merging into an empty stats copies it
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.sum().nanos(), filled.sum().nanos());
+  EXPECT_EQ(empty.Percentile(50), SimDuration::FromMicros(20));
+  EXPECT_EQ(empty.Min(), SimDuration::FromMicros(10));
+  EXPECT_EQ(empty.Max(), SimDuration::FromMicros(30));
+}
+
+TEST(LatencyStats, MergeWithSelfDoublesSamples) {
+  LatencyStats s;
+  for (int us : {10, 20, 30}) {
+    s.Add(SimDuration::FromMicros(us));
+  }
+  s.Merge(s);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_EQ(s.Mean(), SimDuration::FromMicros(20));
+  EXPECT_EQ(s.Percentile(100), SimDuration::FromMicros(30));
+  EXPECT_EQ(s.Percentile(0), SimDuration::FromMicros(10));
+}
+
+TEST(LatencyStats, MergeAfterPercentileQuery) {
+  // A percentile query sorts the cache; a merge after it must still fold the
+  // incoming samples in (exercises the lazy sorted-tail path).
+  LatencyStats a;
+  LatencyStats b;
+  for (int i = 1; i <= 50; ++i) {
+    a.Add(SimDuration::FromMicros(i));
+    b.Add(SimDuration::FromMicros(i + 50));
+  }
+  EXPECT_EQ(a.Percentile(50).micros(), 25);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.Percentile(50).micros(), 50);
+  EXPECT_EQ(a.Percentile(100).micros(), 100);
+}
+
 TEST(LatencyStats, InterleavedAddAndPercentile) {
   LatencyStats s;
   // Queries between Adds must see every sample so far, even when new samples
