@@ -63,6 +63,30 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags, const char* accep
       flags->size = static_cast<size_t>(std::strtoull(v, nullptr, 10));
       continue;
     }
+    if (const char* v = FlagValue(argc, argv, &i, "--flows")) {
+      flags->flows = static_cast<int>(std::strtol(v, nullptr, 10));
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--csv")) {
+      flags->csv_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--perf")) {
+      flags->perf_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--baseline-dir")) {
+      flags->baseline_dir = v;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      flags->write_baseline = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      flags->selftest = true;
+      continue;
+    }
     std::fprintf(stderr, "usage: %s %s\n", argv[0], accepted);
     return false;
   }

@@ -18,6 +18,12 @@ struct BenchFlags {
   std::string out_path;    // --out; pre-set the default before parsing
   size_t size = 0;         // --size; pre-set the default before parsing
   int jobs = 0;            // --jobs; 0 = inherit TCPLAT_JOBS / core count
+  int flows = 0;           // --flows; pre-set the default before parsing
+  std::string csv_path;    // --csv; empty = no CSV export
+  std::string perf_path;   // --perf; a fresh BENCH_perf.json to gate on
+  std::string baseline_dir;       // --baseline-dir; committed baselines
+  bool write_baseline = false;    // --write-baseline: refresh the baselines
+  bool selftest = false;          // --selftest: pure-logic self-verification
 };
 
 // Parses argv into `flags` (whose pre-set values are the defaults). On an

@@ -1,0 +1,358 @@
+// Perf regression gate: diffs a fresh BENCH_perf.json / BENCH_trace.json
+// against committed baselines (bench/baselines/) with per-metric noise
+// tolerances, and exits non-zero on a regression so CI can fail the build.
+//
+// Tolerance policy, per metric class:
+//  * Deterministic facts (quick, grid_configs, grid_iterations,
+//    capacity_flows, grid_results_identical, and any unclassified key)
+//    must match the baseline exactly.
+//  * Wall-clock rates (keys ending in _per_sec) vary wildly across CI
+//    hardware, so they only gate on collapse: fresh must be at least
+//    kMinRateRatio of the baseline. A 10x regression trips; scheduler
+//    noise does not.
+//  * Wall-clock raw seconds and machine facts (hardware_concurrency,
+//    grid_jobs, grid_serial_sec, grid_parallel_sec, grid_speedup) are
+//    reported but never gate.
+//  * trace_disabled_overhead_pct gates on an absolute ceiling: detached-
+//    tracer hooks must stay under kMaxTraceOverheadPct.
+//  * The trace JSON is summarized as {bytes, event count, FNV-1a 64 hash}
+//    and must match the committed summary exactly — the trace is pure
+//    simulated data, so any drift is a real behavior change.
+//
+// Modes: default gates; --write-baseline refreshes the committed files;
+// --selftest runs the gate logic on synthetic data (pass + perturbed-fail)
+// with no file dependencies, for ctest.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "src/trace/tracer.h"
+
+namespace tcplat {
+namespace {
+
+constexpr double kMinRateRatio = 0.10;
+constexpr double kMaxTraceOverheadPct = 10.0;
+
+int g_failures = 0;
+int g_warnings = 0;
+
+void Result(const char* status, const std::string& key, const std::string& detail) {
+  std::printf("  [%s] %-40s %s\n", status, key.c_str(), detail.c_str());
+  if (std::strcmp(status, "FAIL") == 0) {
+    ++g_failures;
+  } else if (std::strcmp(status, "warn") == 0) {
+    ++g_warnings;
+  }
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Minimal parser for the flat one-level JSON objects the bench binaries
+// write: "key": value pairs, values being numbers, booleans, or strings.
+// Returns key -> raw value token (quotes stripped for strings).
+std::map<std::string, std::string> ParseFlatJson(const std::string& text) {
+  std::map<std::string, std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    const size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) {
+      break;
+    }
+    const size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) {
+      break;
+    }
+    const std::string key = text.substr(key_open + 1, key_close - key_open - 1);
+    size_t colon = key_close + 1;
+    while (colon < text.size() && (text[colon] == ' ' || text[colon] == '\t')) {
+      ++colon;
+    }
+    if (colon >= text.size() || text[colon] != ':') {
+      i = key_close + 1;  // a bare string (not a key); skip it
+      continue;
+    }
+    size_t v = colon + 1;
+    while (v < text.size() && (text[v] == ' ' || text[v] == '\t')) {
+      ++v;
+    }
+    std::string value;
+    if (v < text.size() && text[v] == '"') {
+      const size_t end = text.find('"', v + 1);
+      if (end == std::string::npos) {
+        break;
+      }
+      value = text.substr(v + 1, end - v - 1);
+      i = end + 1;
+    } else {
+      size_t end = v;
+      while (end < text.size() && text[end] != ',' && text[end] != '}' && text[end] != '\n') {
+        ++end;
+      }
+      value = text.substr(v, end - v);
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
+        value.pop_back();
+      }
+      i = end;
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t CountOccurrences(const std::string& text, const char* needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  const size_t len = std::strlen(needle);
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += len;
+  }
+  return count;
+}
+
+// {bytes, trace_event count, content hash} — the committed form of the
+// (large) trace JSON.
+std::map<std::string, std::string> SummarizeTrace(const std::string& trace_json) {
+  char buf[32];
+  std::map<std::string, std::string> out;
+  out["trace_bytes"] = std::to_string(trace_json.size());
+  out["trace_events"] = std::to_string(CountOccurrences(trace_json, "\"ph\":"));
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, Fnv1a64(trace_json));
+  out["trace_fnv64"] = buf;
+  return out;
+}
+
+std::string TraceSummaryJson(const std::map<std::string, std::string>& summary) {
+  std::string out = "{\n";
+  out += "  \"trace_bytes\": " + summary.at("trace_bytes") + ",\n";
+  out += "  \"trace_events\": " + summary.at("trace_events") + ",\n";
+  out += "  \"trace_fnv64\": \"" + summary.at("trace_fnv64") + "\"\n";
+  out += "}\n";
+  return out;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool IsIgnored(const std::string& key) {
+  static const char* kIgnored[] = {"hardware_concurrency", "grid_jobs", "grid_serial_sec",
+                                   "grid_parallel_sec", "grid_speedup"};
+  for (const char* k : kIgnored) {
+    if (key == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Applies the tolerance policy to one fresh/baseline pair of flat maps.
+void GatePerf(const std::map<std::string, std::string>& fresh,
+              const std::map<std::string, std::string>& baseline) {
+  for (const auto& [key, base_value] : baseline) {
+    auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      Result("FAIL", key, "missing from fresh results");
+      continue;
+    }
+    const std::string& fresh_value = it->second;
+    char detail[160];
+    if (IsIgnored(key)) {
+      std::snprintf(detail, sizeof(detail), "%s (machine-dependent, not gated)",
+                    fresh_value.c_str());
+      Result("ok", key, detail);
+    } else if (EndsWith(key, "_per_sec")) {
+      const double fresh_rate = std::strtod(fresh_value.c_str(), nullptr);
+      const double base_rate = std::strtod(base_value.c_str(), nullptr);
+      const double floor = base_rate * kMinRateRatio;
+      std::snprintf(detail, sizeof(detail), "%.0f vs baseline %.0f (floor %.0f)", fresh_rate,
+                    base_rate, floor);
+      Result(fresh_rate >= floor ? "ok" : "FAIL", key, detail);
+    } else if (key == "trace_disabled_overhead_pct") {
+      const double pct = std::strtod(fresh_value.c_str(), nullptr);
+      std::snprintf(detail, sizeof(detail), "%.2f%% (ceiling %.1f%%)", pct,
+                    kMaxTraceOverheadPct);
+      Result(pct <= kMaxTraceOverheadPct ? "ok" : "FAIL", key, detail);
+    } else {
+      std::snprintf(detail, sizeof(detail), "%s vs baseline %s", fresh_value.c_str(),
+                    base_value.c_str());
+      Result(fresh_value == base_value ? "ok" : "FAIL", key, detail);
+    }
+  }
+  for (const auto& [key, value] : fresh) {
+    if (baseline.find(key) == baseline.end()) {
+      Result("warn", key, "new metric (no baseline yet): " + value);
+    }
+  }
+}
+
+void GateTrace(const std::map<std::string, std::string>& fresh,
+               const std::map<std::string, std::string>& baseline) {
+  for (const auto& [key, base_value] : baseline) {
+    auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      Result("FAIL", key, "missing from fresh trace summary");
+      continue;
+    }
+    Result(it->second == base_value ? "ok" : "FAIL", key,
+           it->second + " vs baseline " + base_value);
+  }
+}
+
+// Pure-logic verification: the gate must pass on identical data and fail on
+// a perturbed baseline, with no files involved.
+int SelfTest() {
+  std::map<std::string, std::string> perf = {
+      {"quick", "true"},
+      {"hardware_concurrency", "8"},
+      {"rpc_round_trips_per_sec", "100000"},
+      {"trace_disabled_overhead_pct", "1.50"},
+      {"grid_results_identical", "true"},
+  };
+  const std::map<std::string, std::string> trace = {
+      {"trace_bytes", "12345"}, {"trace_events", "678"}, {"trace_fnv64", "00deadbeef00cafe"}};
+
+  std::printf("selftest: identical data must pass\n");
+  GatePerf(perf, perf);
+  GateTrace(trace, trace);
+  if (g_failures != 0) {
+    std::printf("selftest FAILED: clean comparison reported %d failure(s)\n", g_failures);
+    return 1;
+  }
+
+  std::printf("selftest: perturbed data must fail\n");
+  int expected = 0;
+
+  std::map<std::string, std::string> slow = perf;
+  slow["rpc_round_trips_per_sec"] = "100";  // 1000x collapse, below the ratio floor
+  g_failures = 0;
+  GatePerf(slow, perf);
+  expected += g_failures == 1 ? 0 : 1;
+
+  std::map<std::string, std::string> diverged = perf;
+  diverged["grid_results_identical"] = "false";
+  g_failures = 0;
+  GatePerf(diverged, perf);
+  expected += g_failures == 1 ? 0 : 1;
+
+  std::map<std::string, std::string> heavy = perf;
+  heavy["trace_disabled_overhead_pct"] = "25.00";
+  g_failures = 0;
+  GatePerf(heavy, perf);
+  expected += g_failures == 1 ? 0 : 1;
+
+  std::map<std::string, std::string> drifted = trace;
+  drifted["trace_fnv64"] = "0123456789abcdef";
+  g_failures = 0;
+  GateTrace(drifted, trace);
+  expected += g_failures == 1 ? 0 : 1;
+
+  // A hardware difference alone must NOT fail.
+  std::map<std::string, std::string> other_machine = perf;
+  other_machine["hardware_concurrency"] = "128";
+  other_machine["rpc_round_trips_per_sec"] = "20000";  // 5x slower: within ratio
+  g_failures = 0;
+  GatePerf(other_machine, perf);
+  expected += g_failures == 0 ? 0 : 1;
+
+  if (expected != 0) {
+    std::printf("selftest FAILED: %d scenario(s) did not gate as expected\n", expected);
+    return 1;
+  }
+  std::printf("selftest passed\n");
+  return 0;
+}
+
+int Run(const BenchFlags& flags) {
+  if (flags.selftest) {
+    return SelfTest();
+  }
+  if (flags.perf_path.empty() || flags.trace_path.empty()) {
+    std::fprintf(stderr, "regression_gate: --perf and --trace are required (or --selftest)\n");
+    return 2;
+  }
+  const std::string dir = flags.baseline_dir.empty() ? "bench/baselines" : flags.baseline_dir;
+  const std::string perf_baseline_path = dir + "/BENCH_perf.json";
+  const std::string trace_baseline_path = dir + "/BENCH_trace_summary.json";
+
+  std::string fresh_perf_text;
+  std::string fresh_trace_text;
+  if (!ReadFile(flags.perf_path, &fresh_perf_text) ||
+      !ReadFile(flags.trace_path, &fresh_trace_text)) {
+    return 2;
+  }
+  const std::map<std::string, std::string> fresh_perf = ParseFlatJson(fresh_perf_text);
+  const std::map<std::string, std::string> fresh_trace = SummarizeTrace(fresh_trace_text);
+
+  if (flags.write_baseline) {
+    if (!WriteTextFile(perf_baseline_path, fresh_perf_text) ||
+        !WriteTextFile(trace_baseline_path, TraceSummaryJson(fresh_trace))) {
+      return 2;
+    }
+    std::printf("wrote %s and %s\n", perf_baseline_path.c_str(), trace_baseline_path.c_str());
+    return 0;
+  }
+
+  std::string perf_baseline_text;
+  std::string trace_baseline_text;
+  if (!ReadFile(perf_baseline_path, &perf_baseline_text) ||
+      !ReadFile(trace_baseline_path, &trace_baseline_text)) {
+    std::fprintf(stderr, "regression_gate: no baselines in %s (run --write-baseline first)\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  std::printf("perf metrics (%s vs %s):\n", flags.perf_path.c_str(), perf_baseline_path.c_str());
+  GatePerf(fresh_perf, ParseFlatJson(perf_baseline_text));
+  std::printf("trace summary (%s vs %s):\n", flags.trace_path.c_str(),
+              trace_baseline_path.c_str());
+  GateTrace(fresh_trace, ParseFlatJson(trace_baseline_text));
+
+  std::printf("%d failure(s), %d warning(s)\n", g_failures, g_warnings);
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tcplat
+
+int main(int argc, char** argv) {
+  tcplat::BenchFlags flags;
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags,
+                               "[--quick] [--perf PATH] [--trace PATH] [--baseline-dir DIR] "
+                               "[--write-baseline] [--selftest]")) {
+    return 2;
+  }
+  return tcplat::Run(flags);
+}

@@ -35,7 +35,11 @@ std::string DumpTcpStats(const TcpStats& s) {
   Row(&out, "  RSTs", s.rst_received);
   Row(&out, "combined-cksum fallbacks", s.checksum_fallbacks);
   Row(&out, "rexmt timeouts", s.rexmt_timeouts);
+  Row(&out, "duplicate ACKs received", s.dup_acks_received);
+  Row(&out, "fast retransmits", s.fast_retransmits);
+  Row(&out, "zero-window probes", s.zero_window_probes);
   Row(&out, "delayed ACKs fired", s.delayed_acks_fired);
+  Row(&out, "listen queue overflows", s.listen_overflows);
   Row(&out, "connections established", s.conns_established);
   Row(&out, "connections dropped", s.conns_dropped);
   Row(&out, "keepalive drops", s.keepalive_drops);

@@ -6,6 +6,17 @@
 #include "src/base/check.h"
 
 namespace tcplat {
+namespace {
+
+// Trace flow id for IP-layer packet events: (src<<32)|dst. Header ids are
+// per-stack counters, so (this flow, hdr.id) is what identifies one datagram
+// network-wide — it lets trace consumers match a kPktTx to the kPktRx on the
+// destination host.
+uint64_t IpTraceFlow(const Ipv4Header& hdr) {
+  return (static_cast<uint64_t>(hdr.src) << 32) | hdr.dst;
+}
+
+}  // namespace
 
 IpStack::IpStack(Host* host, Ipv4Addr addr) : host_(host), addr_(addr) {
   TCPLAT_CHECK(host != nullptr);
@@ -78,13 +89,13 @@ void IpStack::SendOnePacket(MbufPtr packet, Ipv4Header hdr, Ipv4Addr dst) {
     packet = std::move(hm);
   }
   ++stats_.packets_sent;
-  host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktTx, hdr.protocol, hdr.id,
+  host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktTx, IpTraceFlow(hdr), hdr.id,
                      hdr.total_length);
   Ipv4Addr next_hop = 0;
   NetIf* nif = LookupRoute(dst, &next_hop);
   if (nif == nullptr) {
     ++stats_.no_route;
-    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, IpTraceFlow(hdr), hdr.id,
                        hdr.total_length);
     host_->pool().FreeChain(std::move(packet));
     return;
@@ -196,7 +207,7 @@ void IpStack::HandlePacket(MbufPtr packet) {
     hdr = *parsed;
     if (!Ipv4Header::VerifyChecksum(first->bytes())) {
       ++stats_.header_checksum_errors;
-      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kChecksumError, hdr.protocol, hdr.id,
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kChecksumError, IpTraceFlow(hdr), hdr.id,
                          hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
@@ -206,7 +217,7 @@ void IpStack::HandlePacket(MbufPtr packet) {
         ForwardPacket(std::move(packet), hdr);
       } else {
         ++stats_.not_for_us;
-        host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+        host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, IpTraceFlow(hdr), hdr.id,
                            hdr.total_length);
         host_->pool().FreeChain(std::move(packet));
       }
@@ -215,7 +226,7 @@ void IpStack::HandlePacket(MbufPtr packet) {
     const size_t chain_len = ChainLength(packet.get());
     if (chain_len < hdr.total_length) {
       ++stats_.bad_length;
-      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, IpTraceFlow(hdr), hdr.id,
                          hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
@@ -254,14 +265,14 @@ void IpStack::HandlePacket(MbufPtr packet) {
     auto it = protocols_.find(hdr.protocol);
     if (it == protocols_.end()) {
       ++stats_.no_protocol;
-      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, hdr.protocol, hdr.id,
+      host_->TracePacket(TraceLayer::kIp, TraceEventKind::kDrop, IpTraceFlow(hdr), hdr.id,
                          hdr.total_length);
       host_->pool().FreeChain(std::move(packet));
       return;
     }
     handler = it->second;
     ++stats_.packets_received;
-    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktRx, hdr.protocol, hdr.id,
+    host_->TracePacket(TraceLayer::kIp, TraceEventKind::kPktRx, IpTraceFlow(hdr), hdr.id,
                        hdr.total_length);
   }
   handler->IpInput(std::move(packet), hdr);

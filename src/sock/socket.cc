@@ -110,7 +110,8 @@ size_t Socket::Write(std::span<const uint8_t> data) {
     ops_->UsrSend();
   }
   stats_.bytes_written += written;
-  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kUserWrite, 0, stats_.writes, written);
+  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kUserWrite, trace_flow_, stats_.writes,
+                     written);
 
   {
     ScopedSpan other(&host_->tracker(), SpanId::kOther);
@@ -138,7 +139,8 @@ size_t Socket::Read(std::span<uint8_t> out) {
     cpu.Charge(cpu.profile().syscall_exit);
   }
   stats_.bytes_read += taken;
-  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kUserRead, 0, stats_.reads, taken);
+  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kUserRead, trace_flow_, stats_.reads,
+                     taken);
   if (taken > 0) {
     // PRU_RCVD: give the protocol a chance to announce the opened window.
     ops_->UsrRcvd();
@@ -197,7 +199,7 @@ void Socket::EnqueueAccepted(Socket* s) {
 void Socket::ReadWakeup() {
   Cpu& cpu = host_->cpu();
   cpu.Charge(cpu.profile().sorwakeup);
-  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kWakeup, 0, 0, rcv_.cc());
+  host_->TracePacket(TraceLayer::kSock, TraceEventKind::kWakeup, trace_flow_, 0, rcv_.cc());
   host_->Wakeup(rcv_.channel());
 }
 

@@ -161,6 +161,13 @@ class Socket {
 
   const SocketStats& stats() const { return stats_; }
 
+  // Flow id stamped on this socket's trace events (kUserWrite/kUserRead/
+  // kWakeup). The owning TCP connection sets it to its (local<<16)|remote
+  // port pair once known, so socket-layer events can be tied back to the
+  // connection that caused them.
+  void set_trace_flow(uint64_t flow) { trace_flow_ = flow; }
+  uint64_t trace_flow() const { return trace_flow_; }
+
  private:
   Host* host_;
   SockBuf snd_;
@@ -177,6 +184,7 @@ class Socket {
   size_t accept_backlog_ = kDefaultAcceptBacklog;
   size_t embryonic_ = 0;  // accepted SYNs whose handshake has not completed
   SocketStats stats_;
+  uint64_t trace_flow_ = 0;
 };
 
 // Awaiter blocking the current process on `chan` unless `Ready()` already

@@ -104,6 +104,7 @@ void TcpConnection::Connect(SockAddr local, SockAddr remote) {
   snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
   request_no_checksum_ = stack_->config().checksum == ChecksumMode::kNone;
   state_ = TcpState::kSynSent;
+  socket_->set_trace_flow(TraceFlow());
   socket_->MarkConnecting();
   Output();
 }
@@ -117,6 +118,7 @@ void TcpConnection::AcceptSyn(SockAddr local, SockAddr remote, Socket* listener_
   embryonic_ = true;
   listener_socket_->EmbryonicStarted();
   stack_->pcbs().Insert(&pcb_);
+  socket_->set_trace_flow(TraceFlow());
 
   irs_ = syn.seq;
   rcv_nxt_ = syn.seq + 1;
@@ -1121,6 +1123,8 @@ void TcpConnection::DelackTimeout() {
   delack_pending_ = false;
   ack_now_ = true;
   ++stack_->stats().delayed_acks_fired;
+  stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kDelayedAck, TraceFlow(),
+                             rcv_nxt_ - irs_, 0);
   Output();
 }
 

@@ -201,8 +201,9 @@ void TcpStack::IpInput(MbufPtr packet, const Ipv4Header& hdr) {
         // sonewconn fails: the SYN is silently dropped and the client's
         // connection timer retransmits it.
         ++stats_.listen_overflows;
-        h.TracePacket(TraceLayer::kTcp, TraceEventKind::kDrop,
-                      (static_cast<uint64_t>(th->dst_port) << 16) | th->src_port, th->seq);
+        h.TracePacket(TraceLayer::kTcp, TraceEventKind::kListenOverflow,
+                      (static_cast<uint64_t>(th->dst_port) << 16) | th->src_port,
+                      conn->socket()->accept_backlog());
       } else {
         TcpConnection* child = SpawnPassive();
         child->AcceptSyn(local, remote, conn->socket(), *th);

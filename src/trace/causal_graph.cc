@@ -1,0 +1,195 @@
+#include "src/trace/causal_graph.h"
+
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace tcplat {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+// Per-host linking state. Sound because each simulated host is a single CPU
+// running synchronous call chains to completion: the events of one chain are
+// adjacent in the trace, so "the currently open tx/rx chain" is unambiguous.
+struct HostState {
+  size_t tx_open = kNone;            // journey awaiting its link handoff
+  bool retransmit_pending = false;   // kRetransmit seen, kSegTx not yet
+  int64_t pending_link_rx = -1;      // kPduRx/kFrameRx ts awaiting kEnqueue
+  std::deque<std::pair<int64_t, int64_t>> ipq;  // (link_rx_ns, enqueue_ns)
+  int64_t cur_link_rx = -1;          // ipq slot of the chain being processed
+  int64_t cur_enqueue = -1;
+  int64_t cur_dequeue = -1;
+  int64_t cur_ipq_wait = 0;
+  size_t rx_open = kNone;            // journey of the current input chain
+};
+
+}  // namespace
+
+CausalGraph CausalGraph::Build(const Tracer& tracer) {
+  CausalGraph graph;
+  std::vector<Journey>& journeys = graph.journeys_;
+  std::vector<HostState> hosts(tracer.host_names().size());
+  // (ip_key, ip_id) -> tx journeys whose datagram is still in flight.
+  std::map<std::pair<uint64_t, uint64_t>, std::deque<size_t>> in_flight;
+
+  for (const TraceEvent& ev : tracer.events()) {
+    if (ev.host >= hosts.size()) {
+      hosts.resize(ev.host + 1);
+    }
+    HostState& st = hosts[ev.host];
+    switch (ev.kind) {
+      case TraceEventKind::kRetransmit:
+        st.retransmit_pending = true;
+        break;
+
+      case TraceEventKind::kSegTx: {
+        Journey j;
+        j.tx_host = ev.host;
+        j.seg_tx_ns = ev.ts_ns;
+        j.seg_flow = ev.flow;
+        j.seg_seq = ev.packet;
+        j.seg_bytes = ev.bytes;
+        j.retransmit = st.retransmit_pending;
+        st.retransmit_pending = false;
+        journeys.push_back(j);
+        st.tx_open = journeys.size() - 1;
+        break;
+      }
+
+      case TraceEventKind::kPktTx: {
+        size_t idx;
+        if (st.tx_open != kNone && journeys[st.tx_open].pkt_tx_ns < 0) {
+          idx = st.tx_open;
+        } else {
+          // Segment-less datagram (RST, UDP, ICMP, IP fragment tail).
+          Journey j;
+          j.tx_host = ev.host;
+          journeys.push_back(j);
+          idx = journeys.size() - 1;
+          st.tx_open = idx;
+        }
+        journeys[idx].pkt_tx_ns = ev.ts_ns;
+        journeys[idx].ip_key = ev.flow;
+        journeys[idx].ip_id = ev.packet;
+        in_flight[{ev.flow, ev.packet}].push_back(idx);
+        break;
+      }
+
+      case TraceEventKind::kTxStall:
+        if (st.tx_open != kNone) {
+          journeys[st.tx_open].tx_stall_ns += ev.dur_ns;
+        }
+        break;
+
+      case TraceEventKind::kPduTx:
+      case TraceEventKind::kFrameTx:
+        if (st.tx_open != kNone && journeys[st.tx_open].link_tx_ns < 0) {
+          journeys[st.tx_open].link_tx_ns = ev.ts_ns;
+          st.tx_open = kNone;
+        }
+        break;
+
+      case TraceEventKind::kPduRx:
+      case TraceEventKind::kFrameRx:
+        st.pending_link_rx = ev.ts_ns;
+        break;
+
+      case TraceEventKind::kEnqueue:
+        if (ev.layer == TraceLayer::kIp) {
+          st.ipq.emplace_back(st.pending_link_rx, ev.ts_ns);
+          st.pending_link_rx = -1;
+        }
+        break;
+
+      case TraceEventKind::kDequeue:
+        if (ev.layer == TraceLayer::kIp) {
+          if (!st.ipq.empty()) {
+            st.cur_link_rx = st.ipq.front().first;
+            st.cur_enqueue = st.ipq.front().second;
+            st.ipq.pop_front();
+          } else {
+            st.cur_link_rx = st.cur_enqueue = -1;
+          }
+          st.cur_dequeue = ev.ts_ns;
+          st.cur_ipq_wait = ev.dur_ns;
+          st.rx_open = kNone;
+        }
+        break;
+
+      case TraceEventKind::kPktRx: {
+        size_t idx = kNone;
+        auto it = in_flight.find({ev.flow, ev.packet});
+        if (it != in_flight.end() && !it->second.empty()) {
+          idx = it->second.front();
+          it->second.pop_front();
+          if (it->second.empty()) {
+            in_flight.erase(it);
+          }
+        } else {
+          // Receive side with no observed transmit (trace started late, or
+          // a unit test injected the packet directly).
+          Journey j;
+          j.ip_key = ev.flow;
+          j.ip_id = ev.packet;
+          journeys.push_back(j);
+          idx = journeys.size() - 1;
+        }
+        Journey& j = journeys[idx];
+        j.rx_host = ev.host;
+        j.link_rx_ns = st.cur_link_rx;
+        j.enqueue_ns = st.cur_enqueue;
+        j.dequeue_ns = st.cur_dequeue;
+        j.ipq_wait_ns = st.cur_ipq_wait;
+        j.pkt_rx_ns = ev.ts_ns;
+        st.rx_open = idx;
+        st.cur_link_rx = st.cur_enqueue = -1;
+        break;
+      }
+
+      case TraceEventKind::kSegRx:
+        if (st.rx_open != kNone && journeys[st.rx_open].seg_rx_ns < 0) {
+          journeys[st.rx_open].seg_rx_ns = ev.ts_ns;
+          journeys[st.rx_open].rx_seg_flow = ev.flow;
+        }
+        break;
+
+      case TraceEventKind::kWakeup:
+        // Socket-layer sorwakeup inside the current input chain; the sched-
+        // layer kWakeup (runnable-queue bookkeeping) is not a delivery.
+        if (ev.layer == TraceLayer::kSock && st.rx_open != kNone) {
+          Journey& j = journeys[st.rx_open];
+          if (j.seg_rx_ns >= 0 && j.wakeup_ns < 0 && ev.flow == j.rx_seg_flow) {
+            j.wakeup_ns = ev.ts_ns;
+          }
+        }
+        break;
+
+      default:
+        break;
+    }
+  }
+  return graph;
+}
+
+std::vector<const Journey*> CausalGraph::FlowJourneys(uint64_t canonical_flow) const {
+  std::vector<const Journey*> out;
+  for (const Journey& j : journeys_) {
+    if (j.seg_flow != 0 && CanonicalFlow(j.seg_flow) == canonical_flow) {
+      out.push_back(&j);
+    }
+  }
+  return out;
+}
+
+size_t CausalGraph::linked_count() const {
+  size_t n = 0;
+  for (const Journey& j : journeys_) {
+    if (j.tx_host >= 0 && j.rx_host >= 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace tcplat

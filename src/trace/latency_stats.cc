@@ -69,6 +69,15 @@ SimDuration LatencyStats::Percentile(double p) const {
   return sorted_samples_[std::min(rank, n - 1)];
 }
 
+LatencyStats::Summary LatencyStats::Percentiles() const {
+  return Summary{Percentile(50.0), Percentile(90.0), Percentile(99.0), Percentile(99.9)};
+}
+
+SimDuration LatencyStats::PercentileGap(double p_lo, double p_hi) const {
+  TCPLAT_CHECK_LE(p_lo, p_hi);
+  return Percentile(p_hi) - Percentile(p_lo);
+}
+
 void LatencyStats::Merge(const LatencyStats& other) {
   // Copy first so self-merge doesn't walk a vector it is growing.
   const std::vector<SimDuration> incoming = other.samples_;

@@ -25,6 +25,19 @@ class LatencyStats {
   // p in [0, 100]; nearest-rank percentile. Zero when empty.
   SimDuration Percentile(double p) const;
 
+  // The standard tail quartet in one call (one cache fold instead of four).
+  struct Summary {
+    SimDuration p50;
+    SimDuration p90;
+    SimDuration p99;
+    SimDuration p999;
+  };
+  Summary Percentiles() const;
+
+  // Percentile(p_hi) - Percentile(p_lo): the tail gap a blame report
+  // attributes. Requires p_lo <= p_hi.
+  SimDuration PercentileGap(double p_lo, double p_hi) const;
+
   // Appends every sample of `other` (cross-flow aggregation). Merging an
   // empty set is a no-op; self-merge doubles the sample set.
   void Merge(const LatencyStats& other);

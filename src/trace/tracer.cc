@@ -1,6 +1,8 @@
 #include "src/trace/tracer.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstddef>
 #include <cstdio>
 
 #include "src/base/check.h"
@@ -30,86 +32,125 @@ constexpr int kTidSpans = 0;      // nested B/E charge-attributed spans
 constexpr int kTidIntervals = 1;  // wall-interval spans (X events)
 constexpr int kTidPackets = 2;    // packet-lifecycle instants
 
+// Name tables are indexed by enum value, one entry per enumerator, so a new
+// layer/kind without a name is a compile error instead of an empty string in
+// CSV/Perfetto exports.
+constexpr std::array<std::string_view, static_cast<size_t>(TraceLayer::kCount)> kLayerNames = {
+    "sock", "tcp", "ip", "atm", "ether", "link", "sched"};
+
+constexpr std::array<std::string_view, static_cast<size_t>(TraceEventKind::kCount)> kKindNames = {
+    "span.begin", "span.end", "span.interval", "span.reset",
+    "user.write", "user.read", "wakeup",
+    "seg.tx", "seg.rx", "retransmit", "ack", "delayed.ack", "listen.overflow",
+    "checksum.error", "drop",
+    "enqueue", "dequeue", "pkt.tx", "pkt.rx",
+    "pdu.tx", "pdu.rx", "cell.drop", "tx.stall", "cell.switch",
+    "frame.tx", "frame.rx",
+    "impair.drop", "impair.dup", "impair.delay"};
+
+template <size_t N>
+constexpr bool AllDistinctNonEmpty(const std::array<std::string_view, N>& names) {
+  for (size_t i = 0; i < N; ++i) {
+    if (names[i].empty()) return false;
+    for (size_t j = i + 1; j < N; ++j) {
+      if (names[i] == names[j]) return false;
+    }
+  }
+  return true;
+}
+static_assert(AllDistinctNonEmpty(kLayerNames), "every TraceLayer needs a unique name");
+static_assert(AllDistinctNonEmpty(kKindNames), "every TraceEventKind needs a unique name");
+
+// One trace_event object for `ev`, no separators — shared by the full-trace
+// and anomaly exporters so both stay byte-stable and format-identical.
+void AppendEventJson(std::string* out, const TraceEvent& ev) {
+  char buf[256];
+  const int pid = ev.host;
+  switch (ev.kind) {
+    case TraceEventKind::kSpanBegin:
+      std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                    std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
+      *out += buf;
+      AppendMicros(out, ev.ts_ns);
+      *out += "}";
+      break;
+    case TraceEventKind::kSpanEnd:
+      std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                    std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
+      *out += buf;
+      AppendMicros(out, ev.ts_ns);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"self_ns\":%" PRId64 "}}", ev.self_ns);
+      *out += buf;
+      break;
+    case TraceEventKind::kSpanInterval:
+      std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                    std::string(SpanName(ev.span)).c_str(), pid, kTidIntervals);
+      *out += buf;
+      AppendMicros(out, ev.ts_ns - ev.dur_ns);
+      *out += ",\"dur\":";
+      AppendMicros(out, ev.dur_ns);
+      *out += "}";
+      break;
+    case TraceEventKind::kSpanReset:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"span.reset\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                    "\"ts\":",
+                    pid, kTidSpans);
+      *out += buf;
+      AppendMicros(out, ev.ts_ns);
+      *out += "}";
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s.%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                    std::string(TraceLayerName(ev.layer)).c_str(),
+                    std::string(TraceEventKindName(ev.kind)).c_str(), pid, kTidPackets);
+      *out += buf;
+      AppendMicros(out, ev.ts_ns);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"flow\":%" PRIu64 ",\"packet\":%" PRIu64 ",\"bytes\":%" PRIu64
+                    ",\"dur_ns\":%" PRId64 "}}",
+                    ev.flow, ev.packet, ev.bytes, ev.dur_ns);
+      *out += buf;
+      break;
+  }
+}
+
+// Shared process/track-name metadata prologue for both exporters.
+void AppendProcessMetadata(std::string* out, const std::vector<std::string>& host_names,
+                           bool* first) {
+  char buf[256];
+  for (size_t pid = 0; pid < host_names.size(); ++pid) {
+    if (!*first) *out += ",\n";
+    *first = false;
+    *out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    *out += std::to_string(pid);
+    *out += ",\"args\":{\"name\":\"";
+    AppendEscaped(out, host_names[pid]);
+    *out += "\"}}";
+    static constexpr std::string_view kTrackNames[] = {"spans", "intervals", "packets"};
+    for (int tid = 0; tid < 3; ++tid) {
+      if (!*first) *out += ",\n";
+      *first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,\"tid\":%d,"
+                    "\"args\":{\"name\":\"%s\"}}",
+                    pid, tid, std::string(kTrackNames[tid]).c_str());
+      *out += buf;
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view TraceLayerName(TraceLayer layer) {
-  switch (layer) {
-    case TraceLayer::kSock:
-      return "sock";
-    case TraceLayer::kTcp:
-      return "tcp";
-    case TraceLayer::kIp:
-      return "ip";
-    case TraceLayer::kAtm:
-      return "atm";
-    case TraceLayer::kEther:
-      return "ether";
-    case TraceLayer::kLink:
-      return "link";
-    case TraceLayer::kSched:
-      return "sched";
-  }
-  return "?";
+  const auto i = static_cast<size_t>(layer);
+  return i < kLayerNames.size() ? kLayerNames[i] : "?";
 }
 
 std::string_view TraceEventKindName(TraceEventKind kind) {
-  switch (kind) {
-    case TraceEventKind::kSpanBegin:
-      return "span.begin";
-    case TraceEventKind::kSpanEnd:
-      return "span.end";
-    case TraceEventKind::kSpanInterval:
-      return "span.interval";
-    case TraceEventKind::kSpanReset:
-      return "span.reset";
-    case TraceEventKind::kUserWrite:
-      return "user.write";
-    case TraceEventKind::kUserRead:
-      return "user.read";
-    case TraceEventKind::kWakeup:
-      return "wakeup";
-    case TraceEventKind::kSegTx:
-      return "seg.tx";
-    case TraceEventKind::kSegRx:
-      return "seg.rx";
-    case TraceEventKind::kRetransmit:
-      return "retransmit";
-    case TraceEventKind::kAck:
-      return "ack";
-    case TraceEventKind::kChecksumError:
-      return "checksum.error";
-    case TraceEventKind::kDrop:
-      return "drop";
-    case TraceEventKind::kEnqueue:
-      return "enqueue";
-    case TraceEventKind::kDequeue:
-      return "dequeue";
-    case TraceEventKind::kPktTx:
-      return "pkt.tx";
-    case TraceEventKind::kPktRx:
-      return "pkt.rx";
-    case TraceEventKind::kPduTx:
-      return "pdu.tx";
-    case TraceEventKind::kPduRx:
-      return "pdu.rx";
-    case TraceEventKind::kCellDrop:
-      return "cell.drop";
-    case TraceEventKind::kTxStall:
-      return "tx.stall";
-    case TraceEventKind::kCellSwitch:
-      return "cell.switch";
-    case TraceEventKind::kFrameTx:
-      return "frame.tx";
-    case TraceEventKind::kFrameRx:
-      return "frame.rx";
-    case TraceEventKind::kImpairDrop:
-      return "impair.drop";
-    case TraceEventKind::kImpairDup:
-      return "impair.dup";
-    case TraceEventKind::kImpairDelay:
-      return "impair.delay";
-  }
-  return "?";
+  const auto i = static_cast<size_t>(kind);
+  return i < kKindNames.size() ? kKindNames[i] : "?";
 }
 
 uint8_t Tracer::RegisterHost(std::string name) {
@@ -146,85 +187,88 @@ std::string Tracer::ToPerfettoJson() const {
   std::string out;
   out.reserve(128 + events_.size() * 96);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
-
-  char buf[256];
   bool first = true;
-  auto comma = [&] {
-    if (!first) {
-      out += ",\n";
-    }
-    first = false;
-  };
-
-  for (size_t pid = 0; pid < host_names_.size(); ++pid) {
-    comma();
-    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
-    out += std::to_string(pid);
-    out += ",\"args\":{\"name\":\"";
-    AppendEscaped(&out, host_names_[pid]);
-    out += "\"}}";
-    static constexpr std::string_view kTrackNames[] = {"spans", "intervals", "packets"};
-    for (int tid = 0; tid < 3; ++tid) {
-      comma();
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,\"tid\":%d,"
-                    "\"args\":{\"name\":\"%s\"}}",
-                    pid, tid, std::string(kTrackNames[tid]).c_str());
-      out += buf;
-    }
-  }
-
+  AppendProcessMetadata(&out, host_names_, &first);
   for (const TraceEvent& ev : events_) {
-    comma();
-    const int pid = ev.host;
-    switch (ev.kind) {
-      case TraceEventKind::kSpanBegin:
-        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":",
-                      std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
-        out += buf;
-        AppendMicros(&out, ev.ts_ns);
-        out += "}";
-        break;
-      case TraceEventKind::kSpanEnd:
-        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":",
-                      std::string(SpanName(ev.span)).c_str(), pid, kTidSpans);
-        out += buf;
-        AppendMicros(&out, ev.ts_ns);
-        std::snprintf(buf, sizeof(buf), ",\"args\":{\"self_ns\":%" PRId64 "}}", ev.self_ns);
-        out += buf;
-        break;
-      case TraceEventKind::kSpanInterval:
-        std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":",
-                      std::string(SpanName(ev.span)).c_str(), pid, kTidIntervals);
-        out += buf;
-        AppendMicros(&out, ev.ts_ns - ev.dur_ns);
-        out += ",\"dur\":";
-        AppendMicros(&out, ev.dur_ns);
-        out += "}";
-        break;
-      case TraceEventKind::kSpanReset:
-        std::snprintf(buf, sizeof(buf),
-                      "{\"name\":\"span.reset\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
-                      "\"ts\":",
-                      pid, kTidSpans);
-        out += buf;
-        AppendMicros(&out, ev.ts_ns);
-        out += "}";
-        break;
-      default:
-        std::snprintf(buf, sizeof(buf),
-                      "{\"name\":\"%s.%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":",
-                      std::string(TraceLayerName(ev.layer)).c_str(),
-                      std::string(TraceEventKindName(ev.kind)).c_str(), pid, kTidPackets);
-        out += buf;
-        AppendMicros(&out, ev.ts_ns);
-        std::snprintf(buf, sizeof(buf),
-                      ",\"args\":{\"flow\":%" PRIu64 ",\"packet\":%" PRIu64 ",\"bytes\":%" PRIu64
-                      ",\"dur_ns\":%" PRId64 "}}",
-                      ev.flow, ev.packet, ev.bytes, ev.dur_ns);
-        out += buf;
-        break;
+    if (!first) out += ",\n";
+    first = false;
+    AppendEventJson(&out, ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::IsTrigger(const TraceEvent& ev) const {
+  switch (ev.kind) {
+    case TraceEventKind::kRetransmit:
+      return flight_.on_retransmit;
+    case TraceEventKind::kCellDrop:
+      return flight_.on_cell_drop;
+    case TraceEventKind::kTxStall:
+      return flight_.on_tx_stall && ev.dur_ns >= flight_.tx_stall_threshold_ns;
+    case TraceEventKind::kListenOverflow:
+      return flight_.on_listen_overflow;
+    case TraceEventKind::kImpairDrop:
+      return flight_.on_impair_drop;
+    default:
+      return false;
+  }
+}
+
+void Tracer::CommitToRing(const TraceEvent& ev) {
+  ++commit_seq_;
+  ring_.push_back(ev);
+  while (ring_.size() > flight_.ring_capacity) {
+    ring_.pop_front();
+  }
+  if (!IsTrigger(ev)) {
+    return;
+  }
+  ++anomalies_seen_;
+  if (anomalies_.size() >= flight_.max_anomalies) {
+    return;
+  }
+  AnomalyRecord rec;
+  rec.trigger_seq = commit_seq_;
+  rec.trigger = ev;
+  const size_t n = std::min(ring_.size(), flight_.context_events);
+  rec.context.assign(ring_.end() - static_cast<ptrdiff_t>(n), ring_.end());
+  anomalies_.push_back(std::move(rec));
+}
+
+std::string Tracer::AnomaliesToPerfettoJson() const {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  AppendProcessMetadata(&out, host_names_, &first);
+  char buf[256];
+  // Overlapping context windows would repeat events; track the last emitted
+  // commit ordinal and skip duplicates (context seqs are contiguous and end
+  // at the trigger's).
+  uint64_t emitted_through = 0;
+  for (const AnomalyRecord& rec : anomalies_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"anomaly.%s.%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,\"tid\":%d,"
+                  "\"ts\":",
+                  std::string(TraceLayerName(rec.trigger.layer)).c_str(),
+                  std::string(TraceEventKindName(rec.trigger.kind)).c_str(),
+                  static_cast<int>(rec.trigger.host), kTidPackets);
+    out += buf;
+    AppendMicros(&out, rec.trigger.ts_ns);
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"seq\":%" PRIu64 "}}", rec.trigger_seq);
+    out += buf;
+    const uint64_t first_seq = rec.trigger_seq - rec.context.size() + 1;
+    for (size_t i = 0; i < rec.context.size(); ++i) {
+      const uint64_t seq = first_seq + i;
+      if (seq <= emitted_through) {
+        continue;
+      }
+      out += ",\n";
+      AppendEventJson(&out, rec.context[i]);
     }
+    emitted_through = rec.trigger_seq;
   }
   out += "\n]}\n";
   return out;

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,6 +48,7 @@ enum class TraceLayer : uint8_t {
   kEther,  // Ethernet driver
   kLink,   // physical links (impairment policies: loss/dup/reorder/jitter)
   kSched,  // span bookkeeping (begin/end/interval/reset markers)
+  kCount,  // sentinel — keep last
 };
 
 enum class TraceEventKind : uint8_t {
@@ -62,15 +64,18 @@ enum class TraceEventKind : uint8_t {
   // TCP.
   kSegTx,          // segment emitted; packet = seq, bytes = payload length
   kSegRx,          // segment arrived at tcp_input
-  kRetransmit,     // segment tx was a retransmission
-  kAck,            // ACK advanced snd_una; bytes = newly acked
-  kChecksumError,  // inbound segment failed checksum verification
-  kDrop,           // packet/segment/frame discarded (any layer)
+  kRetransmit,      // segment tx was a retransmission
+  kAck,             // ACK advanced snd_una; bytes = newly acked
+  kDelayedAck,      // delayed-ACK timer fired and forced an ACK out
+  kListenOverflow,  // SYN dropped: listen backlog full; packet = backlog limit
+  kChecksumError,   // inbound segment failed checksum verification
+  kDrop,            // packet/segment/frame discarded (any layer)
   // IP.
   kEnqueue,  // driver appended a packet to the ipintrq; packet = queue depth
   kDequeue,  // ipintr picked it up; dur_ns = queue wait
-  kPktTx,    // ip_output handed a datagram to a driver; packet = header id
-  kPktRx,    // ip_input delivered a datagram to a protocol; packet = header id
+  kPktTx,    // ip_output handed a datagram to a driver; flow = (src<<32)|dst,
+             // packet = header id (matches the destination's kPktRx)
+  kPktRx,    // ip_input delivered a datagram to a protocol; same keying
   // ATM (AAL3/4 + TCA-100 + switch).
   kPduTx,       // AAL3/4 PDU segmented and handed to the adapter; packet = cells
   kPduRx,       // EOM interrupt reassembled a PDU; packet = cells
@@ -84,6 +89,7 @@ enum class TraceEventKind : uint8_t {
   kImpairDrop,   // unit discarded in flight
   kImpairDup,    // a second copy will be delivered; dur_ns = duplicate lag
   kImpairDelay,  // arrival delayed (reorder hold or jitter); dur_ns = delay
+  kCount,        // sentinel — keep last
 };
 
 std::string_view TraceLayerName(TraceLayer layer);
@@ -122,7 +128,7 @@ class Tracer {
     ev.kind = TraceEventKind::kSpanBegin;
     ev.span = id;
     ev.host = host;
-    events_.push_back(ev);
+    Commit(ev);
   }
   void RecordSpanEnd(uint8_t host, SpanId id, SimTime ts, SimDuration self) {
     if (!enabled_) return;
@@ -132,7 +138,7 @@ class Tracer {
     ev.kind = TraceEventKind::kSpanEnd;
     ev.span = id;
     ev.host = host;
-    events_.push_back(ev);
+    Commit(ev);
   }
   void RecordSpanInterval(uint8_t host, SpanId id, SimTime end, SimDuration dur) {
     if (!enabled_) return;
@@ -142,7 +148,7 @@ class Tracer {
     ev.kind = TraceEventKind::kSpanInterval;
     ev.span = id;
     ev.host = host;
-    events_.push_back(ev);
+    Commit(ev);
   }
   void RecordSpanReset(uint8_t host, SimTime ts) {
     if (!enabled_) return;
@@ -150,7 +156,7 @@ class Tracer {
     ev.ts_ns = ts.nanos();
     ev.kind = TraceEventKind::kSpanReset;
     ev.host = host;
-    events_.push_back(ev);
+    Commit(ev);
   }
   void RecordPacket(uint8_t host, TraceLayer layer, TraceEventKind kind, SimTime ts,
                     uint64_t flow, uint64_t packet, uint64_t bytes,
@@ -165,14 +171,66 @@ class Tracer {
     ev.kind = kind;
     ev.layer = layer;
     ev.host = host;
-    events_.push_back(ev);
+    Commit(ev);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<std::string>& host_names() const { return host_names_; }
 
-  // Drops recorded events; registered hosts are kept.
-  void Clear() { events_.clear(); }
+  // Drops recorded events (full-trace and flight-recorder state both);
+  // registered hosts and the recording mode are kept.
+  void Clear() {
+    events_.clear();
+    ring_.clear();
+    anomalies_.clear();
+    anomalies_seen_ = 0;
+    commit_seq_ = 0;
+  }
+
+  // ---- Anomaly flight recorder ------------------------------------------
+  //
+  // Production-style alternative to full recording: committed events go to a
+  // bounded ring instead of events(), and whenever a trigger event commits
+  // (retransmit, cell drop, FIFO stall over a threshold, listen-queue
+  // overflow, impairment drop) the tail of the ring is snapped into an
+  // AnomalyRecord. Memory stays O(ring_capacity + captured anomalies)
+  // however long the run is, and since everything captured is pure
+  // simulated-time state the dumps are byte-identical across TCPLAT_JOBS
+  // at a fixed seed.
+
+  struct FlightRecorderConfig {
+    size_t ring_capacity = 4096;  // events retained while armed
+    size_t context_events = 64;   // events per anomaly dump (incl. trigger)
+    size_t max_anomalies = 64;    // later triggers count but are not captured
+    int64_t tx_stall_threshold_ns = 0;  // kTxStall triggers when dur_ns >= this
+    bool on_retransmit = true;
+    bool on_cell_drop = true;
+    bool on_tx_stall = true;
+    bool on_listen_overflow = true;
+    bool on_impair_drop = false;
+  };
+
+  struct AnomalyRecord {
+    uint64_t trigger_seq = 0;         // ordinal among all committed events
+    TraceEvent trigger;
+    std::vector<TraceEvent> context;  // ring tail, oldest first, ends at trigger
+  };
+
+  // Switches this tracer into flight-recorder mode. Mutually exclusive with
+  // full recording: from now on committed events feed the ring, not events().
+  void EnableFlightRecorder(const FlightRecorderConfig& config) {
+    flight_enabled_ = true;
+    flight_ = config;
+  }
+  bool flight_recorder_enabled() const { return flight_enabled_; }
+  const std::vector<AnomalyRecord>& anomalies() const { return anomalies_; }
+  // Total trigger events observed, including ones past max_anomalies.
+  uint64_t anomalies_seen() const { return anomalies_seen_; }
+
+  // Chrome trace_event JSON for the captured anomalies: one instant marker
+  // per trigger plus the surrounding context events (de-duplicated across
+  // overlapping windows).
+  std::string AnomaliesToPerfettoJson() const;
 
   // Per-span self-time sums for `host`, in nanoseconds, counting only events
   // after that host's last kSpanReset marker: kSpanEnd contributes self_ns,
@@ -189,9 +247,28 @@ class Tracer {
   std::string ToCsv() const;
 
  private:
+  // Every Record* method funnels here so flight-recorder mode can divert the
+  // stream without touching the hook sites.
+  void Commit(const TraceEvent& ev) {
+    if (!flight_enabled_) {
+      events_.push_back(ev);
+      return;
+    }
+    CommitToRing(ev);
+  }
+  void CommitToRing(const TraceEvent& ev);
+  bool IsTrigger(const TraceEvent& ev) const;
+
   bool enabled_ = true;
   std::vector<TraceEvent> events_;
   std::vector<std::string> host_names_;
+
+  bool flight_enabled_ = false;
+  FlightRecorderConfig flight_;
+  std::deque<TraceEvent> ring_;
+  uint64_t commit_seq_ = 0;
+  uint64_t anomalies_seen_ = 0;
+  std::vector<AnomalyRecord> anomalies_;
 };
 
 // Writes `contents` to `path`; returns false (after perror) on failure.

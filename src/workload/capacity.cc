@@ -72,6 +72,10 @@ std::vector<FlowSpec> BuildSpecs(const CapacityCell& cell, int clients, int serv
 }  // namespace
 
 CapacityOutcome RunCapacityCell(const CapacityCell& cell) {
+  return RunCapacityCell(cell, nullptr);
+}
+
+CapacityOutcome RunCapacityCell(const CapacityCell& cell, Tracer* tracer) {
   TCPLAT_CHECK_GT(cell.flows, 0);
   StarTestbedConfig config;
   config.network = cell.network;
@@ -82,6 +86,9 @@ CapacityOutcome RunCapacityCell(const CapacityCell& cell) {
   config.tcp.header_prediction = cell.header_prediction;
   config.tcp.checksum = cell.checksum;
   StarTestbed testbed(config);
+  if (tracer != nullptr) {
+    testbed.AttachTracer(tracer);
+  }
 
   const std::vector<FlowSpec> specs = BuildSpecs(cell, config.clients, config.servers);
   const WorkloadResult result = RunWorkload(testbed, specs);

@@ -46,8 +46,11 @@ struct CapacityOutcome {
 };
 
 // Builds a fresh star testbed for the cell, runs its workload to
-// completion, and reduces the per-flow stats.
+// completion, and reduces the per-flow stats. The second overload attaches
+// `tracer` to every host and the switch before running, so the cell's full
+// event stream is available for causal-graph attribution afterwards.
 CapacityOutcome RunCapacityCell(const CapacityCell& cell);
+CapacityOutcome RunCapacityCell(const CapacityCell& cell, Tracer* tracer);
 
 // Table formatting shared by the bench binary and the determinism tests.
 // Only simulated quantities appear — never wall-clock — so the rows are

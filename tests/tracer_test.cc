@@ -115,19 +115,72 @@ TEST(Tracer, CsvHasHeaderAndOneRowPerEvent) {
   ASSERT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 }
 
-TEST(Tracer, LayerAndKindNamesAreDistinct) {
-  for (int i = 0; i <= static_cast<int>(TraceEventKind::kFrameRx); ++i) {
-    for (int j = i + 1; j <= static_cast<int>(TraceEventKind::kFrameRx); ++j) {
-      EXPECT_NE(TraceEventKindName(static_cast<TraceEventKind>(i)),
-                TraceEventKindName(static_cast<TraceEventKind>(j)));
+TEST(Tracer, EveryLayerAndKindHasAUniqueNonEmptyName) {
+  // Full-enum coverage: iterate to the kCount sentinels so adding an enum
+  // value without a name (the lookup returns "?") fails here, and the
+  // constexpr static_asserts in tracer.cc catch it at compile time too.
+  for (int i = 0; i < static_cast<int>(TraceEventKind::kCount); ++i) {
+    const auto name_i = TraceEventKindName(static_cast<TraceEventKind>(i));
+    EXPECT_FALSE(name_i.empty()) << "kind " << i;
+    EXPECT_NE(name_i, "?") << "kind " << i;
+    for (int j = i + 1; j < static_cast<int>(TraceEventKind::kCount); ++j) {
+      EXPECT_NE(name_i, TraceEventKindName(static_cast<TraceEventKind>(j))) << i << " vs " << j;
     }
   }
-  for (int i = 0; i <= static_cast<int>(TraceLayer::kSched); ++i) {
-    for (int j = i + 1; j <= static_cast<int>(TraceLayer::kSched); ++j) {
-      EXPECT_NE(TraceLayerName(static_cast<TraceLayer>(i)),
-                TraceLayerName(static_cast<TraceLayer>(j)));
+  for (int i = 0; i < static_cast<int>(TraceLayer::kCount); ++i) {
+    const auto name_i = TraceLayerName(static_cast<TraceLayer>(i));
+    EXPECT_FALSE(name_i.empty()) << "layer " << i;
+    EXPECT_NE(name_i, "?") << "layer " << i;
+    for (int j = i + 1; j < static_cast<int>(TraceLayer::kCount); ++j) {
+      EXPECT_NE(name_i, TraceLayerName(static_cast<TraceLayer>(j))) << i << " vs " << j;
     }
   }
+}
+
+TEST(Tracer, FlightRecorderCapturesContextOncePerAnomaly) {
+  Tracer t;
+  const uint8_t h = t.RegisterHost("h");
+  Tracer::FlightRecorderConfig config;
+  config.ring_capacity = 8;
+  config.context_events = 4;
+  t.EnableFlightRecorder(config);
+
+  for (int i = 0; i < 20; ++i) {
+    t.RecordPacket(h, TraceLayer::kTcp, TraceEventKind::kSegTx, At(i * 10), 1, i, 100);
+  }
+  EXPECT_TRUE(t.events().empty());  // diverted to the ring, not the log
+  EXPECT_TRUE(t.anomalies().empty());
+
+  t.RecordPacket(h, TraceLayer::kTcp, TraceEventKind::kRetransmit, At(300), 1, 3, 100);
+  ASSERT_EQ(t.anomalies().size(), 1u);
+  EXPECT_EQ(t.anomalies_seen(), 1u);
+  const Tracer::AnomalyRecord& rec = t.anomalies()[0];
+  ASSERT_EQ(rec.context.size(), 4u);  // trigger + the 3 events before it
+  EXPECT_EQ(rec.context.back().kind, TraceEventKind::kRetransmit);
+  EXPECT_EQ(rec.trigger.kind, TraceEventKind::kRetransmit);
+
+  // Non-trigger traffic afterwards adds no anomalies.
+  t.RecordPacket(h, TraceLayer::kTcp, TraceEventKind::kSegTx, At(400), 1, 21, 100);
+  EXPECT_EQ(t.anomalies().size(), 1u);
+
+  const std::string json = t.AnomaliesToPerfettoJson();
+  EXPECT_NE(json.find("\"anomaly.tcp.retransmit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Tracer, FlightRecorderTxStallRespectsThreshold) {
+  Tracer t;
+  const uint8_t h = t.RegisterHost("h");
+  Tracer::FlightRecorderConfig config;
+  config.tx_stall_threshold_ns = 1000;
+  t.EnableFlightRecorder(config);
+
+  t.RecordPacket(h, TraceLayer::kAtm, TraceEventKind::kTxStall, At(10), 0, 0, 0,
+                 SimDuration::FromNanos(999));
+  EXPECT_TRUE(t.anomalies().empty());
+  t.RecordPacket(h, TraceLayer::kAtm, TraceEventKind::kTxStall, At(20), 0, 0, 0,
+                 SimDuration::FromNanos(1000));
+  EXPECT_EQ(t.anomalies().size(), 1u);
 }
 
 }  // namespace
