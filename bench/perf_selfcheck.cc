@@ -17,6 +17,7 @@
 // `ctest -L perf` smoke; wall-clock numbers are only meaningful from a
 // Release (-O2) build on an otherwise idle machine.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -132,12 +133,17 @@ struct CapacityRate {
   int flows = 0;
 };
 
-CapacityRate MeasureCapacityRate(bool quick) {
+CapacityCell StandardCapacityCell(bool quick) {
   CapacityCell cell;
   cell.flows = 64;
   cell.size = 200;
   cell.iterations = quick ? 5 : 25;
   cell.warmup = 2;
+  return cell;
+}
+
+CapacityRate MeasureCapacityRate(bool quick) {
+  const CapacityCell cell = StandardCapacityCell(quick);
   const auto t0 = std::chrono::steady_clock::now();
   const CapacityOutcome out = RunCapacityCell(cell);
   const double wall = SecondsSince(t0);
@@ -145,6 +151,45 @@ CapacityRate MeasureCapacityRate(bool quick) {
   rate.flows = cell.flows;
   rate.flows_per_sec = static_cast<double>(cell.flows) / wall;
   rate.sim_events_per_sec = static_cast<double>(out.sim_events) / wall;
+  return rate;
+}
+
+// 2c. The same 64-flow cell on the sharded engine: the headline single-run
+// parallelism metric. Runs once on one thread and once on `threads`, checks
+// the outcomes are bit-identical (thread count must never leak into
+// results), and reports the multi-thread rate.
+struct ShardedCapacityRate {
+  double sim_events_per_sec = 0;
+  int shard_count = 0;  // host shards + the switch's own shard
+  unsigned threads = 0;
+  bool identical = true;
+};
+
+ShardedCapacityRate MeasureShardedCapacityRate(bool quick, unsigned threads) {
+  constexpr int kHostShards = 3;
+  const auto run = [&](unsigned shard_threads, double* wall) {
+    CapacityCell cell = StandardCapacityCell(quick);
+    cell.shards = kHostShards;
+    cell.shard_threads = shard_threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const CapacityOutcome out = RunCapacityCell(cell);
+    *wall = SecondsSince(t0);
+    return out;
+  };
+  double wall_one = 0;
+  double wall_many = 0;
+  const CapacityOutcome one = run(1, &wall_one);
+  const CapacityOutcome many = run(threads, &wall_many);
+
+  ShardedCapacityRate rate;
+  rate.shard_count = kHostShards + 1;
+  rate.threads = threads;
+  rate.identical = one.samples == many.samples && one.mean == many.mean &&
+                   one.p50 == many.p50 && one.p99 == many.p99 &&
+                   one.completed == many.completed &&
+                   one.max_concurrent == many.max_concurrent &&
+                   one.sim_elapsed == many.sim_elapsed && one.sim_events == many.sim_events;
+  rate.sim_events_per_sec = static_cast<double>(many.sim_events) / wall_many;
   return rate;
 }
 
@@ -199,10 +244,12 @@ int Run(bool quick, const std::string& out_path) {
   const uint64_t cancel_pairs = quick ? 200'000 : 2'000'000;
   const int rpc_iters = quick ? 200 : 2'000;
   const int grid_iters = quick ? 50 : 400;
-  // The acceptance grid: 8 configs on 8 workers. On hosts with fewer cores
-  // the speedup degrades toward 1x by construction; the JSON records
+  // The acceptance grid: 8 configs, on up to 8 workers but never more than
+  // the machine has cores — running 8 threads on 1 core measured pure
+  // oversubscription (the old baseline's 0.8x "speedup"). The JSON records
   // hardware_concurrency so the number can be read in context.
-  const unsigned jobs = 8;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned jobs = std::min(8u, hw);
 
   std::printf("perf_selfcheck (%s mode; wall-clock numbers need a Release build)\n\n",
               quick ? "quick" : "full");
@@ -229,6 +276,16 @@ int Run(bool quick, const std::string& out_path) {
   std::printf("capacity events     : %12.0f events/sec (same run)\n",
               capacity.sim_events_per_sec);
 
+  const ShardedCapacityRate sharded = MeasureShardedCapacityRate(quick, jobs);
+  const double shard_speedup =
+      capacity.sim_events_per_sec > 0 ? sharded.sim_events_per_sec / capacity.sim_events_per_sec
+                                      : 0;
+  std::printf("sharded capacity    : %12.0f events/sec (%d shards, %u threads) "
+              "-> %.2fx vs serial\n",
+              sharded.sim_events_per_sec, sharded.shard_count, sharded.threads, shard_speedup);
+  std::printf("sharded 1 == %u thr  : %s\n", sharded.threads,
+              sharded.identical ? "yes (bit-identical)" : "NO");
+
   const GridTiming grid = MeasureGrid(grid_iters, jobs);
   const double speedup = grid.parallel_sec > 0 ? grid.serial_sec / grid.parallel_sec : 0;
   std::printf("8-config grid       : serial %.3fs, parallel %.3fs on %u threads "
@@ -253,6 +310,11 @@ int Run(bool quick, const std::string& out_path) {
                "  \"capacity_flows\": %d,\n"
                "  \"capacity_flows_per_sec\": %.0f,\n"
                "  \"capacity_sim_events_per_sec\": %.0f,\n"
+               "  \"capacity_sharded_sim_events_per_sec\": %.0f,\n"
+               "  \"shard_count\": %d,\n"
+               "  \"shard_threads\": %u,\n"
+               "  \"shard_speedup\": %.3f,\n"
+               "  \"shard_results_identical\": %s,\n"
                "  \"grid_configs\": 8,\n"
                "  \"grid_iterations\": %d,\n"
                "  \"grid_jobs\": %u,\n"
@@ -264,6 +326,8 @@ int Run(bool quick, const std::string& out_path) {
                quick ? "true" : "false", std::thread::hardware_concurrency(), dispatch_rate,
                cancel_rate, rpc.round_trips_per_sec, rpc.sim_events_per_sec, trace_overhead,
                capacity.flows, capacity.flows_per_sec, capacity.sim_events_per_sec,
+               sharded.sim_events_per_sec, sharded.shard_count, sharded.threads, shard_speedup,
+               sharded.identical ? "true" : "false",
                grid_iters,
                grid.jobs, grid.serial_sec, grid.parallel_sec, speedup,
                grid.identical ? "true" : "false");
@@ -272,7 +336,7 @@ int Run(bool quick, const std::string& out_path) {
 
   // Determinism is a hard failure; wall-clock numbers are reported, not
   // asserted, so the smoke stays green on loaded or single-core hosts.
-  return grid.identical ? 0 : 1;
+  return grid.identical && sharded.identical ? 0 : 1;
 }
 
 }  // namespace

@@ -61,6 +61,13 @@ class AtmSwitch {
   // duplication / delay. Pass nullptr to detach.
   void set_output_impairment(LinkImpairment* impairment);
 
+  // Marks output `port` as crossing a shard boundary: its fiber's deliveries
+  // are posted to `channel` instead of scheduled locally. The port must
+  // already be attached.
+  void SetOutputChannel(int port, DeliveryChannel* channel) {
+    outputs_.at(port).wire->set_shard_channel(channel);
+  }
+
   const AtmSwitchStats& stats() const { return stats_; }
 
   // The switch has no Host, so it joins a trace as its own participant

@@ -17,6 +17,11 @@ unsigned DefaultExecutorJobs() {
 }
 
 Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
+  // A single-job executor runs batches inline on the submitting thread: no
+  // pool, no handoff latency, no oversubscription on one-core machines.
+  if (jobs_ == 1) {
+    return;
+  }
   threads_.reserve(jobs_);
   for (unsigned i = 0; i < jobs_; ++i) {
     threads_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
@@ -41,6 +46,14 @@ void Executor::RunIndexed(size_t n, const std::function<void(size_t)>& body) {
   // One batch at a time: a second submitting thread queues here rather than
   // corrupting the in-flight batch.
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  // Inline serial paths: no worker pool, or a batch too small to be worth a
+  // wakeup. Identical results by the submission-order contract.
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   body_ = &body;
   batch_size_ = n;

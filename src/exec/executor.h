@@ -9,7 +9,9 @@
 //
 // The executor delivers exactly that contract:
 //  * a fixed pool of std::jthread workers (default: hardware_concurrency,
-//    overridable with the TCPLAT_JOBS environment variable),
+//    overridable with the TCPLAT_JOBS environment variable); with one job —
+//    or a one-element batch — it runs inline on the submitting thread, so a
+//    one-core machine never pays thread handoffs for zero parallelism,
 //  * each job runs in isolation and its result is stored at its submission
 //    index, so results always come back in submission order regardless of
 //    completion order,

@@ -1,0 +1,36 @@
+// Cross-shard delivery indirection.
+//
+// A sharded simulation (src/sim/shard_engine.h) partitions components across
+// several Simulators. Anything that hands an event to a component in another
+// shard — a Wire delivering bytes to a receiver owned by a different event
+// queue — must not call ScheduleAt on the foreign simulator directly (that
+// queue may be executing concurrently). Instead it posts the callback to a
+// DeliveryChannel, which buffers it until the engine's next window barrier
+// and then inserts it into the destination shard in a deterministic order.
+//
+// The interface is deliberately tiny so that the link layer can depend on it
+// without pulling in the engine (or any threading machinery): a Wire holds an
+// optional DeliveryChannel* and is otherwise unchanged.
+
+#ifndef SRC_SIM_CHANNEL_H_
+#define SRC_SIM_CHANNEL_H_
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+class DeliveryChannel {
+ public:
+  virtual ~DeliveryChannel() = default;
+
+  // Queues `fn` to run at `arrival` in the destination shard. Must be called
+  // from the source shard's execution context, and `arrival` must respect
+  // the channel's lookahead: arrival >= (source shard's current time) +
+  // lookahead. The conservative window synchronization depends on it.
+  virtual void Post(SimTime arrival, EventQueue::Callback fn) = 0;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_SIM_CHANNEL_H_

@@ -1,0 +1,208 @@
+#include "src/sim/shard_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/check.h"
+
+namespace tcplat {
+namespace {
+
+// Spin this many times on the barrier before falling back to yield(). Window
+// bodies are short (tens of microseconds of real work), so a brief spin
+// usually catches the release without a context switch.
+constexpr int kBarrierSpins = 1 << 14;
+
+}  // namespace
+
+ShardEngine::ShardEngine(uint64_t seed, int shards, unsigned threads)
+    : lookahead_(SimDuration::FromNanos(std::numeric_limits<int64_t>::max())),
+      window_end_ns_(std::numeric_limits<int64_t>::min()) {
+  TCPLAT_CHECK_GE(shards, 1) << "a sharded engine needs at least one shard";
+  sims_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>(seed + static_cast<uint64_t>(i)));
+  }
+  threads_ = std::min<unsigned>(std::max(1u, threads), static_cast<unsigned>(shards));
+  if (threads_ > 1) {
+    // The caller's thread participates in every window, so spawn one fewer
+    // persistent worker than the requested width.
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  if (!workers_.empty()) {
+    stop_.store(true);
+    round_gen_.fetch_add(1);  // release anyone parked on the barrier
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  }
+}
+
+ShardEngine::Channel* ShardEngine::CreateChannel(int src_shard, int dst_shard,
+                                                 SimDuration lookahead) {
+  TCPLAT_CHECK_GE(src_shard, 0);
+  TCPLAT_CHECK_LT(src_shard, shard_count());
+  TCPLAT_CHECK_GE(dst_shard, 0);
+  TCPLAT_CHECK_LT(dst_shard, shard_count());
+  TCPLAT_CHECK_GT(lookahead.nanos(), 0)
+      << "zero-lookahead channel would force zero-width windows";
+  auto ch = std::unique_ptr<Channel>(new Channel(
+      this, src_shard, dst_shard, static_cast<uint64_t>(channels_.size()), lookahead));
+  lookahead_ = std::min(lookahead_, lookahead);
+  channels_.push_back(std::move(ch));
+  return channels_.back().get();
+}
+
+void ShardEngine::Channel::Post(SimTime arrival, EventQueue::Callback fn) {
+  // Conservative-lookahead invariants. The first is the channel's honesty
+  // contract (messages really are at least `lookahead_` out); the second is
+  // what makes in-window execution safe (nothing lands inside the window
+  // being executed).
+  TCPLAT_CHECK_GE(arrival.nanos(),
+                  engine_->sims_[static_cast<size_t>(src_)]->Now().nanos() +
+                      lookahead_.nanos())
+      << "cross-shard message violates channel lookahead";
+  TCPLAT_CHECK_GE(arrival.nanos(), engine_->window_end_ns_.load())
+      << "cross-shard message lands inside the executing window";
+  Message m;
+  m.arrival = arrival;
+  m.seq = next_seq_++;
+  m.fn = std::move(fn);
+  outbox_.push_back(std::move(m));
+}
+
+bool ShardEngine::MessageOrderLess(const MessageKey& a, const MessageKey& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+  if (a.channel_id != b.channel_id) return a.channel_id < b.channel_id;
+  return a.seq < b.seq;
+}
+
+size_t ShardEngine::FlushChannels() {
+  flush_scratch_.clear();
+  for (const std::unique_ptr<Channel>& ch : channels_) {
+    for (Channel::Message& m : ch->outbox_) {
+      FlushItem item;
+      item.key.arrival = m.arrival;
+      item.key.src_shard = ch->src_;
+      item.key.channel_id = ch->id_;
+      item.key.seq = m.seq;
+      item.dst_shard = ch->dst_;
+      item.fn = std::move(m.fn);
+      flush_scratch_.push_back(std::move(item));
+    }
+    ch->outbox_.clear();
+  }
+  // Insertion order at equal arrival times decides the EventQueue tie-break,
+  // so this sort *is* the cross-shard determinism rule.
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const FlushItem& a, const FlushItem& b) {
+              return MessageOrderLess(a.key, b.key);
+            });
+  for (FlushItem& item : flush_scratch_) {
+    sims_[static_cast<size_t>(item.dst_shard)]->ScheduleAt(item.key.arrival,
+                                                           std::move(item.fn));
+  }
+  const size_t delivered = flush_scratch_.size();
+  flush_scratch_.clear();
+  return delivered;
+}
+
+uint64_t ShardEngine::Run() {
+  const uint64_t before = events_dispatched();
+  const int64_t max_ns = std::numeric_limits<int64_t>::max();
+  for (;;) {
+    FlushChannels();
+    int64_t base_ns = max_ns;
+    for (const std::unique_ptr<Simulator>& sim : sims_) {
+      base_ns = std::min(base_ns, sim->NextEventTime().nanos());
+    }
+    if (base_ns == max_ns) {
+      break;  // every queue empty and every outbox drained
+    }
+    const int64_t ahead = lookahead_.nanos();
+    const int64_t end_ns = (base_ns > max_ns - ahead) ? max_ns : base_ns + ahead;
+    const SimTime window_end = SimTime::FromNanos(end_ns);
+    window_end_ns_.store(end_ns);
+    if (workers_.empty()) {
+      RunWindowSerial(window_end);
+    } else {
+      RunWindowParallel(window_end);
+    }
+    ++windows_run_;
+  }
+  return events_dispatched() - before;
+}
+
+void ShardEngine::RunWindowSerial(SimTime window_end) {
+  for (const std::unique_ptr<Simulator>& sim : sims_) {
+    sim->RunWhileBefore(window_end);
+  }
+}
+
+void ShardEngine::RunWindowParallel(SimTime window_end) {
+  (void)window_end;  // workers read window_end_ns_
+  next_shard_.store(0);
+  shards_done_.store(0);
+  round_gen_.fetch_add(1);  // release the workers into this window
+  ClaimAndRunShards();      // the caller's thread pulls its weight too
+  int spins = 0;
+  while (shards_done_.load() < shard_count()) {
+    if (++spins > kBarrierSpins) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardEngine::ClaimAndRunShards() {
+  const SimTime window_end = SimTime::FromNanos(window_end_ns_.load());
+  for (;;) {
+    const int s = next_shard_.fetch_add(1);
+    if (s >= shard_count()) {
+      return;
+    }
+    sims_[static_cast<size_t>(s)]->RunWhileBefore(window_end);
+    shards_done_.fetch_add(1);
+  }
+}
+
+void ShardEngine::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (round_gen_.load() == seen) {
+      if (++spins > kBarrierSpins) {
+        std::this_thread::yield();
+      }
+    }
+    if (stop_.load()) {
+      return;
+    }
+    seen = round_gen_.load();
+    ClaimAndRunShards();
+  }
+}
+
+uint64_t ShardEngine::events_dispatched() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Simulator>& sim : sims_) {
+    total += sim->events_dispatched();
+  }
+  return total;
+}
+
+SimTime ShardEngine::EndTime() const {
+  SimTime end;
+  for (const std::unique_ptr<Simulator>& sim : sims_) {
+    end = std::max(end, sim->Now());
+  }
+  return end;
+}
+
+}  // namespace tcplat

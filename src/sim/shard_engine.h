@@ -1,0 +1,164 @@
+// Conservative-lookahead parallel discrete-event engine.
+//
+// A ShardEngine partitions one simulation into N shards, each owning a full
+// Simulator (its own EventQueue, clock, and rng). Shards interact only
+// through DeliveryChannels, each declaring a positive *lookahead*: a lower
+// bound on how far in the future any message posted on that channel arrives,
+// relative to the source shard's current time. For this codebase the natural
+// channels are Wires, whose lookahead is propagation delay plus the
+// serialization time of the smallest unit on the link (an ATM cell) — a
+// cell transmitted "now" cannot reach the far end sooner than that.
+//
+// Synchronization is a synchronous window barrier (null-message-free):
+//
+//   L := min over all channels of their lookahead
+//   repeat:
+//     deliver all buffered cross-shard messages into their target queues
+//     T := min over shards of next-event time        (done when T = +inf)
+//     run every shard independently over [T, T + L)  (possibly in parallel)
+//
+// Safety: an event executing at time t in the window satisfies t < T + L,
+// and any message it posts arrives at >= t + lookahead(channel) >= T + L —
+// strictly after the window. So no in-window event can be invalidated by a
+// message from another shard, and shards never need to see each other's
+// state mid-window. Both inequalities are CHECKed at Post time.
+//
+// Determinism: each shard's intra-window execution is a serial Simulator
+// run, deterministic by construction. At the barrier, buffered messages are
+// sorted by (arrival time, source shard id, channel id, post sequence) and
+// inserted into the destination queues in that order; EventQueue breaks
+// same-timestamp ties by insertion order, so the merged schedule — and hence
+// every trace, stat, and BENCH byte — is a pure function of the seed,
+// independent of how many worker threads executed the windows.
+//
+// Threading: with `threads` > 1 the engine keeps a pool of persistent
+// workers; each window, worker threads (and the caller's thread) claim
+// shards from a shared counter and run them to the window edge. With
+// `threads` <= 1 or a single shard the loop runs inline with zero
+// synchronization cost.
+
+#ifndef SRC_SIM_SHARD_ENGINE_H_
+#define SRC_SIM_SHARD_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/sim/channel.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tcplat {
+
+class ShardEngine {
+ public:
+  // `shards` simulators seeded seed, seed+1, ...; `threads` caps the number
+  // of OS threads used per window (effective parallelism is additionally
+  // capped at `shards`).
+  ShardEngine(uint64_t seed, int shards, unsigned threads);
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+  ~ShardEngine();
+
+  // A directed cross-shard edge. Post() may only be called from the source
+  // shard's execution context (or before Run(), from the setup thread).
+  class Channel : public DeliveryChannel {
+   public:
+    void Post(SimTime arrival, EventQueue::Callback fn) override;
+
+    int src_shard() const { return src_; }
+    int dst_shard() const { return dst_; }
+    uint64_t id() const { return id_; }
+    SimDuration lookahead() const { return lookahead_; }
+
+   private:
+    friend class ShardEngine;
+    Channel(ShardEngine* engine, int src, int dst, uint64_t id,
+            SimDuration lookahead)
+        : engine_(engine), src_(src), dst_(dst), id_(id), lookahead_(lookahead) {}
+
+    struct Message {
+      SimTime arrival;
+      uint64_t seq = 0;  // per-channel post order
+      EventQueue::Callback fn;
+    };
+
+    ShardEngine* engine_;
+    int src_;
+    int dst_;
+    uint64_t id_;
+    SimDuration lookahead_;
+    uint64_t next_seq_ = 0;
+    std::vector<Message> outbox_;  // drained at each barrier
+  };
+
+  // Creates a channel from `src_shard` to `dst_shard`. `lookahead` must be
+  // strictly positive — a zero-lookahead edge would force zero-width windows.
+  // Channel ids are assigned in creation order (that order is part of the
+  // deterministic tie-break, so create channels in a fixed order).
+  Channel* CreateChannel(int src_shard, int dst_shard, SimDuration lookahead);
+
+  // Runs every shard to completion. Returns total events dispatched.
+  uint64_t Run();
+
+  Simulator& sim(int shard) { return *sims_.at(static_cast<size_t>(shard)); }
+  int shard_count() const { return static_cast<int>(sims_.size()); }
+  unsigned threads() const { return threads_; }
+
+  // min over channels, or SimDuration::Max()-like sentinel (whole run is one
+  // window) when no channels exist.
+  SimDuration lookahead() const { return lookahead_; }
+  uint64_t windows_run() const { return windows_run_; }
+  uint64_t events_dispatched() const;
+  // max shard clock — the simulation end time after Run().
+  SimTime EndTime() const;
+
+  // The barrier's message order, exposed for tests: sort key is
+  // (arrival, src shard, channel id, per-channel sequence).
+  struct MessageKey {
+    SimTime arrival;
+    int src_shard = 0;
+    uint64_t channel_id = 0;
+    uint64_t seq = 0;
+  };
+  static bool MessageOrderLess(const MessageKey& a, const MessageKey& b);
+
+ private:
+  struct FlushItem {
+    MessageKey key;
+    int dst_shard = 0;
+    EventQueue::Callback fn;
+  };
+
+  // Moves every channel outbox into the destination queues in deterministic
+  // order. Returns the number of messages delivered.
+  size_t FlushChannels();
+  // Each shard runs [its clock, window_end) serially.
+  void RunWindowSerial(SimTime window_end);
+  void RunWindowParallel(SimTime window_end);
+  void ClaimAndRunShards();
+  void WorkerLoop();
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  SimDuration lookahead_;  // min over channels
+  unsigned threads_;
+  uint64_t windows_run_ = 0;
+  std::vector<FlushItem> flush_scratch_;
+
+  // Window barrier state. window_end_ns_ is the exclusive upper edge of the
+  // window currently (or most recently) executing; Post CHECKs against it.
+  std::atomic<int64_t> window_end_ns_;
+  std::atomic<uint64_t> round_gen_{0};
+  std::atomic<int> next_shard_{0};
+  std::atomic<int> shards_done_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_SIM_SHARD_ENGINE_H_

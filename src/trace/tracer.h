@@ -174,6 +174,14 @@ class Tracer {
     Commit(ev);
   }
 
+  // Commits an already-built event (honoring flight-recorder mode). Used by
+  // the sharded workload engine to merge per-shard tracers into a canonical
+  // stream; the caller is responsible for remapping `ev.host` first.
+  void Append(const TraceEvent& ev) {
+    if (!enabled_) return;
+    Commit(ev);
+  }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<std::string>& host_names() const { return host_names_; }
 

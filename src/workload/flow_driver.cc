@@ -21,11 +21,61 @@ struct RunState {
   StarTestbed* tb = nullptr;
   const WorkloadOptions* options = nullptr;
   std::vector<FlowResult> results;
-  std::vector<bool> server_done;
-  std::vector<bool> client_done;
-  int in_flight = 0;       // flows currently inside an echo round trip
-  size_t max_in_flight = 0;
+  // uint8_t, not bool: in a sharded run flows on different hosts finish on
+  // different worker threads, and vector<bool>'s bit packing would turn
+  // per-flow writes into read-modify-write races on shared words.
+  std::vector<uint8_t> server_done;
+  std::vector<uint8_t> client_done;
+  // Per-flow [enter, leave] round-trip intervals (nanos; leave = -1 while
+  // open). Each flow's vector is written only by its own client coroutine,
+  // so recording is shard-safe; max_concurrent is swept from these after
+  // the run instead of bumping a shared counter mid-simulation.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> intervals;
 };
+
+void BeginInterval(RunState* state, size_t flow, SimTime t0) {
+  state->intervals[flow].push_back({t0.nanos(), -1});
+}
+
+void EndInterval(RunState* state, size_t flow, SimTime t1) {
+  state->intervals[flow].back().second = t1.nanos();
+}
+
+// Peak number of simultaneously open intervals. Endpoints are ordered by
+// (time, leaves-before-enters, flow) so a flow whose next round trip starts
+// at the exact instant the previous one ended never double-counts, keeping
+// the closed-loop invariant max <= population.
+size_t SweepMaxConcurrent(const RunState& state) {
+  struct Endpoint {
+    int64_t t;
+    int kind;  // 0 = leave, 1 = enter
+    size_t flow;
+  };
+  std::vector<Endpoint> points;
+  for (size_t f = 0; f < state.intervals.size(); ++f) {
+    for (const auto& [enter, leave] : state.intervals[f]) {
+      points.push_back({enter, 1, f});
+      if (leave >= 0) {
+        points.push_back({leave, 0, f});
+      }
+    }
+  }
+  std::sort(points.begin(), points.end(), [](const Endpoint& a, const Endpoint& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.flow < b.flow;
+  });
+  size_t current = 0;
+  size_t peak = 0;
+  for (const Endpoint& p : points) {
+    if (p.kind == 1) {
+      peak = std::max(peak, ++current);
+    } else {
+      --current;
+    }
+  }
+  return peak;
+}
 
 SimTask ServerProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
   Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
@@ -90,16 +140,18 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
   std::vector<uint8_t> in(spec->size);
   const int total = spec->warmup + spec->iterations;
   for (int iter = 0; iter < total; ++iter) {
-    if (iter == spec->warmup && flow == 0 && state->options->reset_trackers_at_warmup) {
+    if (iter == spec->warmup && flow == 0 && state->options->reset_trackers_at_warmup &&
+        !state->tb->sharded()) {
       // Start of the measured region: clear the layer accumulators, the
       // way the single-flow benchmark re-initializes its kernel counters.
+      // Skipped when sharded: the trackers belong to hosts on other shards
+      // that may be mid-window on other threads (sharded runs measure whole
+      // runs, not a warmup-trimmed region).
       state->tb->ResetTrackers();
     }
     FillPattern(out, iter);
-    ++state->in_flight;
-    state->max_in_flight =
-        std::max(state->max_in_flight, static_cast<size_t>(state->in_flight));
     const SimTime t0 = host.CurrentTime();
+    BeginInterval(state, flow, t0);
 
     size_t sent = 0;
     while (sent < out.size()) {
@@ -109,7 +161,7 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
         if (sock->has_error() && spec->tolerate_errors) {
           result.aborted = true;
           state->client_done[flow] = true;
-          --state->in_flight;
+          EndInterval(state, flow, host.CurrentTime());
           co_return;
         }
         TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error during send";
@@ -124,7 +176,7 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
         if ((sock->eof() || sock->has_error()) && spec->tolerate_errors) {
           result.aborted = true;
           state->client_done[flow] = true;
-          --state->in_flight;
+          EndInterval(state, flow, host.CurrentTime());
           co_return;
         }
         TCPLAT_CHECK(!sock->eof() && !sock->has_error())
@@ -134,7 +186,7 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
     }
 
     const SimTime t1 = host.CurrentTime();
-    --state->in_flight;
+    EndInterval(state, flow, t1);
     if (iter >= spec->warmup) {
       result.rtt.Add(t1.QuantizeToClockTick() - t0.QuantizeToClockTick());
       if (spec->verify_data && std::memcmp(in.data(), out.data(), out.size()) != 0) {
@@ -169,8 +221,9 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   state.tb = &testbed;
   state.options = &options;
   state.results.resize(specs.size());
-  state.server_done.assign(specs.size(), false);
-  state.client_done.assign(specs.size(), false);
+  state.server_done.assign(specs.size(), 0);
+  state.client_done.assign(specs.size(), 0);
+  state.intervals.resize(specs.size());
   for (size_t f = 0; f < specs.size(); ++f) {
     state.results[f].iterations = static_cast<uint64_t>(specs[f].iterations);
   }
@@ -196,7 +249,7 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
         .Spawn("echo-client", ClientProc(&state, &specs[f], f, port));
   }
 
-  testbed.sim().RunToCompletion();
+  testbed.RunToCompletion();
 
   WorkloadResult result;
   result.flows = std::move(state.results);
@@ -220,7 +273,7 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
     result.aborted += flow.aborted ? 1 : 0;
     result.data_mismatches += flow.data_mismatches;
   }
-  result.max_concurrent = state.max_in_flight;
+  result.max_concurrent = SweepMaxConcurrent(state);
   return result;
 }
 

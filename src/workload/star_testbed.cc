@@ -1,8 +1,11 @@
 #include "src/workload/star_testbed.h"
 
+#include <algorithm>
 #include <string>
 
+#include "src/atm/aal34.h"
 #include "src/base/check.h"
+#include "src/exec/executor.h"
 
 namespace tcplat {
 namespace {
@@ -16,36 +19,65 @@ uint16_t PairVci(int src, int dst, int n) {
 
 }  // namespace
 
-StarTestbed::StarTestbed(StarTestbedConfig config)
-    : config_(std::move(config)), sim_(config_.seed) {
+StarTestbed::StarTestbed(StarTestbedConfig config) : config_(std::move(config)) {
   TCPLAT_CHECK_GT(config_.clients, 0);
   TCPLAT_CHECK_GT(config_.servers, 0);
   const int n = host_count();
   TCPLAT_CHECK_LE(n, 250) << "star exceeds the address/VCI plan";
 
+  // Sharding needs cross-shard edges with positive lookahead, which only the
+  // ATM fibers provide (the Ethernet SharedBus is one global serializer),
+  // and at least two hosts so there is parallel work to find.
+  const bool sharded_run =
+      config_.shards > 0 && config_.network == NetworkKind::kAtm && n >= 2;
+  if (sharded_run) {
+    host_shards_ = std::min(config_.shards, n);
+    const unsigned threads =
+        config_.shard_threads != 0 ? config_.shard_threads : DefaultExecutorJobs();
+    engine_ = std::make_unique<ShardEngine>(config_.seed, 1 + host_shards_, threads);
+  } else {
+    serial_sim_ = std::make_unique<Simulator>(config_.seed);
+  }
+  const auto host_sim = [&](int idx) {
+    return sharded() ? &engine_->sim(shard_of_host(idx)) : serial_sim_.get();
+  };
+  Simulator* const hub_sim = sharded() ? &engine_->sim(0) : serial_sim_.get();
+
   for (int idx = 0; idx < n; ++idx) {
     const bool is_client = idx < config_.clients;
     const std::string name = (is_client ? "client" : "server") +
                              std::to_string(is_client ? idx : idx - config_.clients);
-    hosts_.push_back(std::make_unique<Host>(&sim_, name, config_.profile));
+    hosts_.push_back(std::make_unique<Host>(host_sim(idx), name, config_.profile));
     const Ipv4Addr addr =
         is_client ? StarClientAddr(idx) : StarServerAddr(idx - config_.clients);
     ips_.push_back(std::make_unique<IpStack>(hosts_.back().get(), addr));
   }
 
   if (config_.network == NetworkKind::kAtm) {
-    atm_switch_ = std::make_unique<AtmSwitch>(&sim_, kTaxiBitsPerSecond, config_.propagation,
+    atm_switch_ = std::make_unique<AtmSwitch>(hub_sim, kTaxiBitsPerSecond, config_.propagation,
                                               config_.switch_latency);
     const bool integrated = config_.tcp.checksum == ChecksumMode::kCombined;
     for (int idx = 0; idx < n; ++idx) {
       // Each host owns a private fiber into the switch; the switch creates
       // the return fiber in AttachOutput. Port number = host index.
       fibers_.push_back(
-          std::make_unique<Wire>(&sim_, kTaxiBitsPerSecond, config_.propagation));
+          std::make_unique<Wire>(host_sim(idx), kTaxiBitsPerSecond, config_.propagation));
       adapters_.push_back(std::make_unique<Tca100>(hosts_[static_cast<size_t>(idx)].get(),
                                                    fibers_.back().get()));
       atm_switch_->AttachOutput(idx, adapters_.back().get());
       adapters_.back()->ConnectSink(atm_switch_->input(idx));
+      if (sharded()) {
+        // A cell transmitted "now" cannot arrive before one cell time plus
+        // the propagation delay, so that sum is the fiber's lookahead in
+        // both directions. Channel creation order (per host: uplink then
+        // downlink) is part of the deterministic message tie-break.
+        const SimDuration lookahead =
+            fibers_.back()->SerializationDelay(kAtmCellBytes) + config_.propagation;
+        fibers_.back()->set_shard_channel(
+            engine_->CreateChannel(shard_of_host(idx), 0, lookahead));
+        atm_switch_->SetOutputChannel(
+            idx, engine_->CreateChannel(0, shard_of_host(idx), lookahead));
+      }
       atm_ifs_.push_back(std::make_unique<AtmNetIf>(ips_[static_cast<size_t>(idx)].get(),
                                                     adapters_.back().get(),
                                                     PairVci(idx, idx, n)));
@@ -65,7 +97,7 @@ StarTestbed::StarTestbed(StarTestbedConfig config)
       }
     }
   } else {
-    ether_segment_ = std::make_unique<EtherSegment>(&sim_, config_.propagation);
+    ether_segment_ = std::make_unique<EtherSegment>(serial_sim_.get(), config_.propagation);
     for (int idx = 0; idx < n; ++idx) {
       const MacAddr mac{0x02, 0, 0, 0, 0, static_cast<uint8_t>(idx + 1)};
       ether_ifs_.push_back(std::make_unique<EtherNetIf>(ips_[static_cast<size_t>(idx)].get(),
@@ -91,16 +123,103 @@ StarTestbed::StarTestbed(StarTestbedConfig config)
   }
 }
 
-void StarTestbed::AttachTracer(Tracer* tracer) {
-  for (auto& host : hosts_) {
-    host->AttachTracer(tracer);
+Simulator& StarTestbed::sim() {
+  TCPLAT_CHECK(!sharded()) << "no single simulator in sharded mode; use "
+                              "RunToCompletion/EndTime/EventsDispatched";
+  return *serial_sim_;
+}
+
+void StarTestbed::RunToCompletion() {
+  if (sharded()) {
+    engine_->Run();
+    MergeShardTraces();
+    return;
   }
-  if (atm_switch_ != nullptr) {
-    if (tracer != nullptr) {
-      atm_switch_->AttachTracer(tracer, tracer->RegisterHost("switch"));
-    } else {
-      atm_switch_->AttachTracer(nullptr, 0);
+  serial_sim_->RunToCompletion();
+}
+
+SimTime StarTestbed::EndTime() const {
+  return sharded() ? engine_->EndTime() : serial_sim_->Now();
+}
+
+uint64_t StarTestbed::EventsDispatched() const {
+  return sharded() ? engine_->events_dispatched() : serial_sim_->events_dispatched();
+}
+
+void StarTestbed::AttachTracer(Tracer* tracer) {
+  if (!sharded()) {
+    for (auto& host : hosts_) {
+      host->AttachTracer(tracer);
     }
+    if (atm_switch_ != nullptr) {
+      if (tracer != nullptr) {
+        atm_switch_->AttachTracer(tracer, tracer->RegisterHost("switch"));
+      } else {
+        atm_switch_->AttachTracer(nullptr, 0);
+      }
+    }
+    return;
+  }
+
+  user_tracer_ = tracer;
+  shard_tracers_.clear();
+  trace_remap_.clear();
+  if (tracer == nullptr) {
+    for (auto& host : hosts_) {
+      host->AttachTracer(nullptr);
+    }
+    atm_switch_->AttachTracer(nullptr, 0);
+    return;
+  }
+
+  // One private recorder per shard (a shared one would race across worker
+  // threads), remapped to canonical ids registered on the user's tracer in
+  // the serial order: hosts 0..N-1, then the switch.
+  const size_t shards = static_cast<size_t>(engine_->shard_count());
+  shard_tracers_.resize(shards);
+  trace_remap_.assign(shards, {});
+  for (auto& shard_tracer : shard_tracers_) {
+    shard_tracer = std::make_unique<Tracer>();
+    shard_tracer->set_enabled(tracer->enabled());
+  }
+  const auto remap = [&](size_t shard, uint8_t local, uint8_t canonical) {
+    auto& table = trace_remap_[shard];
+    if (table.size() <= local) {
+      table.resize(static_cast<size_t>(local) + 1, 0);
+    }
+    table[local] = canonical;
+  };
+  for (int idx = 0; idx < host_count(); ++idx) {
+    const auto shard = static_cast<size_t>(shard_of_host(idx));
+    hosts_[static_cast<size_t>(idx)]->AttachTracer(shard_tracers_[shard].get());
+    remap(shard, hosts_[static_cast<size_t>(idx)]->trace_id(),
+          tracer->RegisterHost(hosts_[static_cast<size_t>(idx)]->name()));
+  }
+  const uint8_t local_switch = shard_tracers_[0]->RegisterHost("switch");
+  atm_switch_->AttachTracer(shard_tracers_[0].get(), local_switch);
+  remap(0, local_switch, tracer->RegisterHost("switch"));
+}
+
+void StarTestbed::MergeShardTraces() {
+  if (user_tracer_ == nullptr || shard_tracers_.empty()) {
+    return;
+  }
+  std::vector<TraceEvent> merged;
+  for (size_t shard = 0; shard < shard_tracers_.size(); ++shard) {
+    for (TraceEvent ev : shard_tracers_[shard]->events()) {
+      ev.host = trace_remap_[shard][ev.host];
+      merged.push_back(ev);
+    }
+    shard_tracers_[shard]->Clear();
+  }
+  // Each participant lives in exactly one shard, so the shard streams are
+  // already per-host ordered; a stable sort on timestamp (ties keep shard
+  // order, which is fixed) yields one deterministic canonical stream no
+  // matter how many threads ran the windows.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  for (const TraceEvent& ev : merged) {
+    user_tracer_->Append(ev);
   }
 }
 

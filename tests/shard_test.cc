@@ -1,0 +1,257 @@
+// The sharded engine's contract: the engine-wide lookahead is the minimum
+// over its channels; cross-shard messages merge in (time, src shard,
+// channel, sequence) order regardless of which thread ran which shard; a
+// sharded star workload is byte-identical across shard_threads values at a
+// fixed seed (traces included); and configurations sharding cannot serve
+// (Ethernet, one host) fall back to the serial engine.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/shard_engine.h"
+#include "src/trace/tracer.h"
+#include "src/workload/capacity.h"
+#include "src/workload/flow_driver.h"
+#include "src/workload/generator.h"
+#include "src/workload/star_testbed.h"
+
+namespace tcplat {
+namespace {
+
+TEST(ShardEngine, LookaheadIsMinOverChannels) {
+  ShardEngine engine(1, 3, 1);
+  engine.CreateChannel(0, 1, SimDuration::FromMicros(5));
+  EXPECT_EQ(engine.lookahead().nanos(), 5000);
+  engine.CreateChannel(1, 2, SimDuration::FromMicros(2));
+  EXPECT_EQ(engine.lookahead().nanos(), 2000);
+  engine.CreateChannel(2, 0, SimDuration::FromMicros(9));
+  EXPECT_EQ(engine.lookahead().nanos(), 2000) << "a wider channel must not widen the min";
+}
+
+TEST(ShardEngine, WindowBaseAdvancesByLookahead) {
+  // Two shards, 2us lookahead, events every 1.5us in shard 0: each window
+  // covers [T, T+2us), so consecutive events usually share a window.
+  ShardEngine engine(1, 2, 1);
+  engine.CreateChannel(0, 1, SimDuration::FromMicros(2));
+  int fired = 0;
+  for (int i = 1; i <= 4; ++i) {
+    engine.sim(0).Schedule(SimDuration::FromNanos(i * 1500), [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.Run(), 4u);
+  EXPECT_EQ(fired, 4);
+  // Windows: base 1500 covers {1500, 3000}, base 4500 covers {4500, 6000}.
+  EXPECT_EQ(engine.windows_run(), 2u);
+  EXPECT_EQ(engine.EndTime().nanos(), 6000);
+}
+
+TEST(ShardEngine, MessageOrderBreaksTiesBySrcShardThenChannelThenSeq) {
+  using Key = ShardEngine::MessageKey;
+  const SimTime t = SimTime::FromNanos(1000);
+  const Key a{t, 0, 5, 9};
+  const Key b{t, 1, 0, 0};
+  EXPECT_TRUE(ShardEngine::MessageOrderLess(a, b)) << "src shard beats channel id";
+  const Key c{t, 1, 1, 3};
+  EXPECT_TRUE(ShardEngine::MessageOrderLess(b, c)) << "channel id beats sequence";
+  const Key d{t, 1, 1, 4};
+  EXPECT_TRUE(ShardEngine::MessageOrderLess(c, d)) << "sequence orders same channel";
+  const Key earlier{SimTime::FromNanos(999), 9, 9, 9};
+  EXPECT_TRUE(ShardEngine::MessageOrderLess(earlier, a)) << "time dominates everything";
+}
+
+// Same-arrival messages from different source shards and channels must be
+// dispatched in the canonical merge order, not the order threads happened to
+// drain outboxes.
+TEST(ShardEngine, CrossShardTieBreakIsDeterministic) {
+  for (unsigned threads : {1u, 4u}) {
+    ShardEngine engine(1, 3, threads);
+    const SimDuration look = SimDuration::FromMicros(1);
+    ShardEngine::Channel* from0 = engine.CreateChannel(0, 2, look);
+    ShardEngine::Channel* from1 = engine.CreateChannel(1, 2, look);
+    ShardEngine::Channel* from1b = engine.CreateChannel(1, 2, look);
+
+    std::vector<std::string> order;
+    const SimTime arrival = SimTime::FromMicros(10);
+    // Post from the shards' own contexts at time 0 (pre-run posts are
+    // delivered before the first window).
+    from1b->Post(arrival, [&] { order.push_back("src1/ch2/seq0"); });
+    from1->Post(arrival, [&] { order.push_back("src1/ch1/seq0"); });
+    from0->Post(arrival, [&] { order.push_back("src0/ch0/seq0"); });
+    from0->Post(arrival, [&] { order.push_back("src0/ch0/seq1"); });
+    engine.Run();
+
+    const std::vector<std::string> expected = {"src0/ch0/seq0", "src0/ch0/seq1",
+                                               "src1/ch1/seq0", "src1/ch2/seq0"};
+    EXPECT_EQ(order, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ShardEngineDeathTest, ZeroLookaheadChannelIsRejected) {
+  ShardEngine engine(1, 2, 1);
+  EXPECT_DEATH(engine.CreateChannel(0, 1, SimDuration()), "lookahead");
+}
+
+// --- sharded star workloads ------------------------------------------------
+
+std::string SerializeWorkload(const WorkloadResult& result) {
+  std::string out;
+  out += "completed=" + std::to_string(result.completed);
+  out += " aborted=" + std::to_string(result.aborted);
+  out += " mismatches=" + std::to_string(result.data_mismatches);
+  out += " conc=" + std::to_string(result.max_concurrent);
+  out += " samples=" + std::to_string(result.rtt.count());
+  out += " sum=" + std::to_string(result.rtt.sum().nanos());
+  out += " p50=" + std::to_string(result.rtt.Percentile(50).nanos());
+  out += " p99=" + std::to_string(result.rtt.Percentile(99).nanos());
+  for (const FlowResult& flow : result.flows) {
+    out += " f(" + std::to_string(flow.rtt.count()) + "," +
+           std::to_string(flow.rtt.sum().nanos()) + ")";
+  }
+  return out;
+}
+
+std::string SerializeTrace(const Tracer& tracer) {
+  std::string out;
+  for (const std::string& name : tracer.host_names()) {
+    out += name + ";";
+  }
+  for (const TraceEvent& ev : tracer.events()) {
+    out += std::to_string(ev.ts_ns) + "/" + std::to_string(static_cast<int>(ev.host)) + "/" +
+           std::to_string(static_cast<int>(ev.kind)) + "/" + std::to_string(ev.flow) + "/" +
+           std::to_string(ev.bytes) + "|";
+  }
+  return out;
+}
+
+struct ShardedRun {
+  std::string workload;
+  std::string trace;
+  SimTime end_time;
+  uint64_t events = 0;
+  bool sharded = false;
+};
+
+ShardedRun RunShardedStar(int shards, unsigned threads, uint64_t seed) {
+  StarTestbedConfig cfg;
+  cfg.clients = 4;
+  cfg.servers = 2;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.shard_threads = threads;
+  StarTestbed star(cfg);
+  Tracer tracer;
+  star.AttachTracer(&tracer);
+
+  ClosedLoopConfig load;
+  load.flows = 16;
+  load.clients = 4;
+  load.servers = 2;
+  load.size = 200;
+  load.iterations = 8;
+  load.warmup = 2;
+  const WorkloadResult result = RunWorkload(star, BuildClosedLoop(load));
+
+  ShardedRun run;
+  run.workload = SerializeWorkload(result);
+  run.trace = SerializeTrace(tracer);
+  run.end_time = star.EndTime();
+  run.events = star.EventsDispatched();
+  run.sharded = star.sharded();
+  return run;
+}
+
+// The tentpole guarantee: at a fixed seed, stats AND the merged trace are
+// byte-identical whether the shards run on 1 thread or 4.
+TEST(ShardedStar, ByteIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {uint64_t{1}, uint64_t{7}}) {
+    const ShardedRun one = RunShardedStar(3, 1, seed);
+    const ShardedRun four = RunShardedStar(3, 4, seed);
+    ASSERT_TRUE(one.sharded);
+    ASSERT_TRUE(four.sharded);
+    EXPECT_EQ(one.workload, four.workload) << "seed " << seed;
+    EXPECT_EQ(one.trace, four.trace) << "seed " << seed;
+    EXPECT_EQ(one.end_time.nanos(), four.end_time.nanos()) << "seed " << seed;
+    EXPECT_EQ(one.events, four.events) << "seed " << seed;
+  }
+}
+
+TEST(ShardedStar, RepeatedRunsAreByteIdentical) {
+  const ShardedRun first = RunShardedStar(3, 4, 3);
+  const ShardedRun second = RunShardedStar(3, 4, 3);
+  EXPECT_EQ(first.workload, second.workload);
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+// The sharded engine reorders same-timestamp events across hosts relative
+// to the serial scheduler (documented), but the physics must agree: every
+// flow completes with the same sample counts.
+TEST(ShardedStar, InvariantsMatchSerialRun) {
+  StarTestbedConfig serial_cfg;
+  serial_cfg.clients = 4;
+  serial_cfg.servers = 2;
+  StarTestbed serial(serial_cfg);
+  ClosedLoopConfig load;
+  load.flows = 16;
+  load.clients = 4;
+  load.servers = 2;
+  load.size = 200;
+  load.iterations = 8;
+  load.warmup = 2;
+  const WorkloadResult serial_result = RunWorkload(serial, BuildClosedLoop(load));
+
+  const ShardedRun sharded = RunShardedStar(3, 4, 1);
+  const std::string sharded_prefix = sharded.workload.substr(0, sharded.workload.find(" conc="));
+  std::string serial_prefix = "completed=" + std::to_string(serial_result.completed) +
+                              " aborted=" + std::to_string(serial_result.aborted) +
+                              " mismatches=" + std::to_string(serial_result.data_mismatches);
+  EXPECT_EQ(sharded_prefix, serial_prefix);
+  EXPECT_EQ(serial_result.rtt.count(), 16u * 8u);
+}
+
+TEST(ShardedStar, CapacityCellRowsIdenticalAcrossThreadCounts) {
+  CapacityCell cell;
+  cell.clients = 4;
+  cell.servers = 2;
+  cell.flows = 16;
+  cell.size = 200;
+  cell.iterations = 6;
+  cell.warmup = 1;
+  cell.shards = 3;
+  cell.shard_threads = 1;
+  const CapacityOutcome one = RunCapacityCell(cell);
+  cell.shard_threads = 4;
+  const CapacityOutcome four = RunCapacityCell(cell);
+  EXPECT_EQ(one.samples, four.samples);
+  EXPECT_EQ(one.mean.nanos(), four.mean.nanos());
+  EXPECT_EQ(one.p99.nanos(), four.p99.nanos());
+  EXPECT_EQ(one.sim_events, four.sim_events);
+  EXPECT_EQ(one.sim_elapsed.nanos(), four.sim_elapsed.nanos());
+  EXPECT_EQ(one.max_concurrent, four.max_concurrent);
+}
+
+TEST(ShardedStar, FallsBackToSerialWhenShardingCannotApply) {
+  StarTestbedConfig ether;
+  ether.network = NetworkKind::kEthernet;
+  ether.clients = 2;
+  ether.servers = 2;
+  ether.shards = 3;
+  StarTestbed ether_star(ether);
+  EXPECT_FALSE(ether_star.sharded()) << "SharedBus is global state; must stay serial";
+
+  StarTestbedConfig single;
+  single.clients = 1;
+  single.servers = 1;
+  single.shards = 3;
+  StarTestbed lonely(single);
+  EXPECT_TRUE(lonely.sharded()) << "two hosts and a switch are enough to shard";
+
+  StarTestbedConfig off;
+  off.clients = 4;
+  off.servers = 2;
+  StarTestbed serial_star(off);
+  EXPECT_FALSE(serial_star.sharded()) << "shards=0 keeps the serial engine";
+}
+
+}  // namespace
+}  // namespace tcplat
