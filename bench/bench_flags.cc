@@ -32,6 +32,18 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags, const char* accep
       flags->quick = true;
       continue;
     }
+    if (const char* v = FlagValue(argc, argv, &i, "--trace-sample-flows")) {
+      flags->trace_sample_flows = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--bin-out")) {
+      flags->bin_out_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--from-binary")) {
+      flags->from_binary_path = v;
+      continue;
+    }
     if (std::strncmp(argv[i], "--trace", 7) == 0 &&
         (argv[i][7] == '\0' || argv[i][7] == '=')) {
       flags->trace = true;

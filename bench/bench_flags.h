@@ -24,6 +24,10 @@ struct BenchFlags {
   std::string baseline_dir;       // --baseline-dir; committed baselines
   bool write_baseline = false;    // --write-baseline: refresh the baselines
   bool selftest = false;          // --selftest: pure-logic self-verification
+  // Binary trace pipeline (src/trace/binary_trace.h).
+  uint32_t trace_sample_flows = 0;  // --trace-sample-flows N: keep 1-in-N flows
+  std::string bin_out_path;         // --bin-out PATH: write the sealed binary trace
+  std::string from_binary_path;     // --from-binary PATH: read a sealed binary trace
 };
 
 // Parses argv into `flags` (whose pre-set values are the defaults). On an

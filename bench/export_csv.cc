@@ -9,7 +9,15 @@
 // CSV (one row per event: timestamps, layer, kind, span, flow/packet ids).
 //
 //   $ ./export_csv --trace --size 1400 > trace.csv
+//
+// With --trace --from-binary PATH it converts a sealed TLBT binary trace
+// (bench/capacity --bin-out, src/trace/binary_trace.h) to the same CSV,
+// decoding record by record — no intermediate JSON or in-memory event
+// vector, so arbitrarily large captures convert in constant memory.
+//
+//   $ ./export_csv --trace --from-binary capture.tlbt > trace.csv
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +29,7 @@
 #include "src/core/rpc_benchmark.h"
 #include "src/core/table.h"
 #include "src/core/testbed.h"
+#include "src/trace/binary_trace.h"
 #include "src/trace/tracer.h"
 
 namespace tcplat {
@@ -89,6 +98,43 @@ void Run() {
   std::fputs(csv.ToCsv().c_str(), stdout);
 }
 
+int RunTraceFromBinary(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    return 1;
+  }
+  std::string blob;
+  char in[4096];
+  size_t n;
+  while ((n = std::fread(in, 1, sizeof(in), f)) > 0) {
+    blob.append(in, n);
+  }
+  std::fclose(f);
+
+  BinaryTraceReader reader(blob);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), reader.error_message());
+    return 1;
+  }
+  std::fputs(std::string(TraceCsvHeader()).c_str(), stdout);
+  std::string row;
+  TraceEvent ev;
+  uint64_t decoded = 0;
+  while (reader.Next(&ev)) {
+    row.clear();
+    AppendTraceCsvRow(ev, reader.host_names(), &row);
+    std::fputs(row.c_str(), stdout);
+    ++decoded;
+  }
+  if (reader.error()) {
+    std::fprintf(stderr, "%s: %s (after %" PRIu64 " of %" PRIu64 " records)\n", path.c_str(),
+                 reader.error_message(), decoded, reader.record_count());
+    return 1;
+  }
+  return 0;
+}
+
 void RunTrace(size_t size) {
   TestbedConfig cfg;
   Testbed tb(cfg);
@@ -108,8 +154,12 @@ void RunTrace(size_t size) {
 int main(int argc, char** argv) {
   tcplat::BenchFlags flags;
   flags.size = 1400;
-  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--trace [--size N]]")) {
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags,
+                               "[--trace [--size N] [--from-binary PATH]]")) {
     return 2;
+  }
+  if (flags.trace && !flags.from_binary_path.empty()) {
+    return tcplat::RunTraceFromBinary(flags.from_binary_path);
   }
   if (flags.trace) {
     tcplat::RunTrace(flags.size);

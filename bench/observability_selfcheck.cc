@@ -1,6 +1,7 @@
-// Self-check for the observability subsystem: runs the standard 1400-byte
-// ATM echo with the packet-lifecycle tracer attached and verifies, end to
-// end, the properties the trace is allowed to be trusted for:
+// Self-check for the observability subsystem. Part one runs the standard
+// 1400-byte ATM echo with the packet-lifecycle tracer attached and
+// verifies, end to end, the properties the trace is allowed to be trusted
+// for:
 //
 //   1. the trace is populated at every layer it claims to cover;
 //   2. per-layer span sums recovered from the trace equal the SpanTracker
@@ -10,9 +11,29 @@
 //   4. a fixed seed produces a byte-identical Perfetto JSON trace, run to
 //      run AND when the runs execute on the src/exec/ parallel executor.
 //
-// Writes the reference trace to BENCH_trace.json (override with --out) so
-// it can be eyeballed at ui.perfetto.dev. Exits nonzero on any failure.
+// Part two covers the binary trace pipeline (src/trace/binary_trace.h) and
+// its consumers:
+//
+//   5. recording the same echo into the TLBT stream and decoding it back
+//      reproduces the Perfetto JSON byte-for-byte (lossless round trip);
+//   6. on a sharded 8-flow capacity cell, the merged binary stream is
+//      byte-identical with 1 and 4 shard worker threads;
+//   7. streaming attribution fed straight from the binary reader closes
+//      exactly the windows the batch CausalGraph/AttributeRtts path finds,
+//      every window's stages telescope to its RTT with 0 ns error, and
+//      >= 95% of the p99-p50 gap is attributed;
+//   8. with 1-in-8 flow sampling on the big capacity cell, peak tracer
+//      memory drops >= 4x versus the full binary trace while the sampled
+//      p99 stage blame tracks the full-trace blame per stage.
+//
+// Writes a flat metrics JSON (the regression-gate input) to
+// BENCH_trace.json — override with --out — and the reference Perfetto
+// trace next to it (<out>_perfetto.json) for ui.perfetto.dev. --bin-out
+// additionally writes the sharded cell's sealed binary stream. Exits
+// nonzero on any failure.
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -24,7 +45,12 @@
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
 #include "src/exec/executor.h"
+#include "src/trace/attribution.h"
+#include "src/trace/binary_trace.h"
+#include "src/trace/causal_graph.h"
+#include "src/trace/stream_attribution.h"
 #include "src/trace/tracer.h"
+#include "src/workload/capacity.h"
 
 namespace tcplat {
 namespace {
@@ -36,6 +62,15 @@ void Check(bool ok, const std::string& what) {
     ++g_failures;
   }
   std::printf("%s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 struct TracedRun {
@@ -122,8 +157,122 @@ TracedRun RunOnce(size_t size) {
   return out;
 }
 
-int Run(const std::string& out_path) {
-  std::printf("observability_selfcheck\n\n");
+// The same echo recorded straight into the TLBT stream; returns the sealed
+// binary blob.
+std::string RunOnceBinary(size_t size) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  Tracer tracer;
+  tracer.EnableBinaryRecording();
+  tb.AttachTracer(&tracer);
+  RpcOptions opt;
+  opt.size = size;
+  opt.iterations = 50;
+  opt.warmup = 16;
+  RunRpcBenchmark(tb, opt);
+  return SealBinaryTrace(tracer.host_names(), tracer.binary_records());
+}
+
+CapacityCell EchoCell(int flows, size_t size, int iterations, int warmup, uint64_t seed) {
+  CapacityCell cell;
+  cell.clients = 4;
+  cell.servers = 2;
+  cell.flows = flows;
+  cell.size = size;
+  cell.iterations = iterations;
+  cell.warmup = warmup;
+  cell.seed = seed;
+  cell.shards = 3;  // every binary-pipeline cell runs on the sharded engine
+  return cell;
+}
+
+struct BinaryCellRun {
+  std::string blob;        // sealed merged stream
+  size_t peak_bytes = 0;   // tracer recording-buffer high-water mark
+  size_t flows_seen = 0;   // sampler only
+  size_t flows_kept = 0;   // sampler only
+  uint64_t samples = 0;    // measured round trips
+};
+
+// Runs `cell` with a binary-recording tracer (optionally flow-sampled at
+// 1-in-`sample_one_in`) on `shard_threads` worker threads.
+BinaryCellRun RunBinaryCell(const CapacityCell& cell, uint32_t sample_one_in,
+                            unsigned shard_threads) {
+  CapacityCell c = cell;
+  c.shard_threads = shard_threads;
+  Tracer tracer;
+  tracer.EnableBinaryRecording();
+  if (sample_one_in > 1) {
+    FlowSampleConfig sample;
+    sample.one_in = sample_one_in;
+    sample.seed = cell.seed;
+    tracer.EnableFlowSampling(sample);
+  }
+  BinaryCellRun out;
+  out.samples = RunCapacityCell(c, &tracer).samples;
+  out.blob = SealBinaryTrace(tracer.host_names(), tracer.binary_records());
+  out.peak_bytes = tracer.peak_memory_bytes();
+  out.flows_seen = tracer.flows_seen().size();
+  out.flows_kept = tracer.flows_kept().size();
+  return out;
+}
+
+// Decodes `blob` and runs the batch CausalGraph + AttributeRtts path on it.
+std::vector<RttWindow> BatchWindows(const std::string& blob, const AttributionOptions& opt,
+                                    bool* decode_ok) {
+  Tracer decoded;
+  *decode_ok = DecodeBinaryTrace(blob, &decoded);
+  if (!*decode_ok) {
+    return {};
+  }
+  const CausalGraph graph = CausalGraph::Build(decoded);
+  return AttributeRtts(decoded, graph, opt).windows;
+}
+
+bool SameWindow(const RttWindow& a, const RttWindow& b) {
+  return a.flow == b.flow && a.client_host == b.client_host &&
+         a.server_host == b.server_host && a.start_ns == b.start_ns && a.end_ns == b.end_ns &&
+         a.stage_ns == b.stage_ns && a.retransmits == b.retransmits &&
+         a.delayed_acks == b.delayed_acks && a.tx_stall_ns == b.tx_stall_ns;
+}
+
+// Order-insensitive window-set equality: the batch path emits (flow, index)
+// order, the streaming path close order; both sorts land on (flow, start).
+bool SameWindows(std::vector<RttWindow> a, std::vector<RttWindow> b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  const auto by_flow_start = [](const RttWindow& x, const RttWindow& y) {
+    return x.flow != y.flow ? x.flow < y.flow : x.start_ns < y.start_ns;
+  };
+  std::sort(a.begin(), a.end(), by_flow_start);
+  std::sort(b.begin(), b.end(), by_flow_start);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameWindow(a[i], b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True when every window's stages sum exactly to its RTT (the streaming
+// acceptance criterion: 0 ns span-sum delta).
+bool StagesTelescope(const std::vector<RttWindow>& windows) {
+  for (const RttWindow& w : windows) {
+    int64_t sum = 0;
+    for (int64_t stage : w.stage_ns) {
+      sum += stage;
+    }
+    if (sum != w.rtt_ns()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const BenchFlags& flags) {
+  std::printf("observability_selfcheck (%s mode, seed %llu)\n\n",
+              flags.quick ? "quick" : "full", static_cast<unsigned long long>(flags.seed));
 
   const TracedRun a = RunOnce(1400);
   std::printf("1400-byte echo: %zu events, max span delta %lld ns\n\n", a.events,
@@ -155,7 +304,169 @@ int Run(const std::string& out_path) {
   }
   Check(identical, "4-size grid traces are byte-identical serial vs 4-job parallel");
 
-  Check(WriteTextFile(out_path, a.json), "reference trace written to " + out_path);
+  // (5) binary round trip: encode -> decode -> export equals the legacy
+  // in-memory export byte-for-byte.
+  const std::string echo_blob = RunOnceBinary(1400);
+  BinaryTraceReader echo_reader(echo_blob);
+  Check(echo_reader.ok(), "sealed binary echo stream parses");
+  Check(echo_reader.record_count() == a.events,
+        "binary stream carries every event of the echo trace");
+  const double bytes_per_event =
+      echo_reader.record_count() > 0
+          ? static_cast<double>(echo_blob.size()) / static_cast<double>(echo_reader.record_count())
+          : 0.0;
+  Tracer echo_decoded;
+  const bool echo_decode_ok = DecodeBinaryTrace(echo_blob, &echo_decoded);
+  const bool roundtrip_identical = echo_decode_ok && echo_decoded.ToPerfettoJson() == a.json;
+  Check(roundtrip_identical,
+        "binary round trip reproduces the Perfetto JSON byte-for-byte");
+  std::printf("binary echo stream: %zu bytes, %.2f bytes/event (in-memory struct: 64)\n\n",
+              echo_blob.size(), bytes_per_event);
+
+  // (6) sharded 8-flow cell: the merged binary stream must not depend on
+  // the shard worker thread count.
+  const CapacityCell small_cell =
+      EchoCell(/*flows=*/8, /*size=*/200, flags.quick ? 40 : 200, /*warmup=*/8, flags.seed);
+  const BinaryCellRun jobs1 = RunBinaryCell(small_cell, /*sample_one_in=*/1, /*threads=*/1);
+  const BinaryCellRun jobs4 = RunBinaryCell(small_cell, /*sample_one_in=*/1, /*threads=*/4);
+  const bool jobs_identical = jobs1.blob == jobs4.blob;
+  Check(jobs_identical, "merged binary stream byte-identical with 1 vs 4 shard threads");
+  if (!flags.bin_out_path.empty()) {
+    Check(WriteTextFile(flags.bin_out_path, jobs1.blob),
+          "sealed binary stream written to " + flags.bin_out_path);
+  }
+
+  // (7) streaming attribution straight off the binary reader == batch.
+  AttributionOptions small_opt;
+  small_opt.message_bytes = small_cell.size;
+  small_opt.warmup_windows = small_cell.warmup;
+  bool small_decode_ok = false;
+  const std::vector<RttWindow> small_batch = BatchWindows(jobs1.blob, small_opt, &small_decode_ok);
+  Check(small_decode_ok, "sharded cell binary stream decodes cleanly");
+  StreamingAttribution streaming(small_opt);
+  BinaryTraceReader small_reader(jobs1.blob);
+  TraceEvent ev;
+  while (small_reader.Next(&ev)) {
+    streaming.OnEvent(ev);
+  }
+  Check(small_reader.ok() && !small_reader.error(), "streaming decode consumed the full stream");
+  Check(small_batch.size() == jobs1.samples,
+        "every measured round trip of the 8-flow cell is attributed");
+  Check(SameWindows(small_batch, streaming.windows()),
+        "streaming attribution reproduces the batch window set exactly");
+  Check(StagesTelescope(streaming.windows()),
+        "streaming stages telescope to each RTT with 0 ns error");
+  const BlameReport small_blame = BuildBlame(streaming.windows(), 50.0, 99.0);
+  char line[160];
+  std::snprintf(line, sizeof(line), ">=95%% of the p99-p50 gap attributed (%.2f%%)",
+                small_blame.explained_pct);
+  Check(small_blame.explained_pct >= 95.0, line);
+  const size_t peak_nodes = streaming.peak_live_journeys();
+  std::printf("streaming graph: %zu peak live journeys (%zu at end of run, %zu windows)\n\n",
+              peak_nodes, streaming.live_journeys(), streaming.windows().size());
+
+  // (8) flow sampling on the big cell: memory must collapse, blame must
+  // not. Same cell, same seed; only the sampler differs.
+  const CapacityCell big_cell = EchoCell(flags.quick ? 64 : 256, /*size=*/200,
+                                         flags.quick ? 24 : 32, /*warmup=*/4, flags.seed);
+  const BinaryCellRun full = RunBinaryCell(big_cell, /*sample_one_in=*/1, /*threads=*/0);
+  const BinaryCellRun sampled = RunBinaryCell(big_cell, /*sample_one_in=*/8, /*threads=*/0);
+  Check(sampled.flows_kept > 0 && sampled.flows_kept < sampled.flows_seen,
+        "sampler kept a strict non-empty subset of flows");
+  const double memory_ratio =
+      sampled.peak_bytes > 0
+          ? static_cast<double>(full.peak_bytes) / static_cast<double>(sampled.peak_bytes)
+          : 0.0;
+  std::snprintf(line, sizeof(line),
+                "1-in-8 sampling cuts peak tracer memory >= 4x (%zu -> %zu bytes, %.2fx)",
+                full.peak_bytes, sampled.peak_bytes, memory_ratio);
+  Check(memory_ratio >= 4.0, line);
+
+  AttributionOptions big_opt;
+  big_opt.message_bytes = big_cell.size;
+  big_opt.warmup_windows = big_cell.warmup;
+  bool full_decode_ok = false;
+  bool sampled_decode_ok = false;
+  const std::vector<RttWindow> full_windows = BatchWindows(full.blob, big_opt, &full_decode_ok);
+  const std::vector<RttWindow> sampled_windows =
+      BatchWindows(sampled.blob, big_opt, &sampled_decode_ok);
+  Check(full_decode_ok && sampled_decode_ok, "big-cell binary streams decode cleanly");
+  Check(StagesTelescope(sampled_windows), "sampled-trace stages still telescope exactly");
+  // The flow driver runs warmup + iterations round trips per flow and
+  // measures the last `iterations`; attribution drops the same warmup.
+  const size_t expected_windows =
+      sampled.flows_kept * static_cast<size_t>(big_cell.iterations);
+  std::snprintf(line, sizeof(line),
+                "sampled trace attributes every kept flow's round trips (%zu windows, %zu kept "
+                "flows of %zu)",
+                sampled_windows.size(), sampled.flows_kept, sampled.flows_seen);
+  Check(sampled_windows.size() == expected_windows, line);
+
+  const BlameReport full_blame = BuildBlame(full_windows, 50.0, 99.0);
+  const BlameReport sampled_blame = BuildBlame(sampled_windows, 50.0, 99.0);
+  // Per stage, the sampled p99 decomposition must track the full-trace one
+  // within 10% of the window's RTT (the percentile is taken over ~1/8 of
+  // the population, so stage-relative tolerances would be meaningless for
+  // near-zero stages).
+  const int64_t tolerance_ns =
+      full_blame.hi_rtt_ns > 0 ? full_blame.hi_rtt_ns / 10 : 1;
+  bool blame_matches = true;
+  for (size_t s = 0; s < kBlameStageCount; ++s) {
+    const int64_t delta = std::abs(full_blame.hi_stage_ns[s] - sampled_blame.hi_stage_ns[s]);
+    if (delta > tolerance_ns) {
+      std::printf("  stage %s: full p99 %" PRId64 " ns vs sampled %" PRId64
+                  " ns (tolerance %" PRId64 ")\n",
+                  std::string(BlameStageName(static_cast<BlameStage>(s))).c_str(),
+                  full_blame.hi_stage_ns[s], sampled_blame.hi_stage_ns[s], tolerance_ns);
+      blame_matches = false;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "sampled p99 stage blame matches full trace within 10%% per stage "
+                "(p99 RTT %" PRId64 " vs %" PRId64 " ns)",
+                full_blame.hi_rtt_ns, sampled_blame.hi_rtt_ns);
+  Check(blame_matches, line);
+
+  // Reference Perfetto trace next to the metrics file.
+  std::string perfetto_path = flags.out_path;
+  const char* suffix = ".json";
+  if (perfetto_path.size() >= 5 &&
+      perfetto_path.compare(perfetto_path.size() - 5, 5, suffix) == 0) {
+    perfetto_path.resize(perfetto_path.size() - 5);
+  }
+  perfetto_path += "_perfetto.json";
+  Check(WriteTextFile(perfetto_path, a.json), "reference trace written to " + perfetto_path);
+
+  // Flat metrics JSON for the regression gate. Everything here is pure
+  // simulated data, so every value is byte-stable across machines and job
+  // counts; the gate holds the two capacity-class metrics to a 1.10x
+  // ceiling and everything else exact.
+  char buf[256];
+  std::string metrics = "{\n";
+  metrics += std::string("  \"quick\": ") + (flags.quick ? "true" : "false") + ",\n";
+  metrics += "  \"trace_bytes\": " + std::to_string(a.json.size()) + ",\n";
+  metrics += "  \"trace_events\": " + std::to_string(a.events) + ",\n";
+  std::snprintf(buf, sizeof(buf), "  \"trace_fnv64\": \"%016" PRIx64 "\",\n",
+                Fnv1a64(a.json));
+  metrics += buf;
+  std::snprintf(buf, sizeof(buf), "  \"binary_trace_bytes_per_event\": %.3f,\n",
+                bytes_per_event);
+  metrics += buf;
+  metrics += std::string("  \"binary_roundtrip_identical\": ") +
+             (roundtrip_identical ? "true" : "false") + ",\n";
+  metrics += std::string("  \"binary_jobs_identical\": ") +
+             (jobs_identical ? "true" : "false") + ",\n";
+  metrics += std::string("  \"streaming_matches_batch\": ") +
+             (SameWindows(small_batch, streaming.windows()) ? "true" : "false") + ",\n";
+  metrics += "  \"streaming_graph_peak_nodes\": " + std::to_string(peak_nodes) + ",\n";
+  metrics += "  \"trace_sampled_flows\": " + std::to_string(sampled.flows_kept) + ",\n";
+  std::snprintf(buf, sizeof(buf), "  \"sampled_memory_ratio\": %.2f,\n", memory_ratio);
+  metrics += buf;
+  metrics += std::string("  \"sampled_blame_within_tolerance\": ") +
+             (blame_matches ? "true" : "false") + "\n";
+  metrics += "}\n";
+  Check(WriteTextFile(flags.out_path, metrics), "metrics written to " + flags.out_path);
+
   std::printf("\n%s\n", g_failures == 0 ? "all checks passed" : "FAILURES");
   return g_failures == 0 ? 0 : 1;
 }
@@ -166,8 +477,9 @@ int Run(const std::string& out_path) {
 int main(int argc, char** argv) {
   tcplat::BenchFlags flags;
   flags.out_path = "BENCH_trace.json";
-  if (!tcplat::ParseBenchFlags(argc, argv, &flags, "[--out PATH]")) {
+  if (!tcplat::ParseBenchFlags(argc, argv, &flags,
+                               "[--quick] [--seed N] [--out PATH] [--bin-out PATH]")) {
     return 2;
   }
-  return tcplat::Run(flags.out_path);
+  return tcplat::Run(flags);
 }

@@ -95,6 +95,55 @@ std::string_view BlameStageName(BlameStage stage) {
   return i < kStageNames.size() ? kStageNames[i] : "?";
 }
 
+void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin, RttWindow* w) {
+  w->stage_ns.fill(0);
+  if (req == nullptr && rsp == nullptr) {
+    w->stage_ns[static_cast<size_t>(BlameStage::kUnattributed)] = w->rtt_ns();
+  } else {
+    // Thirteen anchors -> twelve telescoping stages. Missing anchors
+    // forward-fill from their predecessor (a zero-length stage), so the
+    // stages always sum to end - start exactly.
+    auto wake = [](const Journey* j) {
+      return j->wakeup_ns >= 0 ? j->wakeup_ns : j->seg_rx_ns;
+    };
+    std::array<int64_t, 13> a;
+    a[0] = w->start_ns;
+    a[1] = req != nullptr ? req->seg_tx_ns : -1;
+    a[2] = req != nullptr ? req->link_tx_ns : -1;
+    a[3] = req != nullptr ? req->link_rx_ns : -1;
+    a[4] = req != nullptr ? req->dequeue_ns : -1;
+    a[5] = req != nullptr ? wake(req) : -1;
+    a[6] = srv_begin;
+    a[7] = rsp != nullptr ? rsp->seg_tx_ns : -1;
+    a[8] = rsp != nullptr ? rsp->link_tx_ns : -1;
+    a[9] = rsp != nullptr ? rsp->link_rx_ns : -1;
+    a[10] = rsp != nullptr ? rsp->dequeue_ns : -1;
+    a[11] = rsp != nullptr ? wake(rsp) : -1;
+    a[12] = w->end_ns;
+    for (size_t k = 1; k < a.size(); ++k) {
+      a[k] = std::clamp(a[k], a[k - 1], w->end_ns);
+    }
+    for (size_t k = 0; k + 1 < a.size(); ++k) {
+      w->stage_ns[k] = a[k + 1] - a[k];
+    }
+    // With only half a chain, the forward-fill dumps the missing half
+    // into the stage after the gap; relabel it honestly.
+    auto relabel = [w](BlameStage from) {
+      w->stage_ns[static_cast<size_t>(BlameStage::kUnattributed)] +=
+          w->stage_ns[static_cast<size_t>(from)];
+      w->stage_ns[static_cast<size_t>(from)] = 0;
+    };
+    if (req == nullptr) {
+      relabel(BlameStage::kSrvWakeupRead);
+    }
+    if (rsp == nullptr) {
+      relabel(BlameStage::kCliWakeupRead);
+    }
+  }
+  w->tx_stall_ns =
+      (req != nullptr ? req->tx_stall_ns : 0) + (rsp != nullptr ? rsp->tx_stall_ns : 0);
+}
+
 AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
                                 const AttributionOptions& options) {
   AttributionResult result;
@@ -189,54 +238,9 @@ AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
       const Journey* rsp = LastJourneyIn(srv_j, w.start_ns, w.end_ns);
       const int64_t srv_begin = i < srv_starts.size() ? srv_starts[i] : -1;
 
-      if (req == nullptr && rsp == nullptr) {
-        w.stage_ns[static_cast<size_t>(BlameStage::kUnattributed)] = w.rtt_ns();
-      } else {
-        // Thirteen anchors -> twelve telescoping stages. Missing anchors
-        // forward-fill from their predecessor (a zero-length stage), so the
-        // stages always sum to end - start exactly.
-        auto wake = [](const Journey* j) {
-          return j->wakeup_ns >= 0 ? j->wakeup_ns : j->seg_rx_ns;
-        };
-        std::array<int64_t, 13> a;
-        a[0] = w.start_ns;
-        a[1] = req != nullptr ? req->seg_tx_ns : -1;
-        a[2] = req != nullptr ? req->link_tx_ns : -1;
-        a[3] = req != nullptr ? req->link_rx_ns : -1;
-        a[4] = req != nullptr ? req->dequeue_ns : -1;
-        a[5] = req != nullptr ? wake(req) : -1;
-        a[6] = srv_begin;
-        a[7] = rsp != nullptr ? rsp->seg_tx_ns : -1;
-        a[8] = rsp != nullptr ? rsp->link_tx_ns : -1;
-        a[9] = rsp != nullptr ? rsp->link_rx_ns : -1;
-        a[10] = rsp != nullptr ? rsp->dequeue_ns : -1;
-        a[11] = rsp != nullptr ? wake(rsp) : -1;
-        a[12] = w.end_ns;
-        for (size_t k = 1; k < a.size(); ++k) {
-          a[k] = std::clamp(a[k], a[k - 1], w.end_ns);
-        }
-        for (size_t k = 0; k + 1 < a.size(); ++k) {
-          w.stage_ns[k] = a[k + 1] - a[k];
-        }
-        // With only half a chain, the forward-fill dumps the missing half
-        // into the stage after the gap; relabel it honestly.
-        auto relabel = [&w](BlameStage from) {
-          w.stage_ns[static_cast<size_t>(BlameStage::kUnattributed)] +=
-              w.stage_ns[static_cast<size_t>(from)];
-          w.stage_ns[static_cast<size_t>(from)] = 0;
-        };
-        if (req == nullptr) {
-          relabel(BlameStage::kSrvWakeupRead);
-        }
-        if (rsp == nullptr) {
-          relabel(BlameStage::kCliWakeupRead);
-        }
-      }
-
+      DecomposeWindow(req, rsp, srv_begin, &w);
       w.retransmits = CountIn(acc.retransmit_ts, w.start_ns, w.end_ns);
       w.delayed_acks = CountIn(acc.delack_ts, w.start_ns, w.end_ns);
-      w.tx_stall_ns = (req != nullptr ? req->tx_stall_ns : 0) +
-                      (rsp != nullptr ? rsp->tx_stall_ns : 0);
       result.windows.push_back(w);
     }
   }

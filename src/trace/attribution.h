@@ -88,6 +88,13 @@ struct AttributionResult {
 AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
                                 const AttributionOptions& options);
 
+// Fills w->stage_ns and w->tx_stall_ns from the window's two critical
+// journeys (either may be null) and the server write-entry anchor
+// (`srv_begin`, -1 when unobserved); w->start_ns/end_ns must already be
+// set. Factored out of AttributeRtts so the batch and streaming
+// reconstructors produce bit-identical decompositions.
+void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin, RttWindow* w);
+
 // Per-span totals for `host` partitioned into the given windows (bucketed
 // by each span event's end timestamp) plus a residual bucket for time
 // outside every window. Counts the same post-kSpanReset events as

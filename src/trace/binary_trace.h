@@ -1,0 +1,154 @@
+// Compact binary trace format (the "TLBT" stream).
+//
+// The Perfetto-JSON text tracer costs ~90 bytes per event and a 64-byte
+// in-memory struct; neither survives the roadmap's 10^5-flow fabrics at
+// millions of events per second. This module defines a compact append-only
+// record stream that a Tracer (one per shard — shard confinement means no
+// cross-shard synchronization on the hot path) encodes into directly, plus
+// a deterministic post-hoc merge and a streaming reader, so the existing
+// Perfetto/CSV exporters and the causal-graph/attribution consumers are a
+// lossless round trip away.
+//
+// Stream layout (all integers little-endian):
+//
+//   header:  magic "TLBT" (4 bytes)
+//            u16   version (currently 1)
+//            varint host_count, then per host: varint name_len + name bytes
+//            varint record_count
+//   records: record_count encoded TraceEvents, each:
+//            varint zigzag(ts_ns - previous record's ts_ns)
+//            u8 kind, u8 layer, u8 span, u8 host   (fixed-width tag block)
+//            varint flow
+//            varint packet
+//            varint bytes
+//            varint zigzag(dur_ns)
+//            varint zigzag(self_ns)
+//
+// Timestamps are delta-encoded against the previous record in the same
+// stream (the first record's delta is against 0). Deltas are zigzag-encoded
+// because a sampled stream may legitimately emit a deferred event after a
+// later-timestamped one. Everything else is plain LEB128 varint; the
+// four enum/host bytes stay fixed-width so corrupt streams fail fast on
+// range checks rather than desynchronizing.
+//
+// Determinism: encoding is a pure function of the event sequence, and
+// MergeBinaryShards consumes per-shard streams head-to-head in
+// (timestamp, shard index, per-shard sequence) order — the same order the
+// sharded engine's stable timestamp sort produced — so the merged bytes are
+// identical for any TCPLAT_JOBS value.
+
+#ifndef SRC_TRACE_BINARY_TRACE_H_
+#define SRC_TRACE_BINARY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/tracer.h"
+
+namespace tcplat {
+
+inline constexpr char kBinaryTraceMagic[4] = {'T', 'L', 'B', 'T'};
+inline constexpr uint16_t kBinaryTraceVersion = 1;
+
+// Append-only encoder for the record section (no header). One lives inside
+// each recording Tracer; the full stream is assembled by SealBinaryTrace.
+class BinaryTraceWriter {
+ public:
+  void Append(const TraceEvent& ev);
+  void Clear() {
+    data_.clear();
+    prev_ts_ = 0;
+    count_ = 0;
+  }
+
+  const std::string& data() const { return data_; }
+  uint64_t count() const { return count_; }
+  // Buffer footprint by content size (not capacity), so the number is
+  // identical across platforms/allocators and can be gated exactly.
+  size_t SizeBytes() const { return data_.size(); }
+
+ private:
+  std::string data_;
+  int64_t prev_ts_ = 0;
+  uint64_t count_ = 0;
+};
+
+// Full stream = header(hosts, records.count()) + records.data().
+std::string SealBinaryTrace(const std::vector<std::string>& host_names,
+                            const BinaryTraceWriter& records);
+
+// Streaming decoder for a record section (no header); used by the reader,
+// the shard merge, and tests. `count` bounds how many records to decode.
+class BinaryRecordCursor {
+ public:
+  BinaryRecordCursor(std::string_view records, uint64_t count)
+      : data_(records), remaining_(count) {}
+
+  // Decodes the next record into *ev. Returns false at end-of-stream or on
+  // a malformed record (distinguish with error()).
+  bool Next(TraceEvent* ev);
+
+  bool error() const { return error_ != nullptr; }
+  const char* error_message() const { return error_ == nullptr ? "" : error_; }
+  uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  int64_t prev_ts_ = 0;
+  uint64_t remaining_ = 0;
+  const char* error_ = nullptr;
+};
+
+// Streaming decoder for a full sealed stream. Parses the header eagerly;
+// ok() is false on a bad magic/version/truncated header. Next() then yields
+// records until the advertised count is exhausted, flagging error() if the
+// stream is truncated or a field is out of range.
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(std::string_view blob);
+
+  bool ok() const { return ok_; }
+  const char* error_message() const;
+  const std::vector<std::string>& host_names() const { return host_names_; }
+  uint64_t record_count() const { return record_count_; }
+
+  bool Next(TraceEvent* ev);
+  bool error() const { return !ok_ || cursor_.error(); }
+
+ private:
+  bool ok_ = false;
+  const char* header_error_ = nullptr;
+  std::vector<std::string> host_names_;
+  uint64_t record_count_ = 0;
+  BinaryRecordCursor cursor_{std::string_view(), 0};
+};
+
+// One shard's contribution to a merge: its record stream plus the
+// local-host-id -> canonical-host-id table (tracer host registration is
+// per shard, the merged stream uses the canonical serial-order ids).
+struct BinaryShardStream {
+  const BinaryTraceWriter* records = nullptr;
+  const std::vector<uint8_t>* host_remap = nullptr;  // nullptr = identity
+};
+
+// Deterministically merges per-shard record streams into `out` (appending)
+// in (timestamp, shard index, per-shard sequence) order, remapping host
+// ids. With timestamp-monotonic inputs this is an exact global timestamp
+// sort with the same tie-break the serial stable-sort merge used; the
+// output is a pure function of the inputs, never of thread scheduling.
+// Returns false (leaving a partial append) if any input stream is corrupt.
+bool MergeBinaryShards(const std::vector<BinaryShardStream>& shards, BinaryTraceWriter* out);
+
+// Decodes a full sealed stream back into `out` (which must be an empty,
+// full-recording Tracer): registers the host table and appends every
+// record, making the legacy exporters (ToPerfettoJson/ToCsv) and the batch
+// causal-graph path available for binary captures. Returns false on a
+// corrupt or truncated stream.
+bool DecodeBinaryTrace(std::string_view blob, Tracer* out);
+
+}  // namespace tcplat
+
+#endif  // SRC_TRACE_BINARY_TRACE_H_

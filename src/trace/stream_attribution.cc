@@ -1,0 +1,331 @@
+#include "src/trace/stream_attribution.h"
+
+#include <algorithm>
+
+namespace tcplat {
+namespace {
+
+// The client end of a flow is the one with the higher port: ephemeral ports
+// sit above every listen port in this simulator (same rule as the batch
+// attribution pass).
+bool IsClientRaw(uint64_t raw_flow) {
+  return ((raw_flow >> 16) & 0xFFFF) > (raw_flow & 0xFFFF);
+}
+
+int CountInDeque(const std::deque<int64_t>& ts, int64_t lo, int64_t hi) {
+  int n = 0;
+  for (int64_t t : ts) {
+    if (t > hi) break;
+    if (t >= lo) ++n;
+  }
+  return n;
+}
+
+void PruneThrough(std::deque<int64_t>* ts, int64_t hi) {
+  while (!ts->empty() && ts->front() <= hi) {
+    ts->pop_front();
+  }
+}
+
+}  // namespace
+
+StreamingAttribution::StreamingAttribution(const AttributionOptions& options)
+    : options_(options) {}
+
+size_t StreamingAttribution::AllocJourney() {
+  size_t idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    idx = arena_.size();
+    arena_.emplace_back();
+    refs_.push_back(0);
+  }
+  arena_[idx] = Journey{};
+  refs_[idx] = 1;
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  return idx;
+}
+
+void StreamingAttribution::Release(size_t idx) {
+  if (idx == kNone) {
+    return;
+  }
+  if (--refs_[idx] == 0) {
+    free_list_.push_back(idx);
+    --live_;
+  }
+}
+
+StreamingAttribution::HostState& StreamingAttribution::HostAt(size_t host) {
+  if (host >= hosts_.size()) {
+    hosts_.resize(host + 1);
+  }
+  return hosts_[host];
+}
+
+void StreamingAttribution::OnEvent(const TraceEvent& ev) {
+  HostState& st = HostAt(ev.host);
+  const uint64_t message = options_.message_bytes;
+  switch (ev.kind) {
+    // ---- Attribution user-boundary records (batch pass 1) ----------------
+    case TraceEventKind::kSpanBegin:
+      if (ev.span == SpanId::kTxUser && st.pending_begin < 0) {
+        st.pending_begin = ev.ts_ns;
+      }
+      break;
+
+    case TraceEventKind::kUserWrite: {
+      const int64_t begin = st.pending_begin >= 0 ? st.pending_begin : ev.ts_ns;
+      st.pending_begin = -1;
+      if (message == 0 || ev.flow == 0 || ev.bytes == 0) {
+        break;
+      }
+      FlowState& fs = flows_[CanonicalFlow(ev.flow)];
+      if (IsClientRaw(ev.flow)) {
+        if (fs.client_host < 0) {
+          fs.client_host = ev.host;
+        }
+        if (fs.cum_client_write % message == 0) {
+          fs.starts.push_back(begin);
+        }
+        fs.cum_client_write += ev.bytes;
+      } else {
+        if (fs.server_host < 0) {
+          fs.server_host = ev.host;
+        }
+        if (fs.cum_server_write % message == 0) {
+          fs.srv_starts.push_back(begin);
+        }
+        fs.cum_server_write += ev.bytes;
+      }
+      break;
+    }
+
+    case TraceEventKind::kUserRead:
+      if (message != 0 && ev.flow != 0 && ev.bytes != 0 && IsClientRaw(ev.flow)) {
+        OnClientRead(&flows_[CanonicalFlow(ev.flow)], ev);
+      }
+      break;
+
+    case TraceEventKind::kDelayedAck:
+      if (ev.flow != 0) {
+        flows_[CanonicalFlow(ev.flow)].delack_ts.push_back(ev.ts_ns);
+      }
+      break;
+
+    // ---- Causal chain state machines (CausalGraph::Build, arena slots) ---
+    case TraceEventKind::kRetransmit:
+      st.retransmit_pending = true;
+      if (ev.flow != 0) {
+        flows_[CanonicalFlow(ev.flow)].retransmit_ts.push_back(ev.ts_ns);
+      }
+      break;
+
+    case TraceEventKind::kSegTx: {
+      Release(st.tx_open);
+      const size_t idx = AllocJourney();
+      Journey& j = arena_[idx];
+      j.tx_host = ev.host;
+      j.seg_tx_ns = ev.ts_ns;
+      j.seg_flow = ev.flow;
+      j.seg_seq = ev.packet;
+      j.seg_bytes = ev.bytes;
+      j.retransmit = st.retransmit_pending;
+      st.retransmit_pending = false;
+      st.tx_open = idx;
+      if (ev.flow != 0 && ev.bytes > 0) {
+        // Only data journeys can anchor a window; keeping bare ACKs out of
+        // the candidate list is what lets them retire with their chain.
+        flows_[CanonicalFlow(ev.flow)].candidates.push_back(idx);
+        AddRef(idx);
+      }
+      break;
+    }
+
+    case TraceEventKind::kPktTx: {
+      size_t idx;
+      if (st.tx_open != kNone && arena_[st.tx_open].pkt_tx_ns < 0) {
+        idx = st.tx_open;
+      } else {
+        Release(st.tx_open);
+        idx = AllocJourney();
+        arena_[idx].tx_host = ev.host;
+        st.tx_open = idx;
+      }
+      Journey& j = arena_[idx];
+      j.pkt_tx_ns = ev.ts_ns;
+      j.ip_key = ev.flow;
+      j.ip_id = ev.packet;
+      in_flight_[{ev.flow, ev.packet}].push_back(idx);
+      AddRef(idx);
+      break;
+    }
+
+    case TraceEventKind::kTxStall:
+      if (st.tx_open != kNone) {
+        arena_[st.tx_open].tx_stall_ns += ev.dur_ns;
+      }
+      break;
+
+    case TraceEventKind::kPduTx:
+    case TraceEventKind::kFrameTx:
+      if (st.tx_open != kNone && arena_[st.tx_open].link_tx_ns < 0) {
+        arena_[st.tx_open].link_tx_ns = ev.ts_ns;
+        Release(st.tx_open);
+        st.tx_open = kNone;
+      }
+      break;
+
+    case TraceEventKind::kPduRx:
+    case TraceEventKind::kFrameRx:
+      st.pending_link_rx = ev.ts_ns;
+      break;
+
+    case TraceEventKind::kEnqueue:
+      if (ev.layer == TraceLayer::kIp) {
+        st.ipq.emplace_back(st.pending_link_rx, ev.ts_ns);
+        st.pending_link_rx = -1;
+      }
+      break;
+
+    case TraceEventKind::kDequeue:
+      if (ev.layer == TraceLayer::kIp) {
+        if (!st.ipq.empty()) {
+          st.cur_link_rx = st.ipq.front().first;
+          st.cur_enqueue = st.ipq.front().second;
+          st.ipq.pop_front();
+        } else {
+          st.cur_link_rx = st.cur_enqueue = -1;
+        }
+        st.cur_dequeue = ev.ts_ns;
+        st.cur_ipq_wait = ev.dur_ns;
+        Release(st.rx_open);
+        st.rx_open = kNone;
+      }
+      break;
+
+    case TraceEventKind::kPktRx: {
+      size_t idx = kNone;
+      auto it = in_flight_.find({ev.flow, ev.packet});
+      if (it != in_flight_.end() && !it->second.empty()) {
+        // The in-flight reference becomes the rx_open pin: no net change.
+        idx = it->second.front();
+        it->second.pop_front();
+        if (it->second.empty()) {
+          in_flight_.erase(it);
+        }
+      } else {
+        // Receive side with no observed transmit.
+        idx = AllocJourney();
+        arena_[idx].ip_key = ev.flow;
+        arena_[idx].ip_id = ev.packet;
+      }
+      Release(st.rx_open);
+      Journey& j = arena_[idx];
+      j.rx_host = ev.host;
+      j.link_rx_ns = st.cur_link_rx;
+      j.enqueue_ns = st.cur_enqueue;
+      j.dequeue_ns = st.cur_dequeue;
+      j.ipq_wait_ns = st.cur_ipq_wait;
+      j.pkt_rx_ns = ev.ts_ns;
+      st.rx_open = idx;
+      st.cur_link_rx = st.cur_enqueue = -1;
+      break;
+    }
+
+    case TraceEventKind::kSegRx:
+      if (st.rx_open != kNone && arena_[st.rx_open].seg_rx_ns < 0) {
+        arena_[st.rx_open].seg_rx_ns = ev.ts_ns;
+        arena_[st.rx_open].rx_seg_flow = ev.flow;
+      }
+      break;
+
+    case TraceEventKind::kWakeup:
+      if (ev.layer == TraceLayer::kSock && st.rx_open != kNone) {
+        Journey& j = arena_[st.rx_open];
+        if (j.seg_rx_ns >= 0 && j.wakeup_ns < 0 && ev.flow == j.rx_seg_flow) {
+          j.wakeup_ns = ev.ts_ns;
+        }
+      }
+      break;
+
+    default:
+      break;
+  }
+}
+
+void StreamingAttribution::OnClientRead(FlowState* flow, const TraceEvent& ev) {
+  flow->cum_client_read += ev.bytes;
+  // Same boundary rule as the batch MessageEnds: one window per crossed
+  // message multiple, all stamped with this read's timestamp.
+  while (flow->cum_client_read >= (flow->windows_closed + 1) * options_.message_bytes) {
+    CloseWindow(CanonicalFlow(ev.flow), flow, ev.ts_ns);
+  }
+}
+
+void StreamingAttribution::CloseWindow(uint64_t canonical_flow, FlowState* flow, int64_t end_ns) {
+  const uint64_t i = flow->windows_closed++;
+
+  const bool have_start =
+      i >= flow->starts_base && i - flow->starts_base < flow->starts.size();
+  if (have_start && flow->client_host >= 0) {
+    RttWindow w;
+    w.flow = canonical_flow;
+    w.client_host = flow->client_host;
+    w.server_host = flow->server_host;
+    w.start_ns = flow->starts[i - flow->starts_base];
+    w.end_ns = end_ns;
+
+    // Last delivered data journey of each direction with seg_tx inside the
+    // window — candidates are in seg_tx order, so later hits overwrite.
+    const Journey* req = nullptr;
+    const Journey* rsp = nullptr;
+    for (size_t idx : flow->candidates) {
+      const Journey& j = arena_[idx];
+      if (j.seg_tx_ns > w.end_ns) {
+        break;
+      }
+      if (j.seg_tx_ns < w.start_ns || !j.data() || !j.delivered()) {
+        continue;
+      }
+      if (j.tx_host == flow->client_host) {
+        req = &j;
+      } else if (j.tx_host == flow->server_host) {
+        rsp = &j;
+      }
+    }
+    const bool have_srv =
+        i >= flow->srv_starts_base && i - flow->srv_starts_base < flow->srv_starts.size();
+    const int64_t srv_begin = have_srv ? flow->srv_starts[i - flow->srv_starts_base] : -1;
+
+    DecomposeWindow(req, rsp, srv_begin, &w);
+    w.retransmits = CountInDeque(flow->retransmit_ts, w.start_ns, w.end_ns);
+    w.delayed_acks = CountInDeque(flow->delack_ts, w.start_ns, w.end_ns);
+    if (i >= static_cast<uint64_t>(std::max(options_.warmup_windows, 0))) {
+      windows_.push_back(w);
+    }
+  }
+
+  // Retire state nothing after this window can reference: consumed message
+  // starts, candidate journeys sent at or before the close (the next window
+  // starts strictly later on a closed-loop flow), and annotation timestamps.
+  while (!flow->starts.empty() && flow->starts_base <= i) {
+    flow->starts.pop_front();
+    ++flow->starts_base;
+  }
+  while (!flow->srv_starts.empty() && flow->srv_starts_base <= i) {
+    flow->srv_starts.pop_front();
+    ++flow->srv_starts_base;
+  }
+  while (!flow->candidates.empty() && arena_[flow->candidates.front()].seg_tx_ns <= end_ns) {
+    Release(flow->candidates.front());
+    flow->candidates.pop_front();
+  }
+  PruneThrough(&flow->retransmit_ts, end_ns);
+  PruneThrough(&flow->delack_ts, end_ns);
+}
+
+}  // namespace tcplat

@@ -6,9 +6,24 @@
 #include <cstdio>
 
 #include "src/base/check.h"
+#include "src/trace/binary_trace.h"
+#include "src/trace/causal_graph.h"
 
 namespace tcplat {
 namespace {
+
+// Chains buffered past this while awaiting a flow verdict spill their oldest
+// events; ordinary syscall/softint chains decide within a few dozen events.
+constexpr size_t kMaxDeferredPerHost = 512;
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation, so flow ids
+// that differ in one bit land in independent sample buckets.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 // Perfetto timestamps are microseconds; emit them as exact fixed-point
 // strings (ns resolution) so traces are byte-stable across platforms.
@@ -153,10 +168,230 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
   return i < kKindNames.size() ? kKindNames[i] : "?";
 }
 
+Tracer::Tracer() = default;
+Tracer::~Tracer() = default;
+
 uint8_t Tracer::RegisterHost(std::string name) {
   TCPLAT_CHECK_LT(host_names_.size(), 255u) << "too many traced hosts";
   host_names_.push_back(std::move(name));
   return static_cast<uint8_t>(host_names_.size() - 1);
+}
+
+void Tracer::EnableBinaryRecording() {
+  if (binary_ != nullptr) {
+    return;
+  }
+  TCPLAT_CHECK(!flight_enabled_) << "binary recording excludes flight-recorder mode";
+  TCPLAT_CHECK(events_.empty()) << "binary recording must be enabled before recording starts";
+  binary_ = std::make_unique<BinaryTraceWriter>();
+}
+
+const BinaryTraceWriter& Tracer::binary_records() const {
+  TCPLAT_CHECK(binary_ != nullptr) << "tracer is not in binary recording mode";
+  return *binary_;
+}
+
+BinaryTraceWriter* Tracer::mutable_binary_records() {
+  TCPLAT_CHECK(binary_ != nullptr) << "tracer is not in binary recording mode";
+  return binary_.get();
+}
+
+void Tracer::EnableFlowSampling(const FlowSampleConfig& config) {
+  TCPLAT_CHECK(!flight_enabled_) << "flow sampling excludes flight-recorder mode";
+  TCPLAT_CHECK(events_.empty() && (binary_ == nullptr || binary_->count() == 0))
+      << "flow sampling must be enabled before recording starts";
+  TCPLAT_CHECK_GE(config.one_in, 1u);
+  sampling_ = true;
+  sample_ = config;
+}
+
+void Tracer::EnableFlightRecorder(const FlightRecorderConfig& config) {
+  TCPLAT_CHECK(binary_ == nullptr) << "flight-recorder mode excludes binary recording";
+  TCPLAT_CHECK(!sampling_) << "flight-recorder mode excludes flow sampling";
+  TCPLAT_CHECK(events_.empty())
+      << "flight-recorder mode must be selected before recording starts";
+  flight_enabled_ = true;
+  flight_ = config;
+}
+
+void Tracer::MergeSampleSets(const Tracer& other) {
+  flows_seen_.insert(other.flows_seen_.begin(), other.flows_seen_.end());
+  flows_kept_.insert(other.flows_kept_.begin(), other.flows_kept_.end());
+}
+
+size_t Tracer::ApproxMemoryBytes() const {
+  size_t bytes = events_.size() * sizeof(TraceEvent) + deferred_events_ * sizeof(TraceEvent);
+  if (binary_ != nullptr) {
+    bytes += binary_->SizeBytes();
+  }
+  return bytes;
+}
+
+size_t Tracer::peak_memory_bytes() const {
+  return std::max(peak_bytes_, ApproxMemoryBytes()) + child_peak_bytes_;
+}
+
+void Tracer::NotePeak() { peak_bytes_ = std::max(peak_bytes_, ApproxMemoryBytes()); }
+
+void Tracer::Clear() {
+  events_.clear();
+  if (binary_ != nullptr) {
+    binary_->Clear();
+  }
+  sample_hosts_.clear();
+  deferred_events_ = 0;
+  flows_seen_.clear();
+  flows_kept_.clear();
+  peak_bytes_ = 0;
+  child_peak_bytes_ = 0;
+  ring_.clear();
+  anomalies_.clear();
+  anomalies_seen_ = 0;
+  commit_seq_ = 0;
+}
+
+void Tracer::Emit(const TraceEvent& ev) {
+  if (flight_enabled_) {
+    CommitToRing(ev);
+  } else if (binary_ != nullptr) {
+    binary_->Append(ev);
+  } else {
+    events_.push_back(ev);
+  }
+}
+
+bool Tracer::KeepFlow(uint64_t raw_flow) {
+  const uint64_t canonical = CanonicalFlow(raw_flow);
+  flows_seen_.insert(canonical);
+  const bool keep =
+      sample_.one_in <= 1 || Mix64(canonical ^ Mix64(sample_.seed)) % sample_.one_in == 0;
+  if (keep) {
+    flows_kept_.insert(canonical);
+  }
+  return keep;
+}
+
+void Tracer::ResolveDeferred(size_t host, bool keep) {
+  SampleHostState& st = sample_hosts_[host];
+  if (st.deferred.empty()) {
+    return;
+  }
+  NotePeak();  // the buffered events are about to drain; record them first
+  for (const TraceEvent& deferred : st.deferred) {
+    if (keep) {
+      Emit(deferred);
+    }
+  }
+  deferred_events_ -= st.deferred.size();
+  st.deferred.clear();
+}
+
+void Tracer::CommitSlow(const TraceEvent& ev) {
+  if (!sampling_) {
+    Emit(ev);
+    return;
+  }
+
+  // Flow sampling. Per-host chain machine: a chain start resets the verdict
+  // to undecided and buffering begins; the chain's first flow-identifying
+  // event settles keep/drop for the buffered prefix and the rest of the
+  // chain. Sound for the same reason the causal graph is: a host's CPU runs
+  // each activation chain to completion, so buffered events can only belong
+  // to the chain being decided.
+  if (ev.host >= sample_hosts_.size()) {
+    sample_hosts_.resize(static_cast<size_t>(ev.host) + 1);
+  }
+  SampleHostState& st = sample_hosts_[ev.host];
+
+  switch (ev.kind) {
+    // Flow-agnostic chain anchors and anomalies, kept for every packet so
+    // the causal linker's FIFO pairing (reassembly -> ipintrq -> dequeue)
+    // stays exact and drop diagnostics stay complete. kDequeue/kPduRx/
+    // kFrameRx also start a receive chain: the verdict resets to undecided.
+    case TraceEventKind::kDequeue:
+      Emit(ev);
+      if (ev.layer == TraceLayer::kIp) {
+        ResolveDeferred(ev.host, false);
+        st.keep = -1;
+      }
+      return;
+    case TraceEventKind::kPduRx:
+    case TraceEventKind::kFrameRx:
+      Emit(ev);
+      ResolveDeferred(ev.host, false);
+      st.keep = -1;
+      return;
+    case TraceEventKind::kSpanReset:
+    case TraceEventKind::kEnqueue:
+    case TraceEventKind::kCellDrop:
+    case TraceEventKind::kListenOverflow:
+    case TraceEventKind::kChecksumError:
+    case TraceEventKind::kDrop:
+    case TraceEventKind::kImpairDrop:
+    case TraceEventKind::kImpairDup:
+    case TraceEventKind::kImpairDelay:
+      Emit(ev);
+      return;
+
+    // Per-cell switch hops identify host pairs (VCI), not flows, and no
+    // consumer reads them; they are the bulk of a trace, so sampled runs
+    // shed them entirely.
+    case TraceEventKind::kCellSwitch:
+      return;
+
+    // Flow-identifying events: settle the chain verdict.
+    case TraceEventKind::kUserWrite:
+    case TraceEventKind::kUserRead:
+    case TraceEventKind::kSegTx:
+    case TraceEventKind::kSegRx:
+    case TraceEventKind::kRetransmit:
+    case TraceEventKind::kAck:
+    case TraceEventKind::kDelayedAck:
+      if (ev.flow != 0) {
+        const bool keep = KeepFlow(ev.flow);
+        st.keep = keep ? 1 : 0;
+        ResolveDeferred(ev.host, keep);
+        if (keep) {
+          Emit(ev);
+        }
+        return;
+      }
+      break;
+    case TraceEventKind::kWakeup:
+      if (ev.layer == TraceLayer::kSock && ev.flow != 0) {
+        const bool keep = KeepFlow(ev.flow);
+        st.keep = keep ? 1 : 0;
+        ResolveDeferred(ev.host, keep);
+        if (keep) {
+          Emit(ev);
+        }
+        return;
+      }
+      break;
+
+    // Top-level syscall entries start a transmit/receive chain.
+    case TraceEventKind::kSpanBegin:
+      if (ev.span == SpanId::kTxUser || ev.span == SpanId::kRxUser) {
+        ResolveDeferred(ev.host, false);  // prior chain ended undecided
+        st.keep = -1;
+      }
+      break;
+
+    default:
+      break;
+  }
+
+  // Chain-follow events ride the current verdict; undecided chains buffer.
+  if (st.keep == 1) {
+    Emit(ev);
+  } else if (st.keep == -1) {
+    if (st.deferred.size() >= kMaxDeferredPerHost) {
+      st.deferred.pop_front();
+      --deferred_events_;
+    }
+    st.deferred.push_back(ev);
+    ++deferred_events_;
+  }
 }
 
 std::array<int64_t, static_cast<size_t>(SpanId::kCount)> Tracer::SpanSelfTotalsNanos(
@@ -274,24 +509,32 @@ std::string Tracer::AnomaliesToPerfettoJson() const {
   return out;
 }
 
-std::string Tracer::ToCsv() const {
-  std::string out = "ts_ns,host,layer,kind,span,dur_ns,self_ns,flow,packet,bytes\n";
-  out.reserve(out.size() + events_.size() * 64);
+std::string_view TraceCsvHeader() {
+  return "ts_ns,host,layer,kind,span,dur_ns,self_ns,flow,packet,bytes\n";
+}
+
+void AppendTraceCsvRow(const TraceEvent& ev, const std::vector<std::string>& host_names,
+                       std::string* out) {
   char buf[256];
+  const bool is_span = ev.kind == TraceEventKind::kSpanBegin ||
+                       ev.kind == TraceEventKind::kSpanEnd ||
+                       ev.kind == TraceEventKind::kSpanInterval;
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 ",%s,%s,%s,%s,%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64
+                ",%" PRIu64 "\n",
+                ev.ts_ns, ev.host < host_names.size() ? host_names[ev.host].c_str() : "?",
+                std::string(TraceLayerName(ev.layer)).c_str(),
+                std::string(TraceEventKindName(ev.kind)).c_str(),
+                is_span ? std::string(SpanName(ev.span)).c_str() : "",
+                ev.dur_ns, ev.self_ns, ev.flow, ev.packet, ev.bytes);
+  *out += buf;
+}
+
+std::string Tracer::ToCsv() const {
+  std::string out(TraceCsvHeader());
+  out.reserve(out.size() + events_.size() * 64);
   for (const TraceEvent& ev : events_) {
-    const bool is_span = ev.kind == TraceEventKind::kSpanBegin ||
-                         ev.kind == TraceEventKind::kSpanEnd ||
-                         ev.kind == TraceEventKind::kSpanInterval;
-    std::snprintf(buf, sizeof(buf),
-                  "%" PRId64 ",%s,%s,%s,%s,%" PRId64 ",%" PRId64 ",%" PRIu64 ",%" PRIu64
-                  ",%" PRIu64 "\n",
-                  ev.ts_ns,
-                  ev.host < host_names_.size() ? host_names_[ev.host].c_str() : "?",
-                  std::string(TraceLayerName(ev.layer)).c_str(),
-                  std::string(TraceEventKindName(ev.kind)).c_str(),
-                  is_span ? std::string(SpanName(ev.span)).c_str() : "",
-                  ev.dur_ns, ev.self_ns, ev.flow, ev.packet, ev.bytes);
-    out += buf;
+    AppendTraceCsvRow(ev, host_names_, &out);
   }
   return out;
 }

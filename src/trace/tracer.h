@@ -30,6 +30,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +40,8 @@
 #include "src/trace/span.h"
 
 namespace tcplat {
+
+class BinaryTraceWriter;
 
 // Which layer of the simulated stack emitted an event.
 enum class TraceLayer : uint8_t {
@@ -95,6 +99,15 @@ enum class TraceEventKind : uint8_t {
 std::string_view TraceLayerName(TraceLayer layer);
 std::string_view TraceEventKindName(TraceEventKind kind);
 
+struct TraceEvent;
+
+// The flat-CSV export schema, shared by Tracer::ToCsv and the streaming
+// binary-trace exporter (bench/export_csv --from-binary) so both emit
+// byte-identical rows. Header includes the trailing newline.
+std::string_view TraceCsvHeader();
+void AppendTraceCsvRow(const TraceEvent& ev, const std::vector<std::string>& host_names,
+                       std::string* out);
+
 struct TraceEvent {
   int64_t ts_ns = 0;    // simulated timestamp
   int64_t dur_ns = 0;   // kSpanInterval / kTxStall
@@ -108,9 +121,20 @@ struct TraceEvent {
   uint8_t host = 0;
 };
 
+// Deterministic per-flow sampling: a flow is kept iff a seeded hash of its
+// canonical (port-order-independent) id lands in the 1-in-`one_in` bucket.
+// Both connection endpoints — and every shard — reach the same verdict with
+// no coordination, so sampled sharded traces stay byte-identical across
+// TCPLAT_JOBS.
+struct FlowSampleConfig {
+  uint32_t one_in = 8;  // expected fraction of flows kept = 1/one_in
+  uint64_t seed = 0;    // varies which flows land in the kept bucket
+};
+
 class Tracer {
  public:
-  Tracer() = default;
+  Tracer();
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -174,26 +198,71 @@ class Tracer {
     Commit(ev);
   }
 
-  // Commits an already-built event (honoring flight-recorder mode). Used by
-  // the sharded workload engine to merge per-shard tracers into a canonical
-  // stream; the caller is responsible for remapping `ev.host` first.
+  // Commits an already-built event, bypassing the flow sampler (merge input
+  // from shard tracers is already sampled). Used by the sharded workload
+  // engine and the binary decoder to rebuild a canonical stream; the caller
+  // is responsible for remapping `ev.host` first.
   void Append(const TraceEvent& ev) {
     if (!enabled_) return;
-    Commit(ev);
+    Emit(ev);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<std::string>& host_names() const { return host_names_; }
 
-  // Drops recorded events (full-trace and flight-recorder state both);
-  // registered hosts and the recording mode are kept.
-  void Clear() {
-    events_.clear();
-    ring_.clear();
-    anomalies_.clear();
-    anomalies_seen_ = 0;
-    commit_seq_ = 0;
-  }
+  // ---- Binary recording --------------------------------------------------
+  //
+  // Events encode straight into a compact append-only byte stream (see
+  // src/trace/binary_trace.h) instead of the events() vector; exporters and
+  // the causal-graph consumers reach the events by decoding the stream.
+  // Must be selected before anything is recorded; mutually exclusive with
+  // flight-recorder mode (checked).
+
+  void EnableBinaryRecording();
+  bool binary_recording() const { return binary_ != nullptr; }
+  // The raw record stream (CHECKs binary mode). Exposed for the shard merge.
+  const BinaryTraceWriter& binary_records() const;
+  BinaryTraceWriter* mutable_binary_records();
+
+  // ---- Flow sampling -----------------------------------------------------
+  //
+  // Keeps full lifecycle detail for the 1-in-N sampled flows and drops
+  // per-flow events of the rest, while retaining the flow-agnostic events
+  // the causal linker needs for exact anchor pairing (ipintrq enqueue/
+  // dequeue, reassembly completions, drops/anomalies). Because a host's CPU
+  // runs each activation chain to completion, events between a chain start
+  // and the first flow-identifying event are buffered and then kept or
+  // discarded wholesale with the chain's verdict. Span self-time totals are
+  // NOT preserved for unsampled flows; sampled traces feed attribution, not
+  // the exact span accounting. Must be selected before anything is
+  // recorded; mutually exclusive with flight-recorder mode (checked).
+
+  void EnableFlowSampling(const FlowSampleConfig& config);
+  bool flow_sampling() const { return sampling_; }
+  uint32_t sample_one_in() const { return sampling_ ? sample_.one_in : 1; }
+  const FlowSampleConfig& sample_config() const { return sample_; }
+  // Canonical flow ids observed on flow-identifying events / kept by the
+  // sampler. seen/kept sizes give the blame scale factor.
+  const std::set<uint64_t>& flows_seen() const { return flows_seen_; }
+  const std::set<uint64_t>& flows_kept() const { return flows_kept_; }
+  // Unions another tracer's seen/kept sets into this one (shard merge).
+  void MergeSampleSets(const Tracer& other);
+
+  // ---- Memory accounting -------------------------------------------------
+  //
+  // Recording-buffer footprint by content (event payload bytes held right
+  // now), deliberately excluding allocator capacity so the number is
+  // identical across platforms and can be gated. peak additionally covers
+  // transient sampler buffering and, after a shard merge, the per-shard
+  // recorders' peaks.
+
+  size_t ApproxMemoryBytes() const;
+  size_t peak_memory_bytes() const;
+  void AddChildPeakBytes(size_t bytes) { child_peak_bytes_ += bytes; }
+
+  // Drops recorded events (full-trace, binary, sampler and flight-recorder
+  // state); registered hosts and the recording mode are kept.
+  void Clear();
 
   // ---- Anomaly flight recorder ------------------------------------------
   //
@@ -225,11 +294,11 @@ class Tracer {
   };
 
   // Switches this tracer into flight-recorder mode. Mutually exclusive with
-  // full recording: from now on committed events feed the ring, not events().
-  void EnableFlightRecorder(const FlightRecorderConfig& config) {
-    flight_enabled_ = true;
-    flight_ = config;
-  }
+  // full recording: committed events feed the ring, not events(), so it must
+  // be selected before anything is recorded and cannot be combined with
+  // binary recording or flow sampling (all checked — a tracer that silently
+  // split its stream between events() and the ring would corrupt both).
+  void EnableFlightRecorder(const FlightRecorderConfig& config);
   bool flight_recorder_enabled() const { return flight_enabled_; }
   const std::vector<AnomalyRecord>& anomalies() const { return anomalies_; }
   // Total trigger events observed, including ones past max_anomalies.
@@ -255,21 +324,48 @@ class Tracer {
   std::string ToCsv() const;
 
  private:
-  // Every Record* method funnels here so flight-recorder mode can divert the
-  // stream without touching the hook sites.
+  // Every Record* method funnels here so the sampler / binary encoder /
+  // flight recorder can divert the stream without touching the hook sites.
+  // The plain full-recording path stays a single branch + push_back.
   void Commit(const TraceEvent& ev) {
-    if (!flight_enabled_) {
+    if (!sampling_ && !flight_enabled_ && binary_ == nullptr) {
       events_.push_back(ev);
       return;
     }
-    CommitToRing(ev);
+    CommitSlow(ev);
   }
+  void CommitSlow(const TraceEvent& ev);
+  // Writes `ev` to the active sink (events() / binary stream / ring),
+  // after any sampling verdict has been applied.
+  void Emit(const TraceEvent& ev);
   void CommitToRing(const TraceEvent& ev);
   bool IsTrigger(const TraceEvent& ev) const;
+
+  bool KeepFlow(uint64_t raw_flow);
+  void ResolveDeferred(size_t host, bool keep);
+  void NotePeak();
 
   bool enabled_ = true;
   std::vector<TraceEvent> events_;
   std::vector<std::string> host_names_;
+
+  std::unique_ptr<BinaryTraceWriter> binary_;
+
+  // Flow-sampler state: per-host chain verdict plus the events buffered
+  // between a chain start and the chain's first flow-identifying event.
+  struct SampleHostState {
+    int8_t keep = -1;  // -1 undecided, 0 drop, 1 keep
+    std::deque<TraceEvent> deferred;
+  };
+  bool sampling_ = false;
+  FlowSampleConfig sample_;
+  std::vector<SampleHostState> sample_hosts_;
+  size_t deferred_events_ = 0;  // total queued across sample_hosts_
+  std::set<uint64_t> flows_seen_;
+  std::set<uint64_t> flows_kept_;
+
+  size_t peak_bytes_ = 0;
+  size_t child_peak_bytes_ = 0;
 
   bool flight_enabled_ = false;
   FlightRecorderConfig flight_;

@@ -6,6 +6,7 @@
 #include "src/atm/aal34.h"
 #include "src/base/check.h"
 #include "src/exec/executor.h"
+#include "src/trace/binary_trace.h"
 
 namespace tcplat {
 namespace {
@@ -181,6 +182,16 @@ void StarTestbed::AttachTracer(Tracer* tracer) {
   for (auto& shard_tracer : shard_tracers_) {
     shard_tracer = std::make_unique<Tracer>();
     shard_tracer->set_enabled(tracer->enabled());
+    // The shard recorders inherit the user tracer's recording mode, so each
+    // worker encodes (and samples) locally with no cross-shard
+    // synchronization; the flow sampler's hash verdicts agree across shards
+    // by construction.
+    if (tracer->binary_recording()) {
+      shard_tracer->EnableBinaryRecording();
+    }
+    if (tracer->flow_sampling()) {
+      shard_tracer->EnableFlowSampling(tracer->sample_config());
+    }
   }
   const auto remap = [&](size_t shard, uint8_t local, uint8_t canonical) {
     auto& table = trace_remap_[shard];
@@ -204,22 +215,57 @@ void StarTestbed::MergeShardTraces() {
   if (user_tracer_ == nullptr || shard_tracers_.empty()) {
     return;
   }
-  std::vector<TraceEvent> merged;
-  for (size_t shard = 0; shard < shard_tracers_.size(); ++shard) {
-    for (TraceEvent ev : shard_tracers_[shard]->events()) {
-      ev.host = trace_remap_[shard][ev.host];
-      merged.push_back(ev);
+  // Head-to-head merge in (timestamp, shard index, per-shard sequence)
+  // order. For the ordinary timestamp-monotonic shard streams this is
+  // exactly the old stable sort on timestamp (ties keep shard order); under
+  // flow sampling a shard stream can emit a buffered chain prefix behind a
+  // flow-agnostic anchor, and unlike a re-sort this merge preserves each
+  // shard's within-chain order, which the causal-graph consumers rely on.
+  // Either way the result is a pure function of the shard streams — never
+  // of worker scheduling — so it is byte-identical across TCPLAT_JOBS.
+  if (user_tracer_->binary_recording()) {
+    std::vector<BinaryShardStream> streams;
+    streams.reserve(shard_tracers_.size());
+    for (size_t shard = 0; shard < shard_tracers_.size(); ++shard) {
+      streams.push_back(
+          BinaryShardStream{&shard_tracers_[shard]->binary_records(), &trace_remap_[shard]});
     }
-    shard_tracers_[shard]->Clear();
+    TCPLAT_CHECK(MergeBinaryShards(streams, user_tracer_->mutable_binary_records()))
+        << "corrupt shard trace stream";
+  } else {
+    struct Head {
+      const std::vector<TraceEvent>* events;
+      size_t pos = 0;
+    };
+    std::vector<Head> heads;
+    heads.reserve(shard_tracers_.size());
+    for (const auto& shard_tracer : shard_tracers_) {
+      heads.push_back(Head{&shard_tracer->events(), 0});
+    }
+    for (;;) {
+      size_t best = heads.size();
+      for (size_t shard = 0; shard < heads.size(); ++shard) {
+        if (heads[shard].pos >= heads[shard].events->size()) {
+          continue;
+        }
+        if (best == heads.size() ||
+            (*heads[shard].events)[heads[shard].pos].ts_ns <
+                (*heads[best].events)[heads[best].pos].ts_ns) {
+          best = shard;
+        }
+      }
+      if (best == heads.size()) {
+        break;
+      }
+      TraceEvent ev = (*heads[best].events)[heads[best].pos++];
+      ev.host = trace_remap_[best][ev.host];
+      user_tracer_->Append(ev);
+    }
   }
-  // Each participant lives in exactly one shard, so the shard streams are
-  // already per-host ordered; a stable sort on timestamp (ties keep shard
-  // order, which is fixed) yields one deterministic canonical stream no
-  // matter how many threads ran the windows.
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
-  for (const TraceEvent& ev : merged) {
-    user_tracer_->Append(ev);
+  for (auto& shard_tracer : shard_tracers_) {
+    user_tracer_->MergeSampleSets(*shard_tracer);
+    user_tracer_->AddChildPeakBytes(shard_tracer->peak_memory_bytes());
+    shard_tracer->Clear();
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
@@ -19,8 +20,10 @@
 #include "src/exec/executor.h"
 #include "src/fault/impairment.h"
 #include "src/trace/attribution.h"
+#include "src/trace/binary_trace.h"
 #include "src/trace/causal_graph.h"
 #include "src/trace/latency_stats.h"
+#include "src/trace/stream_attribution.h"
 #include "src/trace/tracer.h"
 #include "src/workload/capacity.h"
 #include "src/workload/flow_driver.h"
@@ -326,6 +329,100 @@ TEST(Attribution, EightFlowWindowsAllTelescope) {
   }
   const BlameReport blame = BuildBlame(result.windows, 50.0, 99.0);
   EXPECT_GE(blame.explained_pct, 95.0);
+}
+
+// --- Streaming attribution and the binary trace pipeline ------------------
+
+CapacityCell EightFlowCell() {
+  CapacityCell cell;
+  cell.clients = 4;
+  cell.servers = 2;
+  cell.flows = 8;
+  cell.size = 200;
+  cell.iterations = 12;
+  cell.warmup = 4;
+  cell.seed = 1;
+  return cell;
+}
+
+bool SameWindow(const RttWindow& a, const RttWindow& b) {
+  if (a.flow != b.flow || a.client_host != b.client_host || a.server_host != b.server_host ||
+      a.start_ns != b.start_ns || a.end_ns != b.end_ns || a.retransmits != b.retransmits ||
+      a.delayed_acks != b.delayed_acks || a.tx_stall_ns != b.tx_stall_ns) {
+    return false;
+  }
+  for (size_t s = 0; s < kBlameStageCount; ++s) {
+    if (a.stage_ns[s] != b.stage_ns[s]) return false;
+  }
+  return true;
+}
+
+std::vector<RttWindow> SortedWindows(std::vector<RttWindow> windows) {
+  std::sort(windows.begin(), windows.end(), [](const RttWindow& a, const RttWindow& b) {
+    return a.flow != b.flow ? a.flow < b.flow : a.start_ns < b.start_ns;
+  });
+  return windows;
+}
+
+// The streaming reconstruction must produce the exact window set the batch
+// CausalGraph path produces — same boundaries, same stage decomposition to
+// the nanosecond — while holding only in-flight journeys.
+TEST(StreamingAttribution, MatchesBatchOnEightFlowCell) {
+  const CapacityCell cell = EightFlowCell();
+  Tracer tracer;
+  const CapacityOutcome outcome = RunCapacityCell(cell, &tracer);
+
+  AttributionOptions options;
+  options.message_bytes = cell.size;
+  options.warmup_windows = cell.warmup;
+  const CausalGraph graph = CausalGraph::Build(tracer);
+  const AttributionResult batch = AttributeRtts(tracer, graph, options);
+  ASSERT_EQ(batch.windows.size(), outcome.samples);
+
+  StreamingAttribution streaming(options);
+  for (const TraceEvent& ev : tracer.events()) {
+    streaming.OnEvent(ev);
+  }
+  const std::vector<RttWindow> a = SortedWindows(batch.windows);
+  const std::vector<RttWindow> b = SortedWindows(streaming.windows());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SameWindow(a[i], b[i])) << "window " << i << " diverged from batch";
+  }
+  // Memory stays proportional to concurrently open round trips, not to the
+  // trace: 8 closed-loop flows can't hold more than a few journeys each.
+  EXPECT_GT(streaming.peak_live_journeys(), 0u);
+  EXPECT_LE(streaming.peak_live_journeys(), 64u);
+}
+
+// Routing the same run through the binary stream (encode during the run,
+// decode post hoc) must leave the attribution result untouched.
+TEST(Attribution, BinaryRoundTripPreservesWindows) {
+  const CapacityCell cell = EightFlowCell();
+  AttributionOptions options;
+  options.message_bytes = cell.size;
+  options.warmup_windows = cell.warmup;
+
+  Tracer vector_mode;
+  RunCapacityCell(cell, &vector_mode);
+  const CausalGraph vector_graph = CausalGraph::Build(vector_mode);
+  const AttributionResult from_vector = AttributeRtts(vector_mode, vector_graph, options);
+
+  Tracer binary_mode;
+  binary_mode.EnableBinaryRecording();
+  RunCapacityCell(cell, &binary_mode);
+  EXPECT_TRUE(binary_mode.events().empty());
+  const std::string blob = SealBinaryTrace(binary_mode.host_names(), binary_mode.binary_records());
+  Tracer decoded;
+  ASSERT_TRUE(DecodeBinaryTrace(blob, &decoded));
+  ASSERT_EQ(decoded.events().size(), vector_mode.events().size());
+  const CausalGraph decoded_graph = CausalGraph::Build(decoded);
+  const AttributionResult from_binary = AttributeRtts(decoded, decoded_graph, options);
+
+  ASSERT_EQ(from_binary.windows.size(), from_vector.windows.size());
+  for (size_t i = 0; i < from_vector.windows.size(); ++i) {
+    EXPECT_TRUE(SameWindow(from_vector.windows[i], from_binary.windows[i])) << "window " << i;
+  }
 }
 
 // --- LatencyStats percentile helpers -------------------------------------

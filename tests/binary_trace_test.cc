@@ -1,0 +1,242 @@
+// Unit tests for the TLBT compact binary trace format: encode/decode round
+// trips (including backward timestamp deltas), header and record
+// validation on truncated/corrupt streams, and the deterministic shard
+// merge.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/trace/binary_trace.h"
+#include "src/trace/tracer.h"
+
+namespace tcplat {
+namespace {
+
+TraceEvent Make(int64_t ts, TraceEventKind kind, TraceLayer layer, uint8_t host,
+                uint64_t flow = 0, uint64_t packet = 0, uint64_t bytes = 0, int64_t dur = 0,
+                int64_t self = 0) {
+  TraceEvent ev;
+  ev.ts_ns = ts;
+  ev.dur_ns = dur;
+  ev.self_ns = self;
+  ev.flow = flow;
+  ev.packet = packet;
+  ev.bytes = bytes;
+  ev.kind = kind;
+  ev.layer = layer;
+  ev.host = host;
+  return ev;
+}
+
+bool Same(const TraceEvent& a, const TraceEvent& b) {
+  return a.ts_ns == b.ts_ns && a.dur_ns == b.dur_ns && a.self_ns == b.self_ns &&
+         a.flow == b.flow && a.packet == b.packet && a.bytes == b.bytes && a.kind == b.kind &&
+         a.layer == b.layer && a.span == b.span && a.host == b.host;
+}
+
+// A corpus touching every field: big values, zero values, span events,
+// and a timestamp that goes backwards (a sampled stream emits deferred
+// chain prefixes behind flow-agnostic anchors).
+std::vector<TraceEvent> Corpus() {
+  std::vector<TraceEvent> events;
+  events.push_back(Make(0, TraceEventKind::kSpanReset, TraceLayer::kSched, 0));
+  TraceEvent begin = Make(120, TraceEventKind::kSpanBegin, TraceLayer::kSched, 0);
+  begin.span = SpanId::kTxUser;
+  events.push_back(begin);
+  events.push_back(Make(1'000'000'000'000LL, TraceEventKind::kSegTx, TraceLayer::kTcp, 1,
+                        /*flow=*/0xDEADBEEFCAFELL, /*packet=*/0xFFFFFFFFFFFFFFFFULL,
+                        /*bytes=*/1400));
+  events.push_back(Make(999'999'999'000LL, TraceEventKind::kPktRx, TraceLayer::kIp, 2,
+                        /*flow=*/1, /*packet=*/2, /*bytes=*/3));  // ts goes backwards
+  TraceEvent end = Make(999'999'999'500LL, TraceEventKind::kSpanEnd, TraceLayer::kSched, 1);
+  end.span = SpanId::kOther;
+  end.self_ns = -250;  // zigzag must survive negative self/dur too
+  end.dur_ns = 40;
+  events.push_back(end);
+  events.push_back(Make(999'999'999'500LL, TraceEventKind::kImpairDelay, TraceLayer::kLink, 2,
+                        /*flow=*/7, /*packet=*/8, /*bytes=*/0, /*dur=*/123456));
+  return events;
+}
+
+const std::vector<std::string> kHosts = {"client", "server", "switch"};
+
+std::string SealCorpus(const std::vector<TraceEvent>& events) {
+  BinaryTraceWriter writer;
+  for (const TraceEvent& ev : events) {
+    writer.Append(ev);
+  }
+  return SealBinaryTrace(kHosts, writer);
+}
+
+TEST(BinaryTrace, RoundTripPreservesEveryField) {
+  const std::vector<TraceEvent> events = Corpus();
+  const std::string blob = SealCorpus(events);
+
+  BinaryTraceReader reader(blob);
+  ASSERT_TRUE(reader.ok()) << reader.error_message();
+  EXPECT_EQ(reader.host_names(), kHosts);
+  ASSERT_EQ(reader.record_count(), events.size());
+  TraceEvent ev;
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(reader.Next(&ev)) << "record " << i << ": " << reader.error_message();
+    EXPECT_TRUE(Same(ev, events[i])) << "record " << i << " diverged";
+  }
+  EXPECT_FALSE(reader.Next(&ev));
+  EXPECT_FALSE(reader.error());
+}
+
+TEST(BinaryTrace, DecodeIntoTracerMatchesOriginal) {
+  const std::vector<TraceEvent> events = Corpus();
+  Tracer decoded;
+  ASSERT_TRUE(DecodeBinaryTrace(SealCorpus(events), &decoded));
+  EXPECT_EQ(decoded.host_names(), kHosts);
+  ASSERT_EQ(decoded.events().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(Same(decoded.events()[i], events[i])) << "event " << i;
+  }
+}
+
+TEST(BinaryTrace, EncodingIsAPureFunctionOfTheSequence) {
+  const std::vector<TraceEvent> events = Corpus();
+  EXPECT_EQ(SealCorpus(events), SealCorpus(events));
+}
+
+TEST(BinaryTrace, RejectsBadMagicAndVersion) {
+  std::string blob = SealCorpus(Corpus());
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(BinaryTraceReader(bad_magic).ok());
+
+  std::string bad_version = blob;
+  bad_version[4] = static_cast<char>(0xFF);
+  EXPECT_FALSE(BinaryTraceReader(bad_version).ok());
+
+  EXPECT_FALSE(BinaryTraceReader(std::string_view("TLB")).ok());
+  EXPECT_FALSE(BinaryTraceReader(std::string_view()).ok());
+}
+
+TEST(BinaryTrace, TruncatedStreamFailsGracefully) {
+  const std::string blob = SealCorpus(Corpus());
+  // Every proper prefix must either fail header validation or decode some
+  // records and then flag an error — never crash, never fabricate records.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    BinaryTraceReader reader(blob.substr(0, len));
+    if (!reader.ok()) {
+      continue;
+    }
+    TraceEvent ev;
+    uint64_t decoded = 0;
+    while (reader.Next(&ev)) {
+      ++decoded;
+    }
+    EXPECT_TRUE(reader.error()) << "prefix " << len << " decoded " << decoded
+                                << " records and reported clean EOF";
+    EXPECT_LT(decoded, reader.record_count());
+  }
+}
+
+TEST(BinaryTrace, CorruptTagBytesAreRangeChecked) {
+  // Append a record with kind/layer/span bytes past the enum sentinels by
+  // hand-corrupting an encoded single-record stream.
+  BinaryTraceWriter writer;
+  writer.Append(Make(5, TraceEventKind::kSegTx, TraceLayer::kTcp, 0, 1, 2, 3));
+  const std::string good = SealBinaryTrace({"h"}, writer);
+
+  // The record is the stream tail: varint delta (1 byte), four tag bytes
+  // kind/layer/span/host, then five 1-byte varints (flow/packet/bytes/dur/self).
+  const size_t tag0 = good.size() - 9;
+  ASSERT_EQ(static_cast<uint8_t>(good[tag0]), static_cast<uint8_t>(TraceEventKind::kSegTx));
+
+  for (size_t tag = 0; tag < 4; ++tag) {
+    std::string bad = good;
+    bad[tag0 + tag] = static_cast<char>(0xEE);
+    BinaryTraceReader reader(bad);
+    ASSERT_TRUE(reader.ok());
+    TraceEvent ev;
+    EXPECT_FALSE(reader.Next(&ev)) << "corrupt tag " << tag << " decoded";
+    EXPECT_TRUE(reader.error());
+    Tracer out;
+    EXPECT_FALSE(DecodeBinaryTrace(bad, &out));
+  }
+}
+
+TEST(BinaryTrace, MergeOrdersByTimestampThenShardAndRemapsHosts) {
+  BinaryTraceWriter shard_a;  // local host 0 -> canonical 2
+  shard_a.Append(Make(10, TraceEventKind::kSegTx, TraceLayer::kTcp, 0, 1));
+  shard_a.Append(Make(30, TraceEventKind::kSegRx, TraceLayer::kTcp, 0, 1));
+  BinaryTraceWriter shard_b;  // local host 0 -> canonical 0
+  shard_b.Append(Make(10, TraceEventKind::kPktTx, TraceLayer::kIp, 0, 2));
+  shard_b.Append(Make(20, TraceEventKind::kPktRx, TraceLayer::kIp, 0, 2));
+
+  const std::vector<uint8_t> remap_a = {2};
+  const std::vector<uint8_t> remap_b = {0};
+  BinaryTraceWriter merged;
+  ASSERT_TRUE(MergeBinaryShards({{&shard_a, &remap_a}, {&shard_b, &remap_b}}, &merged));
+  EXPECT_EQ(merged.count(), 4u);
+
+  BinaryRecordCursor cursor(merged.data(), merged.count());
+  TraceEvent ev;
+  // ts 10 tie resolves to shard 0 first; hosts remapped to canonical ids.
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 10);
+  EXPECT_EQ(ev.kind, TraceEventKind::kSegTx);
+  EXPECT_EQ(ev.host, 2);
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 10);
+  EXPECT_EQ(ev.kind, TraceEventKind::kPktTx);
+  EXPECT_EQ(ev.host, 0);
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 20);
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 30);
+  EXPECT_FALSE(cursor.Next(&ev));
+  EXPECT_FALSE(cursor.error());
+}
+
+TEST(BinaryTrace, MergePreservesWithinShardOrderForBackwardDeltas) {
+  // A sampled shard stream may emit ts 50 then ts 40 (deferred chain
+  // prefix); the merge must keep that pair adjacent and in order, not
+  // re-sort it behind another shard's ts 45.
+  BinaryTraceWriter shard_a;
+  shard_a.Append(Make(50, TraceEventKind::kEnqueue, TraceLayer::kIp, 0, 0, 1));
+  shard_a.Append(Make(40, TraceEventKind::kPduRx, TraceLayer::kAtm, 0, 0, 1));
+  BinaryTraceWriter shard_b;
+  shard_b.Append(Make(45, TraceEventKind::kCellSwitch, TraceLayer::kAtm, 0, 3));
+
+  BinaryTraceWriter merged;
+  ASSERT_TRUE(MergeBinaryShards({{&shard_a, nullptr}, {&shard_b, nullptr}}, &merged));
+  BinaryRecordCursor cursor(merged.data(), merged.count());
+  TraceEvent ev;
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 45);  // shard b's head was earliest
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 50);
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 40);  // stayed glued behind its chain's anchor
+}
+
+TEST(BinaryTrace, MergeRejectsHostWithoutRemapEntry) {
+  BinaryTraceWriter shard;
+  shard.Append(Make(10, TraceEventKind::kSegTx, TraceLayer::kTcp, /*host=*/1));
+  BinaryTraceWriter merged;
+  const std::vector<uint8_t> short_remap = {0};  // only local host 0 is mapped
+  EXPECT_FALSE(MergeBinaryShards({{&shard, &short_remap}}, &merged));
+}
+
+TEST(BinaryTrace, WriterClearResetsDeltaState) {
+  BinaryTraceWriter writer;
+  writer.Append(Make(100, TraceEventKind::kSegTx, TraceLayer::kTcp, 0));
+  writer.Clear();
+  EXPECT_EQ(writer.count(), 0u);
+  EXPECT_EQ(writer.SizeBytes(), 0u);
+  writer.Append(Make(100, TraceEventKind::kSegTx, TraceLayer::kTcp, 0));
+  BinaryRecordCursor cursor(writer.data(), writer.count());
+  TraceEvent ev;
+  ASSERT_TRUE(cursor.Next(&ev));
+  EXPECT_EQ(ev.ts_ns, 100);  // delta is against 0 again, not the old 100
+}
+
+}  // namespace
+}  // namespace tcplat

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/sim/time.h"
+#include "src/trace/binary_trace.h"
 #include "src/trace/tracer.h"
 
 namespace tcplat {
@@ -181,6 +182,118 @@ TEST(Tracer, FlightRecorderTxStallRespectsThreshold) {
   t.RecordPacket(h, TraceLayer::kAtm, TraceEventKind::kTxStall, At(20), 0, 0, 0,
                  SimDuration::FromNanos(1000));
   EXPECT_EQ(t.anomalies().size(), 1u);
+}
+
+// The three capture modes (full log, binary stream, flight-recorder ring)
+// and the sampler are configured before recording starts, and the ring is
+// mutually exclusive with the other two: a tracer that silently split its
+// stream between sinks would corrupt both. Violations are programming
+// errors and die loudly.
+TEST(TracerModeExclusion, FlightRecorderAfterBinaryDies) {
+  Tracer t;
+  t.EnableBinaryRecording();
+  EXPECT_DEATH(t.EnableFlightRecorder({}), "excludes binary recording");
+}
+
+TEST(TracerModeExclusion, BinaryAfterFlightRecorderDies) {
+  Tracer t;
+  t.EnableFlightRecorder({});
+  EXPECT_DEATH(t.EnableBinaryRecording(), "excludes flight-recorder mode");
+}
+
+TEST(TracerModeExclusion, SamplingAfterFlightRecorderDies) {
+  Tracer t;
+  t.EnableFlightRecorder({});
+  EXPECT_DEATH(t.EnableFlowSampling(FlowSampleConfig{}), "excludes flight-recorder mode");
+}
+
+TEST(TracerModeExclusion, FlightRecorderAfterSamplingDies) {
+  Tracer t;
+  t.EnableFlowSampling(FlowSampleConfig{});
+  EXPECT_DEATH(t.EnableFlightRecorder({}), "excludes flow sampling");
+}
+
+TEST(TracerModeExclusion, ModeChangesAfterRecordingStartsDie) {
+  Tracer t;
+  const uint8_t h = t.RegisterHost("h");
+  t.RecordPacket(h, TraceLayer::kTcp, TraceEventKind::kSegTx, At(1), 1, 1, 100);
+  EXPECT_DEATH(t.EnableBinaryRecording(), "before recording starts");
+  EXPECT_DEATH(t.EnableFlowSampling(FlowSampleConfig{}), "before recording starts");
+  EXPECT_DEATH(t.EnableFlightRecorder({}), "before recording starts");
+}
+
+TEST(TracerModeExclusion, BinaryAccessorsRequireBinaryMode) {
+  Tracer t;
+  EXPECT_DEATH(t.binary_records(), "not in binary recording mode");
+}
+
+// Record the same event sequence into a full-log tracer and a
+// binary-recording twin; sealing, decoding, and exporting the twin must
+// reproduce the legacy exporters byte for byte.
+TEST(TracerBinary, RoundTripMatchesLegacyExporters) {
+  Tracer plain;
+  Tracer binary;
+  binary.EnableBinaryRecording();
+  for (Tracer* t : {&plain, &binary}) {
+    const uint8_t c = t->RegisterHost("client");
+    const uint8_t s = t->RegisterHost("server");
+    t->RecordSpanReset(c, At(0));
+    t->RecordSpanBegin(c, SpanId::kTxUser, At(100));
+    t->RecordPacket(c, TraceLayer::kTcp, TraceEventKind::kSegTx, At(150), 0x50001389, 1, 1400);
+    t->RecordSpanEnd(c, SpanId::kTxUser, At(200), SimDuration::FromNanos(80));
+    t->RecordPacket(s, TraceLayer::kAtm, TraceEventKind::kPduRx, At(400), 5, 30, 9180);
+    t->RecordSpanInterval(s, SpanId::kRxIpq, At(500), SimDuration::FromNanos(58));
+  }
+  EXPECT_TRUE(binary.events().empty());  // diverted to the binary stream
+  EXPECT_EQ(binary.binary_records().count(), plain.events().size());
+
+  const std::string blob = SealBinaryTrace(binary.host_names(), binary.binary_records());
+  Tracer decoded;
+  ASSERT_TRUE(DecodeBinaryTrace(blob, &decoded));
+  EXPECT_EQ(decoded.ToPerfettoJson(), plain.ToPerfettoJson());
+  EXPECT_EQ(decoded.ToCsv(), plain.ToCsv());
+  EXPECT_EQ(decoded.SpanSelfTotalsNanos(0), plain.SpanSelfTotalsNanos(0));
+}
+
+// Flow sampling is a pure function of (canonical flow id, seed): two
+// tracers with the same seed keep the same flows, and the verdict is
+// symmetric across the two directed ids of one connection.
+TEST(TracerSampling, VerdictIsDeterministicAndDirectionSymmetric) {
+  const auto record_flows = [](Tracer* t, bool reversed) {
+    const uint8_t h = t->RegisterHost("h");
+    for (uint64_t i = 1; i <= 64; ++i) {
+      const uint64_t local = 0x5000 + i, remote = 0x1389;
+      const uint64_t flow = reversed ? (remote << 16 | local) : (local << 16 | remote);
+      t->RecordPacket(h, TraceLayer::kTcp, TraceEventKind::kSegTx, At(int64_t(i) * 10), flow, i,
+                      100);
+    }
+  };
+  FlowSampleConfig config;
+  config.one_in = 4;
+  config.seed = 7;
+
+  Tracer a, b, rev;
+  for (Tracer* t : {&a, &b, &rev}) t->EnableFlowSampling(config);
+  record_flows(&a, false);
+  record_flows(&b, false);
+  record_flows(&rev, true);
+
+  EXPECT_EQ(a.flows_seen().size(), 64u);
+  EXPECT_FALSE(a.flows_kept().empty());
+  EXPECT_LT(a.flows_kept().size(), a.flows_seen().size());
+  EXPECT_EQ(a.flows_kept(), b.flows_kept());
+  // Canonical ids are direction-independent, so the reversed stream keeps
+  // the same connections.
+  EXPECT_EQ(rev.flows_kept(), a.flows_kept());
+  // The event log only holds kept flows' events.
+  EXPECT_EQ(a.events().size(), a.flows_kept().size());
+
+  Tracer other_seed;
+  FlowSampleConfig reseeded = config;
+  reseeded.seed = 8;
+  other_seed.EnableFlowSampling(reseeded);
+  record_flows(&other_seed, false);
+  EXPECT_NE(other_seed.flows_kept(), a.flows_kept());
 }
 
 }  // namespace
