@@ -148,8 +148,13 @@ void ShardEngine::RunWindowSerial(SimTime window_end) {
 
 void ShardEngine::RunWindowParallel(SimTime window_end) {
   (void)window_end;  // workers read window_end_ns_
-  next_shard_.store(0);
+  // Reset order matters. A straggler still inside the previous window's
+  // ClaimAndRunShards loop can claim into this round the moment next_shard_
+  // resets; wiping shards_done_ first guarantees any such claim's
+  // done-increment lands after the wipe instead of being erased by it,
+  // which would leave the barrier below permanently one short.
   shards_done_.store(0);
+  next_shard_.store(0);
   round_gen_.fetch_add(1);  // release the workers into this window
   ClaimAndRunShards();      // the caller's thread pulls its weight too
   int spins = 0;
@@ -161,12 +166,17 @@ void ShardEngine::RunWindowParallel(SimTime window_end) {
 }
 
 void ShardEngine::ClaimAndRunShards() {
-  const SimTime window_end = SimTime::FromNanos(window_end_ns_.load());
   for (;;) {
     const int s = next_shard_.fetch_add(1);
     if (s >= shard_count()) {
       return;
     }
+    // Load the window edge after the claim, not at loop entry: a straggler
+    // from the previous window can claim into the next round, and must run
+    // the shard against that round's window. (Claims into a round are only
+    // possible after its next_shard_ reset, which happens after Run() stores
+    // the round's window_end_ns_.)
+    const SimTime window_end = SimTime::FromNanos(window_end_ns_.load());
     sims_[static_cast<size_t>(s)]->RunWhileBefore(window_end);
     shards_done_.fetch_add(1);
   }
@@ -177,6 +187,13 @@ void ShardEngine::WorkerLoop() {
   for (;;) {
     int spins = 0;
     while (round_gen_.load() == seen) {
+      // stop_ must be rechecked while parked: the destructor's release bump
+      // can otherwise be absorbed by the `seen` re-load below (worker passes
+      // the post-wait stop_ check, destructor sets stop_ and bumps, worker
+      // loads the bumped generation), parking the worker here forever.
+      if (stop_.load()) {
+        return;
+      }
       if (++spins > kBarrierSpins) {
         std::this_thread::yield();
       }

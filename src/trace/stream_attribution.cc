@@ -326,6 +326,27 @@ void StreamingAttribution::CloseWindow(uint64_t canonical_flow, FlowState* flow,
   }
   PruneThrough(&flow->retransmit_ts, end_ns);
   PruneThrough(&flow->delack_ts, end_ns);
+
+  // Datagrams of this flow transmitted at or before the previous close that
+  // still await a kPktRx were lost in flight (a one-way traversal cannot
+  // outlast a full round-trip window): drop their in-flight pins so lossy
+  // runs stay O(in-flight packets). A pruned datagram that does straggle in
+  // later falls back to the receive-side-only journey path.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    std::deque<size_t>& pins = it->second;
+    for (size_t k = 0; k < pins.size();) {
+      const Journey& j = arena_[pins[k]];
+      if (j.seg_flow != 0 && CanonicalFlow(j.seg_flow) == canonical_flow &&
+          j.pkt_tx_ns <= flow->prev_close_end_ns) {
+        Release(pins[k]);
+        pins.erase(pins.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        ++k;
+      }
+    }
+    it = pins.empty() ? in_flight_.erase(it) : std::next(it);
+  }
+  flow->prev_close_end_ns = end_ns;
 }
 
 }  // namespace tcplat

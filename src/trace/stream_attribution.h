@@ -15,6 +15,10 @@
 //    the slot is freed when it is off every host's open-chain pointer, out
 //    of the in-flight datagram map, and pruned from its flow's candidate
 //    window (everything at or before the last closed window's end).
+//    Datagrams lost in flight never see their kPktRx, so each window close
+//    also retires the flow's in-flight entries transmitted at or before the
+//    flow's previous close — a one-way traversal cannot outlast a full
+//    round-trip window — keeping lossy runs at O(in-flight), not O(drops).
 //
 // Live memory is O(in-flight packets + open windows), not O(trace);
 // peak_live_journeys() reports the high-water mark (the
@@ -86,6 +90,10 @@ class StreamingAttribution {
     std::deque<int64_t> srv_starts;
     uint64_t srv_starts_base = 0;
     uint64_t windows_closed = 0;
+    // End of this flow's previously closed window; in-flight datagrams of
+    // the flow transmitted at or before it are declared lost at the next
+    // close (pkt_tx_ns is never negative, so -1 disables the first prune).
+    int64_t prev_close_end_ns = -1;
     // Data-journey slots in seg_tx order, pruned at each close.
     std::deque<size_t> candidates;
     std::deque<int64_t> retransmit_ts;

@@ -173,6 +173,14 @@ void StarTestbed::AttachTracer(Tracer* tracer) {
     return;
   }
 
+  // Flight-recorder mode cannot shard: the ring and its anomaly triggers
+  // are properties of the merged global stream, so the per-shard recorders
+  // below would each full-record the whole run (defeating the recorder's
+  // bounded memory) only to trigger at merge time. Run captures serially.
+  TCPLAT_CHECK(!tracer->flight_recorder_enabled())
+      << "flight-recorder tracers are unsupported in sharded mode; run with "
+         "shards = 0 to capture anomalies";
+
   // One private recorder per shard (a shared one would race across worker
   // threads), remapped to canonical ids registered on the user's tracer in
   // the serial order: hosts 0..N-1, then the switch.

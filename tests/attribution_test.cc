@@ -395,6 +395,61 @@ TEST(StreamingAttribution, MatchesBatchOnEightFlowCell) {
   EXPECT_LE(streaming.peak_live_journeys(), 64u);
 }
 
+// A datagram dropped in flight never sees its kPktRx, so its journey's
+// in-flight pin can only be retired by the window-close prune (anything of
+// the flow transmitted at or before the previous close is lost). Live slots
+// must stay O(in-flight packets) on a lossy stream, not O(total drops).
+TEST(StreamingAttribution, LostDatagramsAreRetiredAtWindowClose) {
+  AttributionOptions options;
+  options.message_bytes = 100;
+  options.warmup_windows = 0;
+  StreamingAttribution streaming(options);
+
+  const uint64_t client_flow = (2000ull << 16) | 80ull;  // client port > server port
+  const uint64_t server_flow = (80ull << 16) | 2000ull;
+  const uint64_t ip_c2s = (1ull << 32) | 2ull;
+  const uint64_t ip_s2c = (2ull << 32) | 1ull;
+  const auto ev = [](TraceEventKind kind, uint8_t host, int64_t ts, uint64_t flow,
+                     uint64_t packet, uint64_t bytes) {
+    TraceEvent e;
+    e.kind = kind;
+    e.host = host;
+    e.ts_ns = ts;
+    e.flow = flow;
+    e.packet = packet;
+    e.bytes = bytes;
+    return e;
+  };
+
+  int64_t t = 0;
+  uint64_t ip_id = 0;
+  constexpr int kWindows = 50;
+  for (int i = 0; i < kWindows; ++i) {
+    // Request: the first copy is lost in flight (no kPktRx, ever), the
+    // second copy delivers and completes the echo round trip.
+    streaming.OnEvent(ev(TraceEventKind::kUserWrite, 0, ++t, client_flow, 0, 100));
+    streaming.OnEvent(ev(TraceEventKind::kSegTx, 0, ++t, client_flow, static_cast<uint64_t>(i), 100));
+    streaming.OnEvent(ev(TraceEventKind::kPktTx, 0, ++t, ip_c2s, ++ip_id, 100));  // lost
+    streaming.OnEvent(ev(TraceEventKind::kSegTx, 0, ++t, client_flow, static_cast<uint64_t>(i), 100));
+    streaming.OnEvent(ev(TraceEventKind::kPktTx, 0, ++t, ip_c2s, ++ip_id, 100));
+    streaming.OnEvent(ev(TraceEventKind::kPktRx, 1, ++t, ip_c2s, ip_id, 100));
+    streaming.OnEvent(ev(TraceEventKind::kSegRx, 1, ++t, server_flow, static_cast<uint64_t>(i), 100));
+    // Response.
+    streaming.OnEvent(ev(TraceEventKind::kUserWrite, 1, ++t, server_flow, 0, 100));
+    streaming.OnEvent(ev(TraceEventKind::kSegTx, 1, ++t, server_flow, static_cast<uint64_t>(i), 100));
+    streaming.OnEvent(ev(TraceEventKind::kPktTx, 1, ++t, ip_s2c, ++ip_id, 100));
+    streaming.OnEvent(ev(TraceEventKind::kPktRx, 0, ++t, ip_s2c, ip_id, 100));
+    streaming.OnEvent(ev(TraceEventKind::kSegRx, 0, ++t, client_flow, static_cast<uint64_t>(i), 100));
+    streaming.OnEvent(ev(TraceEventKind::kUserRead, 0, ++t, client_flow, 0, 100));
+  }
+
+  EXPECT_EQ(streaming.windows().size(), static_cast<size_t>(kWindows));
+  // One datagram is lost per window; all but the most recent must have been
+  // retired. Without the prune, live slots grow by one per window (~50).
+  EXPECT_LE(streaming.live_journeys(), 8u);
+  EXPECT_LE(streaming.peak_live_journeys(), 16u);
+}
+
 // Routing the same run through the binary stream (encode during the run,
 // decode post hoc) must leave the attribution result untouched.
 TEST(Attribution, BinaryRoundTripPreservesWindows) {

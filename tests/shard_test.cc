@@ -230,6 +230,21 @@ TEST(ShardedStar, CapacityCellRowsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.max_concurrent, four.max_concurrent);
 }
 
+// The per-shard recorders would each full-record the whole run to feed a
+// flight-recorder user tracer at merge time — the mode cannot shard and
+// must die loudly instead of silently unbounding the recorder's memory.
+TEST(ShardedStarDeathTest, FlightRecorderTracerIsRejected) {
+  StarTestbedConfig cfg;
+  cfg.clients = 4;
+  cfg.servers = 2;
+  cfg.shards = 3;
+  StarTestbed star(cfg);
+  ASSERT_TRUE(star.sharded());
+  Tracer tracer;
+  tracer.EnableFlightRecorder({});
+  EXPECT_DEATH(star.AttachTracer(&tracer), "flight-recorder");
+}
+
 TEST(ShardedStar, FallsBackToSerialWhenShardingCannotApply) {
   StarTestbedConfig ether;
   ether.network = NetworkKind::kEthernet;
