@@ -32,6 +32,7 @@
 #include "src/sim/simulator.h"
 #include "src/trace/tracer.h"
 #include "src/workload/capacity.h"
+#include "src/workload/interactive.h"
 
 namespace tcplat {
 namespace {
@@ -152,6 +153,39 @@ CapacityRate MeasureCapacityRate(bool quick) {
   rate.flows_per_sec = static_cast<double>(cell.flows) / wall;
   rate.sim_events_per_sec = static_cast<double>(out.sim_events) / wall;
   return rate;
+}
+
+// 2d. Interactive pathological latencies. These are *simulated* quantities
+// (identical every run, any thread count), recorded so the regression gate
+// can hold a ceiling on them: the delack cell's p50 must stay pinned to the
+// 200 ms timer, and the nodelay/delack-off cells must stay at wire scale —
+// a protocol change that re-arms (or widens) the pathology moves these
+// before any test notices. Iteration count is fixed regardless of --quick
+// so the smoke and the baseline refresh produce the same numbers.
+struct InteractiveLatencies {
+  double delack_p50_us = 0;
+  double delack_p99_us = 0;
+  double nodelay_p99_us = 0;
+  double delackoff_p99_us = 0;
+};
+
+InteractiveLatencies MeasureInteractiveLatencies() {
+  const auto run = [](InteractiveKnob knob) {
+    InteractiveCell cell;
+    cell.knob = knob;
+    cell.iterations = 16;
+    cell.warmup = 2;
+    return RunInteractiveCell(cell);
+  };
+  const InteractiveOutcome delack = run(InteractiveKnob::kPathological);
+  const InteractiveOutcome nodelay = run(InteractiveKnob::kNodelay);
+  const InteractiveOutcome delackoff = run(InteractiveKnob::kDelackOff);
+  InteractiveLatencies out;
+  out.delack_p50_us = delack.p50.micros();
+  out.delack_p99_us = delack.p99.micros();
+  out.nodelay_p99_us = nodelay.p99.micros();
+  out.delackoff_p99_us = delackoff.p99.micros();
+  return out;
 }
 
 // 2c. The same 64-flow cell on the sharded engine: the headline single-run
@@ -286,6 +320,14 @@ int Run(bool quick, const std::string& out_path) {
   std::printf("sharded 1 == %u thr  : %s\n", sharded.threads,
               sharded.identical ? "yes (bit-identical)" : "NO");
 
+  const InteractiveLatencies interactive = MeasureInteractiveLatencies();
+  std::printf("interactive delack  : %12.1f us p50     (two-chunk request, Nagle+delack)\n",
+              interactive.delack_p50_us);
+  std::printf("interactive nodelay : %12.1f us p99     (same request, TCP_NODELAY)\n",
+              interactive.nodelay_p99_us);
+  std::printf("interactive no-dack : %12.1f us p99     (same request, delack off)\n",
+              interactive.delackoff_p99_us);
+
   const GridTiming grid = MeasureGrid(grid_iters, jobs);
   const double speedup = grid.parallel_sec > 0 ? grid.serial_sec / grid.parallel_sec : 0;
   std::printf("8-config grid       : serial %.3fs, parallel %.3fs on %u threads "
@@ -315,6 +357,10 @@ int Run(bool quick, const std::string& out_path) {
                "  \"shard_threads\": %u,\n"
                "  \"shard_speedup\": %.3f,\n"
                "  \"shard_results_identical\": %s,\n"
+               "  \"interactive_delack_p50_us\": %.1f,\n"
+               "  \"interactive_delack_p99_us\": %.1f,\n"
+               "  \"interactive_nodelay_p99_us\": %.1f,\n"
+               "  \"interactive_delackoff_p99_us\": %.1f,\n"
                "  \"grid_configs\": 8,\n"
                "  \"grid_iterations\": %d,\n"
                "  \"grid_jobs\": %u,\n"
@@ -328,6 +374,8 @@ int Run(bool quick, const std::string& out_path) {
                capacity.flows, capacity.flows_per_sec, capacity.sim_events_per_sec,
                sharded.sim_events_per_sec, sharded.shard_count, sharded.threads, shard_speedup,
                sharded.identical ? "true" : "false",
+               interactive.delack_p50_us, interactive.delack_p99_us,
+               interactive.nodelay_p99_us, interactive.delackoff_p99_us,
                grid_iters,
                grid.jobs, grid.serial_sec, grid.parallel_sec, speedup,
                grid.identical ? "true" : "false");

@@ -15,6 +15,12 @@
 //    shard_threads, shard_speedup) are reported but never gate.
 //  * trace_disabled_overhead_pct gates on an absolute ceiling: detached-
 //    tracer hooks must stay under kMaxTraceOverheadPct.
+//  * Interactive latency metrics (interactive_*_us) are pure simulated
+//    quantities but gate on a 1.10x growth ceiling rather than exact
+//    equality: they exist to catch a protocol change that re-arms (or
+//    widens) the Nagle x delayed-ACK pathology, while letting small
+//    timing shifts from unrelated stack work through. Getting faster is
+//    always fine.
 //  * The trace metrics file (written by observability_selfcheck: reference
 //    trace bytes/event-count/FNV-1a hash, binary-pipeline and sampling
 //    results) must match the committed baseline exactly — the values are
@@ -46,6 +52,7 @@ namespace {
 constexpr double kMinRateRatio = 0.10;
 constexpr double kMaxTraceOverheadPct = 10.0;
 constexpr double kMaxTraceGrowthRatio = 1.10;
+constexpr double kMaxInteractiveGrowthRatio = 1.10;
 
 int g_failures = 0;
 int g_warnings = 0;
@@ -132,6 +139,13 @@ bool EndsWith(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+// Interactive pathological latencies (perf_selfcheck 2d): simulated, so
+// deterministic, but gated on a growth ceiling — the metric's job is to
+// catch the latency mode widening, not to pin every nanosecond.
+bool IsInteractiveLatency(const std::string& key) {
+  return key.rfind("interactive_", 0) == 0 && EndsWith(key, "_us");
+}
+
 bool IsIgnored(const std::string& key) {
   // shard_threads and shard_speedup join the machine facts: both follow the
   // runner's core count (the sharded *rate* is still gated by the generic
@@ -174,6 +188,13 @@ void GatePerf(const std::map<std::string, std::string>& fresh,
       std::snprintf(detail, sizeof(detail), "%.2f%% (ceiling %.1f%%)", pct,
                     kMaxTraceOverheadPct);
       Result(pct <= kMaxTraceOverheadPct ? "ok" : "FAIL", key, detail);
+    } else if (IsInteractiveLatency(key)) {
+      const double fresh_us = std::strtod(fresh_value.c_str(), nullptr);
+      const double ceiling = std::strtod(base_value.c_str(), nullptr) *
+                             kMaxInteractiveGrowthRatio;
+      std::snprintf(detail, sizeof(detail), "%.1f us vs baseline %s (ceiling %.1f)", fresh_us,
+                    base_value.c_str(), ceiling);
+      Result(fresh_us <= ceiling ? "ok" : "FAIL", key, detail);
     } else {
       std::snprintf(detail, sizeof(detail), "%s vs baseline %s", fresh_value.c_str(),
                     base_value.c_str());
@@ -236,6 +257,8 @@ int SelfTest() {
       {"shard_results_identical", "true"},
       {"trace_disabled_overhead_pct", "1.50"},
       {"grid_results_identical", "true"},
+      {"interactive_delack_p50_us", "202160.9"},
+      {"interactive_nodelay_p99_us", "1938.2"},
   };
   const std::map<std::string, std::string> trace = {
       {"trace_bytes", "12345"},
@@ -300,6 +323,24 @@ int SelfTest() {
   g_failures = 0;
   GatePerf(heavy, perf);
   expected += g_failures == 1 ? 0 : 1;
+
+  // Interactive latency ceilings: drift within 10% (or any improvement)
+  // passes...
+  std::map<std::string, std::string> interactive_drift = perf;
+  interactive_drift["interactive_delack_p50_us"] = "210000.0";  // +3.9%
+  interactive_drift["interactive_nodelay_p99_us"] = "900.0";    // faster
+  g_failures = 0;
+  GatePerf(interactive_drift, perf);
+  expected += g_failures == 0 ? 0 : 1;
+
+  // ...but a widened pathology (the mode re-arming in a "fixed" cell, or
+  // the timer cliff growing) trips the ceiling.
+  std::map<std::string, std::string> interactive_worse = perf;
+  interactive_worse["interactive_delack_p50_us"] = "402000.0";  // 2x the mode
+  interactive_worse["interactive_nodelay_p99_us"] = "202000.0";  // mode re-armed
+  g_failures = 0;
+  GatePerf(interactive_worse, perf);
+  expected += g_failures == 2 ? 0 : 1;
 
   std::map<std::string, std::string> drifted = trace;
   drifted["trace_fnv64"] = "0123456789abcdef";

@@ -102,6 +102,15 @@ class Socket {
   void SetNodelay(bool enabled) { nodelay_ = enabled; }
   const std::optional<bool>& nodelay_option() const { return nodelay_; }
 
+  // Per-socket delayed-ACK controls (override the stack-wide defaults when
+  // set): enable/disable the delayed-ACK machinery and its timer value.
+  void SetDelackEnabled(bool enabled) { delack_ = enabled; }
+  const std::optional<bool>& delack_option() const { return delack_; }
+  void SetDelackTimeout(SimDuration timeout) { delack_timeout_ = timeout; }
+  const std::optional<SimDuration>& delack_timeout_option() const {
+    return delack_timeout_;
+  }
+
   // --- user "system calls" (called from process coroutines) ---
 
   // sosend: copies as much of `data` as fits into the send buffer, chunk by
@@ -179,6 +188,8 @@ class Socket {
   bool integrated_copyin_ = false;
   size_t cluster_threshold_ = kClusterThreshold;
   std::optional<bool> nodelay_;
+  std::optional<bool> delack_;
+  std::optional<SimDuration> delack_timeout_;
   WaitChannel state_chan_;
   std::deque<Socket*> accept_queue_;
   size_t accept_backlog_ = kDefaultAcceptBacklog;

@@ -301,8 +301,9 @@ bool TcpConnection::TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size
     rcv_nxt_ += static_cast<uint32_t>(data_len);
     AppendInOrder(std::move(data));
     socket_->ReadWakeup();
-    if (delack_pending_) {
-      // 4.4 acks every other full segment on the fast path.
+    if (delack_pending_ || !DelackEnabled()) {
+      // 4.4 acks every other full segment on the fast path (or every
+      // segment immediately when delayed ACKs are disabled).
       ack_now_ = true;
       Output();
     } else {
@@ -677,8 +678,12 @@ void TcpConnection::ProcessData(MbufPtr data, TcpSeq seq, size_t len, bool fin) 
   }
 
   if (len > 0) {
-    delack_pending_ = true;
-    ArmDelack();
+    if (DelackEnabled()) {
+      delack_pending_ = true;
+      ArmDelack();
+    } else {
+      ack_now_ = true;  // delayed ACKs disabled: ack every data segment
+    }
     socket_->ReadWakeup();
   }
   if (got_fin) {
@@ -775,6 +780,7 @@ TcpConnection::SegmentPlan TcpConnection::PlanSegment() {
   if (usable > data_off) {
     len = usable - data_off;
   }
+  p.window_limited = snd_wnd_ < avail && snd_wnd_ <= win;
   if (len > t_maxseg_) {
     len = t_maxseg_;
     p.sendalot = true;
@@ -828,8 +834,7 @@ TcpConnection::SegmentPlan TcpConnection::PlanSegment() {
   if (!p.send && p.flags.ack && state_ != TcpState::kSynSent) {
     // Window update: announce when the window opens by 2 segments or half
     // the receive buffer.
-    const uint32_t announce =
-        static_cast<uint32_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+    const uint32_t announce = AnnounceWindow();
     const int64_t adv = static_cast<int64_t>(rcv_nxt_ + announce) -
                         static_cast<int64_t>(rcv_adv_);
     if (adv >= static_cast<int64_t>(2 * t_maxseg_) ||
@@ -846,6 +851,7 @@ void TcpConnection::Output() {
   while (true) {
     const SegmentPlan plan = PlanSegment();
     if (!plan.send) {
+      TraceHeldData(plan);
       return;
     }
     EmitSegment(plan);
@@ -853,6 +859,43 @@ void TcpConnection::Output() {
       return;
     }
   }
+}
+
+void TcpConnection::TraceHeldData(const SegmentPlan& plan) {
+  // tcp_output had sendable data but the send rules held it back. Count and
+  // trace the hold so attribution can blame sender-side ACK-wait time, and
+  // split Nagle holds (peer window is open; we are waiting for our own
+  // outstanding data to be acked) from silly-window holds (the peer's tiny
+  // window is what makes the segment small).
+  if (plan.len == 0 ||
+      (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait)) {
+    return;
+  }
+  TcpStats& stats = stack_->stats();
+  if (plan.window_limited && plan.len < t_maxseg_) {
+    ++stats.sws_holds;
+  } else {
+    ++stats.nagle_holds;
+  }
+  stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kNagleHold, TraceFlow(),
+                             snd_nxt_ - iss_, plan.len);
+}
+
+bool TcpConnection::DelackEnabled() const {
+  return socket_->delack_option().value_or(stack_->config().delack);
+}
+
+SimDuration TcpConnection::DelackDelay() const {
+  return socket_->delack_timeout_option().value_or(stack_->config().delack_timeout);
+}
+
+uint32_t TcpConnection::AnnounceWindow() const {
+  size_t announce = std::min<size_t>(socket_->rcv().space(), kMaxWindow);
+  const size_t clamp = stack_->config().rcv_window_clamp;
+  if (clamp > 0) {
+    announce = std::min(announce, clamp);
+  }
+  return static_cast<uint32_t>(announce);
 }
 
 void TcpConnection::EmitSegment(const SegmentPlan& plan) {
@@ -873,8 +916,7 @@ void TcpConnection::EmitSegment(const SegmentPlan& plan) {
   if (plan.flags.ack) {
     th.ack = rcv_nxt_;
   }
-  const uint32_t announce =
-      static_cast<uint32_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+  const uint32_t announce = AnnounceWindow();
   th.window = static_cast<uint16_t>(announce);
   if (plan.flags.syn) {
     th.options.mss = static_cast<uint16_t>(
@@ -1103,7 +1145,7 @@ void TcpConnection::ArmDelack() {
   if (delack_timer_ != kInvalidEventId) {
     return;
   }
-  delack_timer_ = stack_->host().After(stack_->config().delack_timeout, [this] {
+  delack_timer_ = stack_->host().After(DelackDelay(), [this] {
     delack_timer_ = kInvalidEventId;
     DelackTimeout();
   });
@@ -1172,7 +1214,7 @@ void TcpConnection::SendKeepaliveProbe() {
   th.seq = snd_una_ - 1;
   th.ack = rcv_nxt_;
   th.flags.ack = true;
-  th.window = static_cast<uint16_t>(std::min<size_t>(socket_->rcv().space(), kMaxWindow));
+  th.window = static_cast<uint16_t>(AnnounceWindow());
 
   MbufPtr hm = host.pool().GetHeader(kMaxLinkHeader + kIpv4HeaderBytes);
   th.checksum = 0;

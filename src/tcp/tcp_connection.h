@@ -58,7 +58,16 @@ struct TcpConfig {
   // sosend switches from small mbufs to clusters above this write size
   // (§2.2.1; ablation A1 sweeps it).
   size_t cluster_threshold = kClusterThreshold;
+  // Delayed ACKs (§2.3): when enabled, data arrival arms a timer instead of
+  // acking immediately, and the fast path acks only every other full
+  // segment. Disabling it acks every data segment immediately — one half of
+  // the Nagle × delayed-ACK interactive pathology ablation.
+  bool delack = true;
   SimDuration delack_timeout = SimDuration::FromMillis(200);
+  // Artificial cap on the window this end advertises (0 = off). Used by the
+  // silly-window-syndrome scenario to force tiny window advertisements and
+  // exercise the sender-side SWS avoidance rule.
+  size_t rcv_window_clamp = 0;
   SimDuration rexmt_min = SimDuration::FromMillis(300);
   SimDuration rexmt_max = SimDuration::FromSeconds(64);
   SimDuration msl = SimDuration::FromMillis(500);  // shortened 2MSL basis
@@ -133,9 +142,21 @@ class TcpConnection : public ProtocolOps {
     TcpFlags flags;
     bool send = false;
     bool sendalot = false;
+    // True when the peer's window (not the send buffer) limited `len` —
+    // distinguishes silly-window holds from Nagle holds when !send.
+    bool window_limited = false;
   };
   SegmentPlan PlanSegment();
   void EmitSegment(const SegmentPlan& plan);
+  // Emits kNagleHold (and counts nagle_holds/sws_holds) when tcp_output
+  // decided to leave ready data unsent.
+  void TraceHeldData(const SegmentPlan& plan);
+  // Effective per-connection option values (socket override, else config).
+  bool DelackEnabled() const;
+  SimDuration DelackDelay() const;
+  // Window this end advertises: receive-buffer space, clamped by the
+  // rcv_window_clamp scenario knob and the 16-bit field.
+  uint32_t AnnounceWindow() const;
 
   // Timers.
   void ArmRexmt();

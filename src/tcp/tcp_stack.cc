@@ -32,6 +32,8 @@ TcpStack::TcpStack(IpStack* ip, TcpConfig config)
     m.AddCounterView("tcp.fast_retransmits", &stats_.fast_retransmits);
     m.AddCounterView("tcp.zero_window_probes", &stats_.zero_window_probes);
     m.AddCounterView("tcp.delayed_acks_fired", &stats_.delayed_acks_fired);
+    m.AddCounterView("tcp.nagle_holds", &stats_.nagle_holds);
+    m.AddCounterView("tcp.sws_holds", &stats_.sws_holds);
     m.AddCounterView("tcp.keepalive_probes_sent", &stats_.keepalive_probes_sent);
     m.AddCounterView("tcp.keepalive_drops", &stats_.keepalive_drops);
     m.AddCounterView("tcp.out_of_order_segs", &stats_.out_of_order_segs);

@@ -32,6 +32,8 @@ struct TcpStats {
   uint64_t fast_retransmits = 0;    // triggered by the third duplicate ACK
   uint64_t zero_window_probes = 0;  // rexmt timer fired against a closed window
   uint64_t delayed_acks_fired = 0;
+  uint64_t nagle_holds = 0;  // tcp_output held small data behind unacked data
+  uint64_t sws_holds = 0;    // held because the peer's window made it small
   uint64_t keepalive_probes_sent = 0;
   uint64_t keepalive_drops = 0;
   uint64_t out_of_order_segs = 0;

@@ -9,9 +9,10 @@ namespace tcplat {
 namespace {
 
 constexpr std::array<std::string_view, kBlameStageCount> kStageNames = {
-    "cli.send",      "cli.tx_drive",    "net.request",  "srv.ipq_wait",
-    "srv.tcp_input", "srv.wakeup_read", "srv.send",     "srv.tx_drive",
-    "net.response",  "cli.ipq_wait",    "cli.tcp_input", "cli.wakeup_read",
+    "cli.send",      "cli.ack_wait",    "cli.tx_drive", "net.request",
+    "srv.ipq_wait",  "srv.tcp_input",   "srv.wakeup_read",
+    "srv.send",      "srv.ack_wait",    "srv.tx_drive", "net.response",
+    "cli.ipq_wait",  "cli.tcp_input",   "cli.wakeup_read",
     "unattributed"};
 
 // The client end of a flow is the one with the higher port: ephemeral ports
@@ -37,6 +38,8 @@ struct FlowAcc {
   std::vector<ReadRec> client_reads;
   std::vector<int64_t> retransmit_ts;
   std::vector<int64_t> delack_ts;
+  std::vector<int64_t> client_hold_ts;  // kNagleHold on the client sender
+  std::vector<int64_t> server_hold_ts;  // kNagleHold on the server sender
 };
 
 // Message-boundary timestamps from a cumulative byte stream: entry i is the
@@ -88,6 +91,12 @@ int CountIn(const std::vector<int64_t>& ts, int64_t lo, int64_t hi) {
   return static_cast<int>(last - first);
 }
 
+// First timestamp in [lo, hi], or -1. `ts` is sorted.
+int64_t FirstIn(const std::vector<int64_t>& ts, int64_t lo, int64_t hi) {
+  auto it = std::lower_bound(ts.begin(), ts.end(), lo);
+  return it != ts.end() && *it <= hi ? *it : -1;
+}
+
 }  // namespace
 
 std::string_view BlameStageName(BlameStage stage) {
@@ -95,31 +104,36 @@ std::string_view BlameStageName(BlameStage stage) {
   return i < kStageNames.size() ? kStageNames[i] : "?";
 }
 
-void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin, RttWindow* w) {
+void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin,
+                     int64_t cli_hold, int64_t srv_hold, RttWindow* w) {
   w->stage_ns.fill(0);
   if (req == nullptr && rsp == nullptr) {
     w->stage_ns[static_cast<size_t>(BlameStage::kUnattributed)] = w->rtt_ns();
   } else {
-    // Thirteen anchors -> twelve telescoping stages. Missing anchors
+    // Fifteen anchors -> fourteen telescoping stages. Missing anchors
     // forward-fill from their predecessor (a zero-length stage), so the
-    // stages always sum to end - start exactly.
+    // stages always sum to end - start exactly. The ack-wait anchors
+    // default to the segment tx time (not a forward fill), so the
+    // ACK-wait stage is exactly zero when no hold was observed.
     auto wake = [](const Journey* j) {
       return j->wakeup_ns >= 0 ? j->wakeup_ns : j->seg_rx_ns;
     };
-    std::array<int64_t, 13> a;
+    std::array<int64_t, 15> a;
     a[0] = w->start_ns;
-    a[1] = req != nullptr ? req->seg_tx_ns : -1;
-    a[2] = req != nullptr ? req->link_tx_ns : -1;
-    a[3] = req != nullptr ? req->link_rx_ns : -1;
-    a[4] = req != nullptr ? req->dequeue_ns : -1;
-    a[5] = req != nullptr ? wake(req) : -1;
-    a[6] = srv_begin;
-    a[7] = rsp != nullptr ? rsp->seg_tx_ns : -1;
-    a[8] = rsp != nullptr ? rsp->link_tx_ns : -1;
-    a[9] = rsp != nullptr ? rsp->link_rx_ns : -1;
-    a[10] = rsp != nullptr ? rsp->dequeue_ns : -1;
-    a[11] = rsp != nullptr ? wake(rsp) : -1;
-    a[12] = w->end_ns;
+    a[1] = req != nullptr ? (cli_hold >= 0 ? cli_hold : req->seg_tx_ns) : -1;
+    a[2] = req != nullptr ? req->seg_tx_ns : -1;
+    a[3] = req != nullptr ? req->link_tx_ns : -1;
+    a[4] = req != nullptr ? req->link_rx_ns : -1;
+    a[5] = req != nullptr ? req->dequeue_ns : -1;
+    a[6] = req != nullptr ? wake(req) : -1;
+    a[7] = srv_begin;
+    a[8] = rsp != nullptr ? (srv_hold >= 0 ? srv_hold : rsp->seg_tx_ns) : -1;
+    a[9] = rsp != nullptr ? rsp->seg_tx_ns : -1;
+    a[10] = rsp != nullptr ? rsp->link_tx_ns : -1;
+    a[11] = rsp != nullptr ? rsp->link_rx_ns : -1;
+    a[12] = rsp != nullptr ? rsp->dequeue_ns : -1;
+    a[13] = rsp != nullptr ? wake(rsp) : -1;
+    a[14] = w->end_ns;
     for (size_t k = 1; k < a.size(); ++k) {
       a[k] = std::clamp(a[k], a[k - 1], w->end_ns);
     }
@@ -193,6 +207,13 @@ AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
           flows[CanonicalFlow(ev.flow)].delack_ts.push_back(ev.ts_ns);
         }
         break;
+      case TraceEventKind::kNagleHold:
+        if (ev.flow != 0) {
+          FlowAcc& acc = flows[CanonicalFlow(ev.flow)];
+          (IsClientRaw(ev.flow) ? acc.client_hold_ts : acc.server_hold_ts)
+              .push_back(ev.ts_ns);
+        }
+        break;
       default:
         break;
     }
@@ -237,8 +258,12 @@ AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
       const Journey* req = LastJourneyIn(cli_j, w.start_ns, w.end_ns);
       const Journey* rsp = LastJourneyIn(srv_j, w.start_ns, w.end_ns);
       const int64_t srv_begin = i < srv_starts.size() ? srv_starts[i] : -1;
+      const int64_t cli_hold =
+          req != nullptr ? FirstIn(acc.client_hold_ts, w.start_ns, req->seg_tx_ns) : -1;
+      const int64_t srv_hold =
+          rsp != nullptr ? FirstIn(acc.server_hold_ts, w.start_ns, rsp->seg_tx_ns) : -1;
 
-      DecomposeWindow(req, rsp, srv_begin, &w);
+      DecomposeWindow(req, rsp, srv_begin, cli_hold, srv_hold, &w);
       w.retransmits = CountIn(acc.retransmit_ts, w.start_ns, w.end_ns);
       w.delayed_acks = CountIn(acc.delack_ts, w.start_ns, w.end_ns);
       result.windows.push_back(w);

@@ -38,13 +38,16 @@ namespace tcplat {
 // as client/server for the flow; "net" = cells in flight plus switch
 // queueing plus adapter segmentation/reassembly.
 enum class BlameStage : int {
-  kCliSend = 0,    // write() entry -> last request segment handed to IP
+  kCliSend = 0,    // write() entry -> data ready in tcp_output (or seg tx)
+  kCliAckWait,     // Nagle/SWS hold -> the held segment finally leaves
+                   // (waiting on the peer's ACK or the delack timer)
   kCliTxDrive,     // ip_output + driver segmentation + FIFO stalls (request)
   kNetRequest,     // wire + switch + reassembly, client -> server
   kSrvIpqWait,     // reassembled PDU -> softint dequeue (ipintrq)
   kSrvTcpInput,    // ip_input + tcp_input up to the socket wakeup
   kSrvWakeupRead,  // wakeup -> server write() entry (scheduling + read)
-  kSrvSend,        // server write() entry -> last response segment to IP
+  kSrvSend,        // server write() entry -> response ready in tcp_output
+  kSrvAckWait,     // server-side Nagle/SWS hold -> response segment leaves
   kSrvTxDrive,
   kNetResponse,
   kCliIpqWait,
@@ -89,11 +92,14 @@ AttributionResult AttributeRtts(const Tracer& tracer, const CausalGraph& graph,
                                 const AttributionOptions& options);
 
 // Fills w->stage_ns and w->tx_stall_ns from the window's two critical
-// journeys (either may be null) and the server write-entry anchor
-// (`srv_begin`, -1 when unobserved); w->start_ns/end_ns must already be
-// set. Factored out of AttributeRtts so the batch and streaming
-// reconstructors produce bit-identical decompositions.
-void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin, RttWindow* w);
+// journeys (either may be null), the server write-entry anchor
+// (`srv_begin`, -1 when unobserved), and the first sender-side hold
+// (kNagleHold) timestamps on each side (`cli_hold`/`srv_hold`, -1 when no
+// hold was observed — the ACK-wait stage is then zero); w->start_ns/end_ns
+// must already be set. Factored out of AttributeRtts so the batch and
+// streaming reconstructors produce bit-identical decompositions.
+void DecomposeWindow(const Journey* req, const Journey* rsp, int64_t srv_begin,
+                     int64_t cli_hold, int64_t srv_hold, RttWindow* w);
 
 // Per-span totals for `host` partitioned into the given windows (bucketed
 // by each span event's end timestamp) plus a residual bucket for time

@@ -27,6 +27,16 @@ void PruneThrough(std::deque<int64_t>* ts, int64_t hi) {
   }
 }
 
+// First timestamp in [lo, hi], or -1 (same rule as the batch FirstIn; the
+// deque is in timestamp order).
+int64_t FirstInDeque(const std::deque<int64_t>& ts, int64_t lo, int64_t hi) {
+  for (int64_t t : ts) {
+    if (t > hi) break;
+    if (t >= lo) return t;
+  }
+  return -1;
+}
+
 }  // namespace
 
 StreamingAttribution::StreamingAttribution(const AttributionOptions& options)
@@ -113,6 +123,14 @@ void StreamingAttribution::OnEvent(const TraceEvent& ev) {
     case TraceEventKind::kDelayedAck:
       if (ev.flow != 0) {
         flows_[CanonicalFlow(ev.flow)].delack_ts.push_back(ev.ts_ns);
+      }
+      break;
+
+    case TraceEventKind::kNagleHold:
+      if (ev.flow != 0) {
+        FlowState& fs = flows_[CanonicalFlow(ev.flow)];
+        (IsClientRaw(ev.flow) ? fs.client_hold_ts : fs.server_hold_ts)
+            .push_back(ev.ts_ns);
       }
       break;
 
@@ -300,8 +318,12 @@ void StreamingAttribution::CloseWindow(uint64_t canonical_flow, FlowState* flow,
     const bool have_srv =
         i >= flow->srv_starts_base && i - flow->srv_starts_base < flow->srv_starts.size();
     const int64_t srv_begin = have_srv ? flow->srv_starts[i - flow->srv_starts_base] : -1;
+    const int64_t cli_hold =
+        req != nullptr ? FirstInDeque(flow->client_hold_ts, w.start_ns, req->seg_tx_ns) : -1;
+    const int64_t srv_hold =
+        rsp != nullptr ? FirstInDeque(flow->server_hold_ts, w.start_ns, rsp->seg_tx_ns) : -1;
 
-    DecomposeWindow(req, rsp, srv_begin, &w);
+    DecomposeWindow(req, rsp, srv_begin, cli_hold, srv_hold, &w);
     w.retransmits = CountInDeque(flow->retransmit_ts, w.start_ns, w.end_ns);
     w.delayed_acks = CountInDeque(flow->delack_ts, w.start_ns, w.end_ns);
     if (i >= static_cast<uint64_t>(std::max(options_.warmup_windows, 0))) {
@@ -326,6 +348,8 @@ void StreamingAttribution::CloseWindow(uint64_t canonical_flow, FlowState* flow,
   }
   PruneThrough(&flow->retransmit_ts, end_ns);
   PruneThrough(&flow->delack_ts, end_ns);
+  PruneThrough(&flow->client_hold_ts, end_ns);
+  PruneThrough(&flow->server_hold_ts, end_ns);
 
   // Datagrams of this flow transmitted at or before the previous close that
   // still await a kPktRx were lost in flight (a one-way traversal cannot

@@ -98,6 +98,8 @@ class StreamingAttribution {
     std::deque<size_t> candidates;
     std::deque<int64_t> retransmit_ts;
     std::deque<int64_t> delack_ts;
+    std::deque<int64_t> client_hold_ts;  // kNagleHold on the client sender
+    std::deque<int64_t> server_hold_ts;  // kNagleHold on the server sender
   };
 
   static constexpr size_t kNone = static_cast<size_t>(-1);

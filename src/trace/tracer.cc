@@ -61,7 +61,8 @@ constexpr std::array<std::string_view, static_cast<size_t>(TraceEventKind::kCoun
     "enqueue", "dequeue", "pkt.tx", "pkt.rx",
     "pdu.tx", "pdu.rx", "cell.drop", "tx.stall", "cell.switch",
     "frame.tx", "frame.rx",
-    "impair.drop", "impair.dup", "impair.delay"};
+    "impair.drop", "impair.dup", "impair.delay",
+    "nagle.hold"};
 
 template <size_t N>
 constexpr bool AllDistinctNonEmpty(const std::array<std::string_view, N>& names) {
@@ -347,6 +348,7 @@ void Tracer::CommitSlow(const TraceEvent& ev) {
     case TraceEventKind::kRetransmit:
     case TraceEventKind::kAck:
     case TraceEventKind::kDelayedAck:
+    case TraceEventKind::kNagleHold:
       if (ev.flow != 0) {
         const bool keep = KeepFlow(ev.flow);
         st.keep = keep ? 1 : 0;

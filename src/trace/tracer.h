@@ -93,7 +93,11 @@ enum class TraceEventKind : uint8_t {
   kImpairDrop,   // unit discarded in flight
   kImpairDup,    // a second copy will be delivered; dur_ns = duplicate lag
   kImpairDelay,  // arrival delayed (reorder hold or jitter); dur_ns = delay
-  kCount,        // sentinel — keep last
+  // TCP, appended after the impairment block so existing binary kind tags
+  // keep their values.
+  kNagleHold,  // tcp_output left data unsent (Nagle / silly-window
+               // avoidance); packet = relative seq, bytes = held length
+  kCount,      // sentinel — keep last
 };
 
 std::string_view TraceLayerName(TraceLayer layer);

@@ -31,6 +31,11 @@ struct RunState {
   // so recording is shard-safe; max_concurrent is swept from these after
   // the run instead of bumping a shared counter mid-simulation.
   std::vector<std::vector<std::pair<int64_t, int64_t>>> intervals;
+  // Streaming mode: per-message send-entry (client coroutine) and sink-side
+  // delivery (server coroutine) timestamps, paired after the run. One owner
+  // per vector keeps the recording shard-safe.
+  std::vector<std::vector<int64_t>> stream_send_ts;
+  std::vector<std::vector<int64_t>> stream_recv_ts;
 };
 
 void BeginInterval(RunState* state, size_t flow, SimTime t0) {
@@ -203,6 +208,225 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
   co_return;
 }
 
+// --- interactive request/response -----------------------------------------
+
+void ApplyServerOptions(const FlowSpec* spec, Socket* conn) {
+  if (spec->server_delack.has_value()) {
+    conn->SetDelackEnabled(*spec->server_delack);
+  }
+  if (spec->server_delack_timeout.has_value()) {
+    conn->SetDelackTimeout(*spec->server_delack_timeout);
+  }
+}
+
+// Reads exactly `want` bytes into `buf` (which must hold them). Returns
+// false if the connection died first.
+SimTask InteractiveServerProc(RunState* state, const FlowSpec* spec, size_t flow,
+                              uint16_t port) {
+  Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  while (true) {
+    Socket* conn = listener->Accept();
+    if (conn != nullptr) {
+      // The accept wakeup fires on the handshake ACK, one propagation ahead
+      // of the client's first data, so the options are set before any
+      // delayed-ACK decision is made.
+      ApplyServerOptions(spec, conn);
+      std::vector<uint8_t> req(spec->request_bytes());
+      std::vector<uint8_t> rsp(spec->response_bytes());
+      const int total = spec->warmup + spec->iterations;
+      for (int iter = 0; iter < total; ++iter) {
+        size_t got = 0;
+        while (got < req.size()) {
+          const size_t n = conn->Read({req.data() + got, req.size() - got});
+          got += n;
+          if (n == 0) {
+            if (conn->eof() || conn->has_error()) {
+              state->server_done[flow] = true;
+              co_return;
+            }
+            co_await conn->WaitReadable();
+          }
+        }
+        FillPattern(rsp, iter);
+        size_t sent = 0;
+        while (sent < rsp.size()) {
+          const size_t n = conn->Write({rsp.data() + sent, rsp.size() - sent});
+          sent += n;
+          if (n == 0) {
+            if (conn->has_error()) {
+              state->server_done[flow] = true;
+              co_return;
+            }
+            co_await conn->WaitWritable();
+          }
+        }
+      }
+      conn->Close();
+      state->server_done[flow] = true;
+      co_return;
+    }
+    co_await listener->WaitAcceptable();
+  }
+}
+
+SimTask InteractiveClientProc(RunState* state, const FlowSpec* spec, size_t flow,
+                              uint16_t port) {
+  Host& host = state->tb->client_host(spec->client);
+  FlowResult& result = state->results[flow];
+  if (spec->start_delay.nanos() > 0) {
+    co_await host.SleepFor(spec->start_delay);
+  }
+  const Ipv4Addr server_addr = StarServerAddr(spec->server);
+  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  if (spec->client_nodelay.has_value()) {
+    sock->SetNodelay(*spec->client_nodelay);
+  }
+  while (!sock->connected() && !sock->has_error()) {
+    co_await sock->WaitConnected();
+  }
+  TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " failed to connect";
+
+  std::vector<size_t> chunks = spec->request_chunks;
+  if (chunks.empty()) {
+    chunks.push_back(spec->size);
+  }
+  std::vector<uint8_t> out(spec->request_bytes());
+  std::vector<uint8_t> in(spec->response_bytes());
+  const int total = spec->warmup + spec->iterations;
+  const int depth = std::max(spec->pipeline_depth, 1);
+  int issued = 0;
+  int completed = 0;
+  while (completed < total) {
+    while (issued < total && issued - completed < depth) {
+      if (issued == spec->warmup && flow == 0 && state->options->reset_trackers_at_warmup &&
+          !state->tb->sharded()) {
+        state->tb->ResetTrackers();
+      }
+      FillPattern(out, issued);
+      BeginInterval(state, flow, host.CurrentTime());
+      size_t off = 0;
+      for (size_t chunk : chunks) {
+        size_t sent = 0;
+        while (sent < chunk) {
+          const size_t n = sock->Write({out.data() + off + sent, chunk - sent});
+          sent += n;
+          if (n == 0) {
+            TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error during send";
+            co_await sock->WaitWritable();
+          }
+        }
+        off += chunk;
+      }
+      ++issued;
+    }
+    size_t got = 0;
+    while (got < in.size()) {
+      const size_t n = sock->Read({in.data() + got, in.size() - got});
+      got += n;
+      if (n == 0) {
+        TCPLAT_CHECK(!sock->eof() && !sock->has_error())
+            << "flow " << flow << " died mid-response";
+        co_await sock->WaitReadable();
+      }
+    }
+    const SimTime t1 = host.CurrentTime();
+    // Responses complete in issue order; close the oldest open interval.
+    auto& iv = state->intervals[flow][static_cast<size_t>(completed)];
+    iv.second = t1.nanos();
+    if (completed >= spec->warmup) {
+      result.rtt.Add(t1.QuantizeToClockTick() -
+                     SimTime::FromNanos(iv.first).QuantizeToClockTick());
+    }
+    ++completed;
+    if (spec->think_time.nanos() > 0 && completed < total) {
+      co_await host.SleepFor(spec->think_time);
+    }
+  }
+  sock->Close();
+  result.completed = true;
+  state->client_done[flow] = true;
+  co_return;
+}
+
+// --- streaming (steady small appends, sink-side latency) -------------------
+
+SimTask StreamSinkProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  while (true) {
+    Socket* conn = listener->Accept();
+    if (conn != nullptr) {
+      ApplyServerOptions(spec, conn);
+      Host& host = state->tb->server_host(spec->server);
+      std::vector<uint8_t> buf(std::max<size_t>(spec->size, 1));
+      uint64_t cum = 0;
+      uint64_t boundary = spec->size;
+      while (true) {
+        const size_t n = conn->Read({buf.data(), buf.size()});
+        cum += n;
+        while (cum >= boundary) {
+          state->stream_recv_ts[flow].push_back(host.CurrentTime().nanos());
+          boundary += spec->size;
+        }
+        if (n == 0) {
+          if (conn->eof() || conn->has_error()) {
+            state->server_done[flow] = true;
+            co_return;
+          }
+          co_await conn->WaitReadable();
+        }
+      }
+    }
+    co_await listener->WaitAcceptable();
+  }
+}
+
+SimTask StreamClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Host& host = state->tb->client_host(spec->client);
+  FlowResult& result = state->results[flow];
+  if (spec->start_delay.nanos() > 0) {
+    co_await host.SleepFor(spec->start_delay);
+  }
+  const Ipv4Addr server_addr = StarServerAddr(spec->server);
+  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  if (spec->client_nodelay.has_value()) {
+    sock->SetNodelay(*spec->client_nodelay);
+  }
+  while (!sock->connected() && !sock->has_error()) {
+    co_await sock->WaitConnected();
+  }
+  TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " failed to connect";
+
+  std::vector<uint8_t> out(spec->size);
+  const int total = spec->warmup + spec->iterations;
+  for (int iter = 0; iter < total; ++iter) {
+    if (iter == spec->warmup && flow == 0 && state->options->reset_trackers_at_warmup &&
+        !state->tb->sharded()) {
+      state->tb->ResetTrackers();
+    }
+    FillPattern(out, iter);
+    const SimTime t0 = host.CurrentTime();
+    BeginInterval(state, flow, t0);
+    state->stream_send_ts[flow].push_back(t0.nanos());
+    size_t sent = 0;
+    while (sent < out.size()) {
+      const size_t n = sock->Write({out.data() + sent, out.size() - sent});
+      sent += n;
+      if (n == 0) {
+        TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error during append";
+        co_await sock->WaitWritable();
+      }
+    }
+    EndInterval(state, flow, host.CurrentTime());
+    if (spec->stream_interval.nanos() > 0 && iter + 1 < total) {
+      co_await host.SleepFor(spec->stream_interval);
+    }
+  }
+  sock->Close();
+  result.completed = true;
+  state->client_done[flow] = true;
+  co_return;
+}
+
 }  // namespace
 
 WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& specs,
@@ -217,6 +441,9 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
     TCPLAT_CHECK_LT(spec.server, testbed.servers());
   }
 
+  for (const FlowSpec& spec : specs) {
+    TCPLAT_CHECK_GT(spec.request_bytes(), 0u);
+  }
   RunState state;
   state.tb = &testbed;
   state.options = &options;
@@ -224,6 +451,8 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   state.server_done.assign(specs.size(), 0);
   state.client_done.assign(specs.size(), 0);
   state.intervals.resize(specs.size());
+  state.stream_send_ts.resize(specs.size());
+  state.stream_recv_ts.resize(specs.size());
   for (size_t f = 0; f < specs.size(); ++f) {
     state.results[f].iterations = static_cast<uint64_t>(specs[f].iterations);
   }
@@ -239,14 +468,26 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   for (size_t f = 0; f < specs.size(); ++f) {
     const uint16_t port =
         specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
-    testbed.server_host(specs[f].server)
-        .Spawn("echo-server", ServerProc(&state, &specs[f], f, port));
+    Host& server = testbed.server_host(specs[f].server);
+    if (specs[f].streaming) {
+      server.Spawn("stream-sink", StreamSinkProc(&state, &specs[f], f, port));
+    } else if (specs[f].interactive()) {
+      server.Spawn("rr-server", InteractiveServerProc(&state, &specs[f], f, port));
+    } else {
+      server.Spawn("echo-server", ServerProc(&state, &specs[f], f, port));
+    }
   }
   for (size_t f = 0; f < specs.size(); ++f) {
     const uint16_t port =
         specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
-    testbed.client_host(specs[f].client)
-        .Spawn("echo-client", ClientProc(&state, &specs[f], f, port));
+    Host& client = testbed.client_host(specs[f].client);
+    if (specs[f].streaming) {
+      client.Spawn("stream-client", StreamClientProc(&state, &specs[f], f, port));
+    } else if (specs[f].interactive()) {
+      client.Spawn("rr-client", InteractiveClientProc(&state, &specs[f], f, port));
+    } else {
+      client.Spawn("echo-client", ClientProc(&state, &specs[f], f, port));
+    }
   }
 
   testbed.RunToCompletion();
@@ -256,6 +497,18 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   result.per_client.resize(static_cast<size_t>(testbed.clients()));
   for (size_t f = 0; f < specs.size(); ++f) {
     FlowResult& flow = result.flows[f];
+    if (specs[f].streaming) {
+      // Pair each measured append's send entry with its sink-side delivery;
+      // recorded on separate coroutines, joined only after the run.
+      const auto& send_ts = state.stream_send_ts[f];
+      const auto& recv_ts = state.stream_recv_ts[f];
+      for (size_t i = static_cast<size_t>(std::max(specs[f].warmup, 0));
+           i < send_ts.size() && i < recv_ts.size(); ++i) {
+        flow.rtt.Add(SimTime::FromNanos(recv_ts[i]).QuantizeToClockTick() -
+                     SimTime::FromNanos(send_ts[i]).QuantizeToClockTick());
+      }
+      flow.completed = flow.completed && recv_ts.size() == send_ts.size();
+    }
     if (specs[f].tolerate_errors) {
       // A one-sided death can leave the peer parked on a wait channel with
       // no events pending; that is an aborted flow, not a harness bug.

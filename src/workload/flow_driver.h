@@ -15,6 +15,8 @@
 #define SRC_WORKLOAD_FLOW_DRIVER_H_
 
 #include <cstdint>
+#include <numeric>
+#include <optional>
 #include <vector>
 
 #include "src/trace/latency_stats.h"
@@ -35,6 +37,39 @@ struct FlowSpec {
   SimDuration think_time;   // closed-loop pause after each round trip
   bool verify_data = true;
   bool tolerate_errors = false;
+
+  // --- interactive request/response extensions (all default-off; leaving
+  // them alone keeps the legacy echo path byte-identical) ---
+  // Request written as these chunks, each a separate write syscall — the
+  // small-write shape that arms the Nagle × delayed-ACK pathology. Empty =
+  // one `size`-byte write.
+  std::vector<size_t> request_chunks;
+  // Server reply per request; 0 = echo the request size.
+  size_t response_size = 0;
+  // Requests the client keeps in flight before waiting for a response.
+  int pipeline_depth = 1;
+  // Streaming mode: the client appends `size` bytes every `stream_interval`
+  // (jittertrap-style steady small appends) and the server only sinks them;
+  // per-message latency is send-entry to sink-side delivery.
+  bool streaming = false;
+  SimDuration stream_interval;
+  // Per-flow socket options: TCP_NODELAY on the client socket, delayed-ACK
+  // enable/timer on the server's accepted connection. Unset = stack config.
+  std::optional<bool> client_nodelay;
+  std::optional<bool> server_delack;
+  std::optional<SimDuration> server_delack_timeout;
+
+  size_t request_bytes() const {
+    return request_chunks.empty()
+               ? size
+               : std::accumulate(request_chunks.begin(), request_chunks.end(), size_t{0});
+  }
+  size_t response_bytes() const { return response_size != 0 ? response_size : request_bytes(); }
+  bool interactive() const {
+    return !request_chunks.empty() || response_size != 0 || pipeline_depth > 1 ||
+           client_nodelay.has_value() || server_delack.has_value() ||
+           server_delack_timeout.has_value();
+  }
 };
 
 struct FlowResult {

@@ -28,6 +28,7 @@
 #include "src/workload/capacity.h"
 #include "src/workload/flow_driver.h"
 #include "src/workload/generator.h"
+#include "src/workload/interactive.h"
 #include "src/workload/star_testbed.h"
 
 namespace tcplat {
@@ -477,6 +478,104 @@ TEST(Attribution, BinaryRoundTripPreservesWindows) {
   ASSERT_EQ(from_binary.windows.size(), from_vector.windows.size());
   for (size_t i = 0; i < from_vector.windows.size(); ++i) {
     EXPECT_TRUE(SameWindow(from_vector.windows[i], from_binary.windows[i])) << "window " << i;
+  }
+}
+
+// --- interactive Nagle × delayed-ACK blame --------------------------------
+
+int64_t AckWaitNanos(const RttWindow& w) {
+  return w.stage_ns[static_cast<size_t>(BlameStage::kCliAckWait)] +
+         w.stage_ns[static_cast<size_t>(BlameStage::kSrvAckWait)];
+}
+
+AttributionResult AttributeInteractive(const InteractiveCell& cell, Tracer& tracer) {
+  const CausalGraph graph = CausalGraph::Build(tracer);
+  AttributionOptions options;
+  options.message_bytes = 200;  // two 100-byte chunks up, 200 bytes back
+  options.warmup_windows = cell.warmup;
+  return AttributeRtts(tracer, graph, options);
+}
+
+// The pathological cell's round trips are the delayed-ACK timer: the
+// sender-side ACK-wait stage (anchored by the kNagleHold event) must own
+// at least 80% of every window — in particular the p99 one — and the
+// windows must still telescope exactly.
+TEST(InteractiveBlame, DelackCellBlamesAckWaitAtTheSender) {
+  InteractiveCell cell;
+  cell.iterations = 16;
+  cell.warmup = 2;
+  Tracer tracer;
+  const InteractiveOutcome outcome = RunInteractiveCell(cell, &tracer);
+  ASSERT_EQ(outcome.samples, 16u);
+  const AttributionResult result = AttributeInteractive(cell, tracer);
+  ASSERT_EQ(result.windows.size(), 16u);
+
+  const RttWindow* p99 = &result.windows[0];
+  for (const RttWindow& w : result.windows) {
+    int64_t sum = 0;
+    for (int64_t stage : w.stage_ns) {
+      sum += stage;
+    }
+    EXPECT_EQ(sum, w.rtt_ns()) << "window does not telescope";
+    EXPECT_GE(AckWaitNanos(w), static_cast<int64_t>(0.8 * static_cast<double>(w.rtt_ns())));
+    if (w.rtt_ns() > p99->rtt_ns()) {
+      p99 = &w;
+    }
+  }
+  EXPECT_GE(p99->rtt_ns(), 200 * 1'000'000);
+  EXPECT_GE(AckWaitNanos(*p99),
+            static_cast<int64_t>(0.8 * static_cast<double>(p99->rtt_ns())));
+}
+
+// Under TCP_NODELAY no segment is ever held, no kNagleHold event exists,
+// and the ACK-wait stages collapse to exactly zero in every window: the
+// blame mode vanishes along with the latency mode.
+TEST(InteractiveBlame, NodelayCellHasNoAckWaitBlame) {
+  InteractiveCell cell;
+  cell.knob = InteractiveKnob::kNodelay;
+  cell.iterations = 16;
+  cell.warmup = 2;
+  Tracer tracer;
+  const InteractiveOutcome outcome = RunInteractiveCell(cell, &tracer);
+  ASSERT_EQ(outcome.samples, 16u);
+  const AttributionResult result = AttributeInteractive(cell, tracer);
+  ASSERT_EQ(result.windows.size(), 16u);
+  for (const RttWindow& w : result.windows) {
+    int64_t sum = 0;
+    for (int64_t stage : w.stage_ns) {
+      sum += stage;
+    }
+    EXPECT_EQ(sum, w.rtt_ns());
+    EXPECT_EQ(AckWaitNanos(w), 0);
+    EXPECT_LT(w.rtt_ns(), 5 * 1'000'000);
+  }
+}
+
+// The streaming consumer must close byte-identical windows on the
+// pathological cell too — the hold-anchor rule is shared code, and this
+// pins it stays that way (the delack cell is the one workload where the
+// anchors actually move).
+TEST(InteractiveBlame, StreamingMatchesBatchOnDelackCell) {
+  InteractiveCell cell;
+  cell.iterations = 12;
+  cell.warmup = 2;
+  Tracer tracer;
+  RunInteractiveCell(cell, &tracer);
+  const AttributionResult batch = AttributeInteractive(cell, tracer);
+  ASSERT_GT(batch.windows.size(), 0u);
+
+  AttributionOptions options;
+  options.message_bytes = 200;
+  options.warmup_windows = cell.warmup;
+  StreamingAttribution streaming(options);
+  for (const TraceEvent& ev : tracer.events()) {
+    streaming.OnEvent(ev);
+  }
+  const std::vector<RttWindow> a = SortedWindows(batch.windows);
+  const std::vector<RttWindow> b = SortedWindows(streaming.windows());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(SameWindow(a[i], b[i])) << "window " << i;
   }
 }
 

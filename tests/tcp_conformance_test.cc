@@ -282,5 +282,157 @@ TEST_F(Conformance, BadChecksumSegmentIgnoredSilently) {
   EXPECT_TRUE(TakeOutbound(tap_).empty()) << "corrupt segments draw no response";
 }
 
+// --- Nagle / delayed-ACK cadence conformance ---
+
+// Completes a fake-client handshake against `tb`'s server listener, with
+// the tap already attached; returns the server's ISS. (The fixture's
+// Handshake() bound to tb_; this one works on any testbed, so tests can
+// reconfigure the stack under test.)
+uint32_t HandshakeOn(Testbed& tb, SegmentTap& tap, uint32_t iss) {
+  constexpr Ipv4Addr kFake = MakeAddr(10, 0, 0, 77);
+  TcpHeader syn;
+  syn.src_port = 33333;
+  syn.dst_port = kEchoPort;
+  syn.seq = iss;
+  syn.flags.syn = true;
+  syn.window = 8192;
+  syn.options.mss = 1460;
+  Inject(tb, BuildSegment(kFake, kServerAddr, syn, {}));
+  tb.sim().RunUntil(tb.sim().Now() + SimDuration::FromMillis(50));
+  auto out = TakeOutbound(tap);
+  EXPECT_EQ(out.size(), 1u);
+  const uint32_t server_iss = out.empty() ? 0 : out[0].header.seq;
+
+  TcpHeader ack;
+  ack.src_port = 33333;
+  ack.dst_port = kEchoPort;
+  ack.seq = iss + 1;
+  ack.ack = server_iss + 1;
+  ack.flags.ack = true;
+  ack.window = 8192;
+  Inject(tb, BuildSegment(kFake, kServerAddr, ack, {}));
+  tb.sim().RunUntil(tb.sim().Now() + SimDuration::FromMillis(50));
+  TakeOutbound(tap);
+  return server_iss;
+}
+
+TcpHeader DataHeader(uint32_t seq, uint32_t ack) {
+  TcpHeader th;
+  th.src_port = 33333;
+  th.dst_port = kEchoPort;
+  th.seq = seq;
+  th.ack = ack;
+  th.flags.ack = true;
+  th.window = 8192;
+  return th;
+}
+
+// The 4.3BSD receiver acks every *other* in-sequence data segment: the
+// first arms the delayed-ACK timer, the second forces the ACK out
+// immediately — long before the 200 ms timer.
+TEST_F(Conformance, DelackAcksEveryOtherSegmentImmediately) {
+  const uint32_t iss = 110000;
+  const uint32_t server_iss = Handshake(iss);
+  const std::vector<uint8_t> data(500, 0x33);
+  Inject(tb_, BuildSegment(kFakeClient, kServerAddr, DataHeader(iss + 1, server_iss + 1), data));
+  Step(2);
+  EXPECT_TRUE(TakeOutbound(tap_).empty()) << "first segment only arms the timer";
+  Inject(tb_,
+         BuildSegment(kFakeClient, kServerAddr, DataHeader(iss + 501, server_iss + 1), data));
+  Step(2);
+  auto out = TakeOutbound(tap_);
+  ASSERT_EQ(out.size(), 1u) << "second segment forces the ACK";
+  EXPECT_EQ(out[0].header.ack, iss + 1001);
+  EXPECT_EQ(out[0].payload_len, 0u);
+  EXPECT_EQ(tb_.server_tcp().stats().delayed_acks_fired, 0u);
+}
+
+// The delayed-ACK timer honors the configured value: with a 50 ms timer a
+// lone segment is still unacked at 40 ms and acked by 60 ms.
+TEST_F(Conformance, DelackTimerHonorsConfiguredValue) {
+  TestbedConfig cfg;
+  cfg.tcp.delack_timeout = SimDuration::FromMillis(50);
+  Testbed tb(cfg);
+  SegmentTap tap;
+  tb.server_tcp().set_tap(&tap);
+  tb.server_tcp().Listen(kEchoPort);
+  const uint32_t iss = 120000;
+  const uint32_t server_iss = HandshakeOn(tb, tap, iss);
+  const std::vector<uint8_t> data(500, 0x44);
+  Inject(tb, BuildSegment(MakeAddr(10, 0, 0, 77), kServerAddr,
+                          DataHeader(iss + 1, server_iss + 1), data));
+  tb.sim().RunUntil(tb.sim().Now() + SimDuration::FromMillis(40));
+  EXPECT_TRUE(TakeOutbound(tap).empty()) << "no ACK before the configured timer";
+  tb.sim().RunUntil(tb.sim().Now() + SimDuration::FromMillis(20));
+  auto out = TakeOutbound(tap);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header.ack, iss + 501);
+  EXPECT_EQ(tb.server_tcp().stats().delayed_acks_fired, 1u);
+}
+
+// With delayed ACKs disabled, every in-sequence data segment draws an
+// immediate ACK and the timer never fires.
+TEST_F(Conformance, DelackDisabledAcksEverySegmentImmediately) {
+  TestbedConfig cfg;
+  cfg.tcp.delack = false;
+  Testbed tb(cfg);
+  SegmentTap tap;
+  tb.server_tcp().set_tap(&tap);
+  tb.server_tcp().Listen(kEchoPort);
+  const uint32_t iss = 130000;
+  const uint32_t server_iss = HandshakeOn(tb, tap, iss);
+  const std::vector<uint8_t> data(500, 0x55);
+  for (int i = 0; i < 2; ++i) {
+    Inject(tb, BuildSegment(MakeAddr(10, 0, 0, 77), kServerAddr,
+                            DataHeader(iss + 1 + static_cast<uint32_t>(i) * 500, server_iss + 1),
+                            data));
+    tb.sim().RunUntil(tb.sim().Now() + SimDuration::FromMillis(2));
+    auto out = TakeOutbound(tap);
+    ASSERT_EQ(out.size(), 1u) << "segment " << i << " must be acked at once";
+    EXPECT_EQ(out[0].header.ack, iss + 1 + static_cast<uint32_t>(i + 1) * 500);
+  }
+  EXPECT_EQ(tb.server_tcp().stats().delayed_acks_fired, 0u);
+}
+
+// Sender-side Nagle rule: at most one small segment may be outstanding.
+// Three back-to-back small writes must leave as the first chunk alone plus
+// one coalesced remainder, and no small data segment may depart while a
+// previous one is still unacknowledged.
+TEST_F(Conformance, NagleAllowsOneOutstandingSmallSegment) {
+  Testbed tb{TestbedConfig{}};
+  SegmentTap tap;
+  tb.client_tcp().set_tap(&tap);
+  tb.server_tcp().Listen(kEchoPort);
+  struct Writer {
+    static SimTask Run(Testbed* t) {
+      Socket* s = t->client_tcp().Connect(SockAddr{kServerAddr, kEchoPort});
+      while (!s->connected()) {
+        co_await s->WaitConnected();
+      }
+      const std::vector<uint8_t> msg(300, 0x5A);
+      s->Write(msg);
+      s->Write(msg);
+      s->Write(msg);
+    }
+  };
+  tb.client_host().Spawn("writer", Writer::Run(&tb));
+  tb.sim().RunUntil(SimTime::FromMillis(500));
+
+  int data_segments = 0;
+  bool small_outstanding = false;
+  for (const auto& r : tap.records()) {
+    if (r.outbound && r.payload_len > 0) {
+      EXPECT_FALSE(small_outstanding)
+          << "second small segment sent before the first was acked";
+      small_outstanding = true;
+      ++data_segments;
+    } else if (!r.outbound && r.header.flags.ack) {
+      small_outstanding = false;
+    }
+  }
+  EXPECT_EQ(data_segments, 2) << "chunk 1 alone, chunks 2+3 coalesced";
+  EXPECT_GE(tb.client_tcp().stats().nagle_holds, 1u);
+}
+
 }  // namespace
 }  // namespace tcplat
