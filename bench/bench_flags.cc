@@ -87,6 +87,10 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags, const char* accep
       flags->perf_path = v;
       continue;
     }
+    if (const char* v = FlagValue(argc, argv, &i, "--congestion")) {
+      flags->congestion_path = v;
+      continue;
+    }
     if (const char* v = FlagValue(argc, argv, &i, "--baseline-dir")) {
       flags->baseline_dir = v;
       continue;

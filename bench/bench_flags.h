@@ -21,6 +21,7 @@ struct BenchFlags {
   int flows = 0;           // --flows; pre-set the default before parsing
   std::string csv_path;    // --csv; empty = no CSV export
   std::string perf_path;   // --perf; a fresh BENCH_perf.json to gate on
+  std::string congestion_path;  // --congestion; a fresh BENCH_congestion.json
   std::string baseline_dir;       // --baseline-dir; committed baselines
   bool write_baseline = false;    // --write-baseline: refresh the baselines
   bool selftest = false;          // --selftest: pure-logic self-verification

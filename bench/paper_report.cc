@@ -283,10 +283,10 @@ void HostCounters() {
   RunWorkload(star, specs);
   star.atm_switch()->set_output_impairment(nullptr);
 
-  const std::array<const char*, 7> names = {
+  const std::array<const char*, 9> names = {
       "tcp.retransmits",        "tcp.rexmt_timeouts",     "tcp.dup_acks_received",
-      "tcp.fast_retransmits",   "tcp.zero_window_probes", "tcp.delayed_acks_fired",
-      "tcp.listen_overflows"};
+      "tcp.fast_retransmits",   "tcp.fast_recovery_episodes", "tcp.sack_retransmits",
+      "tcp.zero_window_probes", "tcp.delayed_acks_fired", "tcp.listen_overflows"};
   auto metric = [](Host& host, const char* name) -> int64_t {
     for (const MetricsRegistry::Sample& s : host.metrics().Snapshot()) {
       if (s.name == name) {

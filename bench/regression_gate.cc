@@ -53,6 +53,7 @@ constexpr double kMinRateRatio = 0.10;
 constexpr double kMaxTraceOverheadPct = 10.0;
 constexpr double kMaxTraceGrowthRatio = 1.10;
 constexpr double kMaxInteractiveGrowthRatio = 1.10;
+constexpr double kMinCongestionRatio = 0.90;
 
 int g_failures = 0;
 int g_warnings = 0;
@@ -243,6 +244,45 @@ void GateTrace(const std::map<std::string, std::string>& fresh,
   }
 }
 
+// Congestion goodput-grid metrics (bench/congestion): everything is
+// simulated and deterministic, but the goodput/efficiency/fairness numbers
+// may legitimately drift as the protocol stack evolves — the gate's job is
+// to stop them *collapsing*, so they gate on a 0.90x floor of baseline
+// (improvement always passes). Counters and the acceptance booleans
+// (sack_epd_beats_reno_tail, gap_shrinks_with_buffer, all_flows_completed)
+// stay exact.
+bool IsCongestionFloored(const std::string& key) {
+  return EndsWith(key, "_goodput_mbps") || EndsWith(key, "_efficiency") ||
+         EndsWith(key, "_fairness");
+}
+
+void GateCongestion(const std::map<std::string, std::string>& fresh,
+                    const std::map<std::string, std::string>& baseline) {
+  for (const auto& [key, base_value] : baseline) {
+    auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      Result("FAIL", key, "missing from fresh congestion results");
+      continue;
+    }
+    if (IsCongestionFloored(key)) {
+      const double fresh_value = std::strtod(it->second.c_str(), nullptr);
+      const double floor = std::strtod(base_value.c_str(), nullptr) * kMinCongestionRatio;
+      char detail[160];
+      std::snprintf(detail, sizeof(detail), "%s vs baseline %s (floor %.3f)",
+                    it->second.c_str(), base_value.c_str(), floor);
+      Result(fresh_value >= floor ? "ok" : "FAIL", key, detail);
+      continue;
+    }
+    Result(it->second == base_value ? "ok" : "FAIL", key,
+           it->second + " vs baseline " + base_value);
+  }
+  for (const auto& [key, value] : fresh) {
+    if (baseline.find(key) == baseline.end()) {
+      Result("warn", key, "new metric (no baseline yet): " + value);
+    }
+  }
+}
+
 // Pure-logic verification: the gate must pass on identical data and fail on
 // a perturbed baseline, with no files involved.
 int SelfTest() {
@@ -273,9 +313,23 @@ int SelfTest() {
       {"sampled_blame_within_tolerance", "true"},
   };
 
+  const std::map<std::string, std::string> congestion = {
+      {"quick", "true"},
+      {"flows", "8"},
+      {"congestion_sack_epd_256_goodput_mbps", "3.670"},
+      {"congestion_sack_epd_256_efficiency", "0.9440"},
+      {"congestion_sack_epd_256_fairness", "1.0000"},
+      {"congestion_sack_epd_256_retransmits", "56"},
+      {"congestion_sack_epd_256_timeouts", "0"},
+      {"congestion_sack_epd_beats_reno_tail", "true"},
+      {"congestion_gap_shrinks_with_buffer", "true"},
+      {"congestion_all_flows_completed", "true"},
+  };
+
   std::printf("selftest: identical data must pass\n");
   GatePerf(perf, perf);
   GateTrace(trace, trace);
+  GateCongestion(congestion, congestion);
   if (g_failures != 0) {
     std::printf("selftest FAILED: clean comparison reported %d failure(s)\n", g_failures);
     return 1;
@@ -372,6 +426,32 @@ int SelfTest() {
   GateTrace(broken, trace);
   expected += g_failures == 2 ? 0 : 1;
 
+  // Congestion floors: goodput/efficiency/fairness within 10% of baseline
+  // (or better) pass...
+  std::map<std::string, std::string> cong_drift = congestion;
+  cong_drift["congestion_sack_epd_256_goodput_mbps"] = "3.400";  // -7.4%
+  cong_drift["congestion_sack_epd_256_efficiency"] = "0.9600";   // better
+  g_failures = 0;
+  GateCongestion(cong_drift, congestion);
+  expected += g_failures == 0 ? 0 : 1;
+
+  // ...a goodput collapse past the floor fails...
+  std::map<std::string, std::string> cong_collapse = congestion;
+  cong_collapse["congestion_sack_epd_256_goodput_mbps"] = "1.800";
+  cong_collapse["congestion_sack_epd_256_fairness"] = "0.5000";
+  g_failures = 0;
+  GateCongestion(cong_collapse, congestion);
+  expected += g_failures == 2 ? 0 : 1;
+
+  // ...and a lost ordering or determinism boolean fails exactly, as does a
+  // drifted deterministic counter.
+  std::map<std::string, std::string> cong_broken = congestion;
+  cong_broken["congestion_sack_epd_beats_reno_tail"] = "false";
+  cong_broken["congestion_sack_epd_256_timeouts"] = "12";
+  g_failures = 0;
+  GateCongestion(cong_broken, congestion);
+  expected += g_failures == 2 ? 0 : 1;
+
   // A hardware difference alone must NOT fail.
   std::map<std::string, std::string> other_machine = perf;
   other_machine["hardware_concurrency"] = "128";
@@ -399,11 +479,19 @@ int Run(const BenchFlags& flags) {
   const std::string dir = flags.baseline_dir.empty() ? "bench/baselines" : flags.baseline_dir;
   const std::string perf_baseline_path = dir + "/BENCH_perf.json";
   const std::string trace_baseline_path = dir + "/BENCH_trace.json";
+  const std::string congestion_baseline_path = dir + "/BENCH_congestion.json";
 
   std::string fresh_perf_text;
   std::string fresh_trace_text;
+  std::string fresh_congestion_text;
   if (!ReadFile(flags.perf_path, &fresh_perf_text) ||
       !ReadFile(flags.trace_path, &fresh_trace_text)) {
+    return 2;
+  }
+  // The congestion grid file is optional so pre-existing two-file
+  // invocations keep working; CI passes all three.
+  if (!flags.congestion_path.empty() &&
+      !ReadFile(flags.congestion_path, &fresh_congestion_text)) {
     return 2;
   }
   const std::map<std::string, std::string> fresh_perf = ParseFlatJson(fresh_perf_text);
@@ -412,6 +500,10 @@ int Run(const BenchFlags& flags) {
   if (flags.write_baseline) {
     if (!WriteTextFile(perf_baseline_path, fresh_perf_text) ||
         !WriteTextFile(trace_baseline_path, fresh_trace_text)) {
+      return 2;
+    }
+    if (!flags.congestion_path.empty() &&
+        !WriteTextFile(congestion_baseline_path, fresh_congestion_text)) {
       return 2;
     }
     std::printf("wrote %s and %s\n", perf_baseline_path.c_str(), trace_baseline_path.c_str());
@@ -433,6 +525,20 @@ int Run(const BenchFlags& flags) {
               trace_baseline_path.c_str());
   GateTrace(fresh_trace, ParseFlatJson(trace_baseline_text));
 
+  if (!flags.congestion_path.empty()) {
+    std::string congestion_baseline_text;
+    if (!ReadFile(congestion_baseline_path, &congestion_baseline_text)) {
+      std::fprintf(stderr,
+                   "regression_gate: no congestion baseline in %s (run --write-baseline)\n",
+                   dir.c_str());
+      return 2;
+    }
+    std::printf("congestion metrics (%s vs %s):\n", flags.congestion_path.c_str(),
+                congestion_baseline_path.c_str());
+    GateCongestion(ParseFlatJson(fresh_congestion_text),
+                   ParseFlatJson(congestion_baseline_text));
+  }
+
   std::printf("%d failure(s), %d warning(s)\n", g_failures, g_warnings);
   return g_failures == 0 ? 0 : 1;
 }
@@ -443,8 +549,8 @@ int Run(const BenchFlags& flags) {
 int main(int argc, char** argv) {
   tcplat::BenchFlags flags;
   if (!tcplat::ParseBenchFlags(argc, argv, &flags,
-                               "[--quick] [--perf PATH] [--trace PATH] [--baseline-dir DIR] "
-                               "[--write-baseline] [--selftest]")) {
+                               "[--quick] [--perf PATH] [--trace PATH] [--congestion PATH] "
+                               "[--baseline-dir DIR] [--write-baseline] [--selftest]")) {
     return 2;
   }
   return tcplat::Run(flags);

@@ -1,9 +1,25 @@
 #include "src/atm/atm_switch.h"
 
+#include <algorithm>
+#include <string>
+
+#include "src/atm/aal34.h"
 #include "src/base/check.h"
 #include "src/net/byte_order.h"
 
 namespace tcplat {
+
+const char* DropPolicyName(DropPolicy p) {
+  switch (p) {
+    case DropPolicy::kTailDrop:
+      return "tail";
+    case DropPolicy::kEpd:
+      return "epd";
+    case DropPolicy::kPpd:
+      return "ppd";
+  }
+  return "?";
+}
 
 AtmSwitch::AtmSwitch(Simulator* sim, double bits_per_second, SimDuration propagation,
                      SimDuration per_cell_latency)
@@ -12,11 +28,12 @@ AtmSwitch::AtmSwitch(Simulator* sim, double bits_per_second, SimDuration propaga
   TCPLAT_CHECK(sim != nullptr);
 }
 
-void AtmSwitch::AttachOutput(int port, CellSink* sink) {
+void AtmSwitch::AttachOutput(int port, CellSink* sink, double bits_per_second) {
   TCPLAT_CHECK(sink != nullptr);
   TCPLAT_CHECK(outputs_.find(port) == outputs_.end()) << "output port in use";
   OutputPort out;
-  out.wire = std::make_unique<Wire>(sim_, bits_per_second_, propagation_);
+  const double rate = bits_per_second > 0 ? bits_per_second : bits_per_second_;
+  out.wire = std::make_unique<Wire>(sim_, rate, propagation_);
   out.wire->set_impairment(output_impairment_);
   out.sink = sink;
   outputs_[port] = std::move(out);
@@ -55,6 +72,10 @@ void AtmSwitch::SwitchCell(int /*in_port*/, SimTime arrival, std::vector<uint8_t
     return;
   }
   OutputPort& out = outputs_.at(route->second);
+  const bool buffered = vc_config_.buffer_cells > 0;
+  if (buffered && !AdmitCell(vci, arrival, wire_bytes)) {
+    return;  // discarded by the VC buffer policy
+  }
   ++stats_.cells_switched;
   if (tracer_ != nullptr) {
     tracer_->RecordPacket(trace_id_, TraceLayer::kAtm, TraceEventKind::kCellSwitch, arrival,
@@ -67,16 +88,138 @@ void AtmSwitch::SwitchCell(int /*in_port*/, SimTime arrival, std::vector<uint8_t
 
   // Hardware pipeline: no host CPU involved. The cell re-serializes on the
   // output fiber after the fabric latency (the wire handles head-of-line
-  // queueing when cells from several inputs converge on one output).
+  // queueing when cells from several inputs converge on one output). A
+  // buffered cell holds its VC's occupancy slot until its last bit leaves;
+  // the drain is scheduled on the switch's own simulator, which is also
+  // where serialization is accounted, so sharded runs stay deterministic.
   CellSink* sink = out.sink;
   Wire* wire = out.wire.get();
   const SimTime ready = arrival + per_cell_latency_;
-  sim_->ScheduleAt(ready, [wire, sink, ready, bytes = std::move(wire_bytes)]() mutable {
-    wire->Transmit(ready, std::move(bytes),
-                   [sink](SimTime t, std::vector<uint8_t> data) {
-                     sink->DeliverCell(t, std::move(data));
-                   });
+  sim_->ScheduleAt(ready, [this, wire, sink, ready, vci, buffered,
+                           bytes = std::move(wire_bytes)]() mutable {
+    const SimTime done =
+        wire->Transmit(ready, std::move(bytes),
+                       [sink](SimTime t, std::vector<uint8_t> data) {
+                         sink->DeliverCell(t, std::move(data));
+                       });
+    if (buffered) {
+      sim_->ScheduleAt(done, [this, vci] { --vc_states_[vci].occupancy; });
+    }
   });
+}
+
+AtmSwitch::VcState& AtmSwitch::EnsureVc(uint16_t vci) {
+  auto it = vc_states_.find(vci);
+  if (it == vc_states_.end()) {
+    it = vc_states_.emplace(vci, VcState{}).first;
+    const std::string prefix = "switch.vc" + std::to_string(vci);
+    metrics_.AddGaugeView(prefix + ".occupancy", &it->second.occupancy);
+    metrics_.AddGaugeView(prefix + ".hiwat", &it->second.hiwat);
+    metrics_.AddCounterView(prefix + ".cells_forwarded", &it->second.cells_forwarded);
+    metrics_.AddCounterView(prefix + ".cells_dropped", &it->second.cells_dropped);
+    if (!metrics_.contains("switch.cells_dropped_tail")) {
+      metrics_.AddCounterView("switch.cells_dropped_tail", &stats_.cells_dropped_tail);
+      metrics_.AddCounterView("switch.cells_dropped_epd", &stats_.cells_dropped_epd);
+      metrics_.AddCounterView("switch.cells_dropped_ppd", &stats_.cells_dropped_ppd);
+      metrics_.AddCounterView("switch.frames_discarded", &stats_.frames_discarded);
+    }
+  }
+  return it->second;
+}
+
+bool AtmSwitch::AdmitCell(uint16_t vci, SimTime arrival,
+                          const std::vector<uint8_t>& wire_bytes) {
+  VcState& vc = EnsureVc(vci);
+  // The AAL3/4 segment type rides in the top two bits of the SAR header
+  // (wire byte 5); it is what lets the switch see frame boundaries.
+  const auto st = static_cast<SegmentType>(wire_bytes[5] >> 6);
+  const bool frame_start = st == SegmentType::kBom || st == SegmentType::kSsm;
+  const bool frame_end = st == SegmentType::kEom || st == SegmentType::kSsm;
+  const DropPolicy policy = vc_config_.policy;
+
+  bool drop = false;
+  bool epd = false;
+
+  if (frame_start) {
+    vc.dropping_frame = false;  // a new frame resets any discard-in-progress
+    vc.early_discard = false;
+    if (policy == DropPolicy::kEpd) {
+      size_t threshold = vc_config_.epd_threshold;
+      if (threshold == 0) {
+        // Default: one max-size AAL frame of headroom (a 1500-byte MTU
+        // segments into ~35 cells), floored at half the buffer so tiny
+        // buffers still admit something. A threshold much lower than this
+        // just shrinks the effective buffer and trades frame integrity for
+        // extra timeout stalls.
+        constexpr size_t kFrameHeadroomCells = 36;
+        const size_t cap = vc_config_.buffer_cells;
+        threshold = std::max(cap / 2, cap > kFrameHeadroomCells ? cap - kFrameHeadroomCells : 0);
+      }
+      if (vc.occupancy >= static_cast<int64_t>(threshold)) {
+        // Early discard: refuse the whole frame while there is still room,
+        // rather than truncating one mid-stream later.
+        vc.dropping_frame = true;
+        vc.early_discard = true;
+        ++vc.frames_discarded;
+        ++stats_.frames_discarded;
+      }
+    }
+  }
+
+  if (vc.dropping_frame) {
+    if (!vc.early_discard && frame_end) {
+      // Late (overflow-initiated) discard spares the EOM so the reassembler
+      // sees the frame boundary; EPD's early discard eats the whole frame.
+      vc.dropping_frame = false;
+    } else {
+      drop = true;
+      epd = vc.early_discard;
+      if (frame_end) {
+        vc.dropping_frame = false;
+        vc.early_discard = false;
+      }
+    }
+  }
+
+  if (!drop && vc.occupancy >= static_cast<int64_t>(vc_config_.buffer_cells)) {
+    // Overflow. Tail drop loses just this cell; EPD/PPD also give up on the
+    // rest of the frame (an incomplete frame is useless to AAL anyway).
+    drop = true;
+    if (policy != DropPolicy::kTailDrop && !frame_end) {
+      vc.dropping_frame = true;
+      ++vc.frames_discarded;
+      ++stats_.frames_discarded;
+    }
+  }
+
+  if (drop) {
+    ++vc.cells_dropped;
+    switch (policy) {
+      case DropPolicy::kTailDrop:
+        ++stats_.cells_dropped_tail;
+        break;
+      case DropPolicy::kEpd:
+        if (epd) {
+          ++stats_.cells_dropped_epd;
+        } else {
+          ++stats_.cells_dropped_ppd;  // mid-frame overflow: PPD-style tail
+        }
+        break;
+      case DropPolicy::kPpd:
+        ++stats_.cells_dropped_ppd;
+        break;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordPacket(trace_id_, TraceLayer::kAtm, TraceEventKind::kDrop, arrival, vci,
+                            static_cast<uint64_t>(vc.occupancy), wire_bytes.size());
+    }
+    return false;
+  }
+
+  ++vc.occupancy;
+  vc.hiwat = std::max(vc.hiwat, vc.occupancy);
+  ++vc.cells_forwarded;
+  return true;
 }
 
 }  // namespace tcplat

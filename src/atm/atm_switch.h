@@ -25,6 +25,7 @@
 #include "src/atm/tca100.h"
 #include "src/link/wire.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace tcplat {
@@ -32,6 +33,36 @@ namespace tcplat {
 struct AtmSwitchStats {
   uint64_t cells_switched = 0;
   uint64_t no_route = 0;
+  uint64_t cells_dropped_tail = 0;  // buffer overflow, cell-level discard
+  uint64_t cells_dropped_epd = 0;   // Early Packet Discard (whole frames)
+  uint64_t cells_dropped_ppd = 0;   // Partial Packet Discard (frame tails)
+  uint64_t frames_discarded = 0;    // AAL frames EPD/PPD gave up on
+};
+
+// What happens when a per-VC output buffer fills (§ the congestion era).
+// Tail drop discards individual cells, blind to AAL frame boundaries — one
+// lost cell poisons the whole CPCS-PDU at the reassembler yet the rest of
+// the frame still occupies bottleneck bandwidth. PPD (Partial Packet
+// Discard) drops the remainder of a frame once one of its cells is lost,
+// sparing only the EOM delimiter. EPD (Early Packet Discard) refuses the
+// *whole* frame at its BOM when occupancy crosses a threshold, so the
+// buffer carries only frames it can likely complete.
+enum class DropPolicy : uint8_t {
+  kTailDrop = 0,
+  kEpd,
+  kPpd,
+};
+
+const char* DropPolicyName(DropPolicy p);
+
+struct VcBufferConfig {
+  // Per-VC output buffer capacity in cells; 0 disables buffering entirely
+  // (the seed's infinite-buffer behavior).
+  size_t buffer_cells = 0;
+  DropPolicy policy = DropPolicy::kTailDrop;
+  // EPD acceptance threshold in cells; 0 picks the default of one max-size
+  // AAL frame (~36 cells) below capacity, floored at buffer_cells / 2.
+  size_t epd_threshold = 0;
 };
 
 class AtmSwitch {
@@ -42,7 +73,9 @@ class AtmSwitch {
             SimDuration per_cell_latency);
 
   // Creates output port `port` feeding `sink` over the port's own fiber.
-  void AttachOutput(int port, CellSink* sink);
+  // `bits_per_second` overrides the switch-wide line rate for this port
+  // (a slower trunk toward a congested destination); 0 keeps the default.
+  void AttachOutput(int port, CellSink* sink, double bits_per_second = 0);
 
   // The sink to hand to the upstream transmitter for a given input port.
   CellSink* input(int port);
@@ -68,7 +101,33 @@ class AtmSwitch {
     outputs_.at(port).wire->set_shard_channel(channel);
   }
 
+  // Enables finite per-VC output buffering with the given drop policy.
+  // Applies to cells switched after the call; typically configured before
+  // traffic starts.
+  void ConfigureVcBuffers(const VcBufferConfig& config) { vc_config_ = config; }
+  const VcBufferConfig& vc_buffer_config() const { return vc_config_; }
+
+  // Per-VC buffer accounting (live while the simulation runs).
+  struct VcState {
+    int64_t occupancy = 0;  // cells buffered or serializing on the output
+    int64_t hiwat = 0;      // high-watermark of occupancy
+    bool dropping_frame = false;
+    bool early_discard = false;  // current discard began at the frame's BOM
+    uint64_t cells_forwarded = 0;
+    uint64_t cells_dropped = 0;
+    uint64_t frames_discarded = 0;
+  };
+  // Null when no cell for `vci` has been buffered yet.
+  const VcState* vc_state(uint16_t vci) const {
+    auto it = vc_states_.find(vci);
+    return it == vc_states_.end() ? nullptr : &it->second;
+  }
+
   const AtmSwitchStats& stats() const { return stats_; }
+
+  // Occupancy/high-watermark gauges and drop counters, one entry per VC
+  // ("switch.vc<N>.occupancy", ".hiwat") plus policy-level drop totals.
+  MetricsRegistry& metrics() { return metrics_; }
 
   // The switch has no Host, so it joins a trace as its own participant
   // (`trace_id` from Tracer::RegisterHost). Pass nullptr to detach.
@@ -96,6 +155,9 @@ class AtmSwitch {
   };
 
   void SwitchCell(int in_port, SimTime arrival, std::vector<uint8_t> wire_bytes);
+  // Applies the per-VC buffer policy; false means the cell was discarded.
+  bool AdmitCell(uint16_t vci, SimTime arrival, const std::vector<uint8_t>& wire_bytes);
+  VcState& EnsureVc(uint16_t vci);
 
   Simulator* sim_;
   double bits_per_second_;
@@ -107,6 +169,9 @@ class AtmSwitch {
   CorruptFn fabric_corrupt_;
   LinkImpairment* output_impairment_ = nullptr;
   AtmSwitchStats stats_;
+  VcBufferConfig vc_config_;
+  std::map<uint16_t, VcState> vc_states_;  // stable addresses for gauge views
+  MetricsRegistry metrics_;
   Tracer* tracer_ = nullptr;
   uint8_t trace_id_ = 0;
 };

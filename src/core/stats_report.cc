@@ -37,6 +37,10 @@ std::string DumpTcpStats(const TcpStats& s) {
   Row(&out, "rexmt timeouts", s.rexmt_timeouts);
   Row(&out, "duplicate ACKs received", s.dup_acks_received);
   Row(&out, "fast retransmits", s.fast_retransmits);
+  Row(&out, "fast recovery episodes", s.fast_recovery_episodes);
+  Row(&out, "NewReno partial ACKs", s.newreno_partial_acks);
+  Row(&out, "SACK blocks received", s.sack_blocks_received);
+  Row(&out, "SACK retransmits", s.sack_retransmits);
   Row(&out, "zero-window probes", s.zero_window_probes);
   Row(&out, "delayed ACKs fired", s.delayed_acks_fired);
   Row(&out, "listen queue overflows", s.listen_overflows);

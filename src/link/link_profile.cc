@@ -1,0 +1,23 @@
+#include "src/link/link_profile.h"
+
+namespace tcplat {
+
+const LinkProfile& GetLinkProfile(LinkProfileKind kind) {
+  // 5 ns/m in fiber. Local: ~60 m of lab fiber (the testbed's 300 ns).
+  // Campus: 10 km. Satellite: 35786 km up and back down at c, ~119 ms toward
+  // the conventional ~130 ms one-way budget with ground segments.
+  static const LinkProfile kLocalFiber{"local-fiber", SimDuration::FromNanos(300)};
+  static const LinkProfile kCampus{"campus", SimDuration::FromMicros(50)};
+  static const LinkProfile kGeoSatellite{"geo-satellite", SimDuration::FromMillis(130)};
+  switch (kind) {
+    case LinkProfileKind::kLocalFiber:
+      return kLocalFiber;
+    case LinkProfileKind::kCampus:
+      return kCampus;
+    case LinkProfileKind::kGeoSatellite:
+      return kGeoSatellite;
+  }
+  return kLocalFiber;
+}
+
+}  // namespace tcplat

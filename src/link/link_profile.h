@@ -1,0 +1,35 @@
+// Named link propagation profiles.
+//
+// The paper's testbed is two workstations a few meters of fiber apart
+// (~300 ns of propagation), where latency is dominated by protocol CPU
+// time. The congestion-era experiments also want the other extreme — a
+// geostationary satellite hop, where a ~130 ms one-way delay makes the
+// bandwidth-delay product enormous and loss recovery (not CPU) the whole
+// story. A profile bundles the propagation delay under a stable name so
+// benchmarks can sweep "same topology, different era of distance".
+
+#ifndef SRC_LINK_LINK_PROFILE_H_
+#define SRC_LINK_LINK_PROFILE_H_
+
+#include <cstdint>
+
+#include "src/sim/simulator.h"
+
+namespace tcplat {
+
+enum class LinkProfileKind : uint8_t {
+  kLocalFiber = 0,  // the paper's lab: meters of fiber
+  kCampus,          // a few km of metro/campus fiber
+  kGeoSatellite,    // one geostationary bounce
+};
+
+struct LinkProfile {
+  const char* name;
+  SimDuration propagation;  // one-way
+};
+
+const LinkProfile& GetLinkProfile(LinkProfileKind kind);
+
+}  // namespace tcplat
+
+#endif  // SRC_LINK_LINK_PROFILE_H_

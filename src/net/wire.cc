@@ -1,5 +1,6 @@
 #include "src/net/wire.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/base/check.h"
@@ -128,6 +129,12 @@ size_t TcpOptions::WireLength() const {
   if (alt_checksum.has_value()) {
     len += 3;
   }
+  if (sack_permitted) {
+    len += 2;
+  }
+  if (!sack.empty()) {
+    len += 2 + 8 * std::min(sack.size(), kTcpMaxSackBlocks);
+  }
   return (len + 3) & ~size_t{3};  // pad to 4-byte multiple
 }
 
@@ -145,6 +152,20 @@ void TcpOptions::Serialize(std::span<uint8_t> out) const {
     out[i++] = kTcpOptAltChecksumRequest;
     out[i++] = 3;
     out[i++] = *alt_checksum;
+  }
+  if (sack_permitted) {
+    out[i++] = kTcpOptSackPermitted;
+    out[i++] = 2;
+  }
+  if (!sack.empty()) {
+    const size_t n = std::min(sack.size(), kTcpMaxSackBlocks);
+    out[i++] = kTcpOptSack;
+    out[i++] = static_cast<uint8_t>(2 + 8 * n);
+    for (size_t b = 0; b < n; ++b) {
+      StoreBe32(&out[i], sack[b].start);
+      StoreBe32(&out[i + 4], sack[b].end);
+      i += 8;
+    }
   }
   while (i < wire) {
     out[i++] = kTcpOptEnd;
@@ -174,6 +195,12 @@ TcpOptions TcpOptions::Parse(std::span<const uint8_t> in) {
       opts.mss = LoadBe16(&in[i + 2]);
     } else if (kind == kTcpOptAltChecksumRequest && len == 3) {
       opts.alt_checksum = in[i + 2];
+    } else if (kind == kTcpOptSackPermitted && len == 2) {
+      opts.sack_permitted = true;
+    } else if (kind == kTcpOptSack && len >= 10 && (len - 2) % 8 == 0) {
+      for (size_t b = i + 2; b + 8 <= i + len; b += 8) {
+        opts.sack.push_back({LoadBe32(&in[b]), LoadBe32(&in[b + 4])});
+      }
     }
     i += len;
   }

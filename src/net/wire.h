@@ -99,13 +99,28 @@ struct TcpFlags {
 inline constexpr uint8_t kTcpOptEnd = 0;
 inline constexpr uint8_t kTcpOptNop = 1;
 inline constexpr uint8_t kTcpOptMss = 2;
+inline constexpr uint8_t kTcpOptSackPermitted = 4;  // RFC 2018, SYN only
+inline constexpr uint8_t kTcpOptSack = 5;           // RFC 2018, on ACKs
 inline constexpr uint8_t kTcpOptAltChecksumRequest = 14;
 inline constexpr uint8_t kTcpAltChecksumStandard = 0;
 inline constexpr uint8_t kTcpAltChecksumNone = 101;  // private number
 
+// RFC 2018 caps a SACK option at 4 blocks (40-byte option space); we carry
+// at most 3 so the option always fits alongside padding.
+inline constexpr size_t kTcpMaxSackBlocks = 3;
+
+// One SACK block: [start, end) in sequence space.
+struct TcpSackBlock {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  friend bool operator==(const TcpSackBlock&, const TcpSackBlock&) = default;
+};
+
 struct TcpOptions {
   std::optional<uint16_t> mss;             // SYN only
   std::optional<uint8_t> alt_checksum;     // SYN only
+  bool sack_permitted = false;             // SYN only (RFC 2018 negotiation)
+  std::vector<TcpSackBlock> sack;          // received-data blocks on ACKs
 
   // Serialized length, padded to a multiple of 4.
   size_t WireLength() const;

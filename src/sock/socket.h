@@ -29,6 +29,10 @@
 
 namespace tcplat {
 
+// Defined in src/tcp/congestion.h; opaque here so the socket layer stays
+// below the TCP layer.
+enum class CongestionVariant : uint8_t;
+
 // Protocol entry points the socket layer calls (PRU_* requests); implemented
 // by TcpConnection.
 class ProtocolOps {
@@ -101,6 +105,11 @@ class Socket {
   // Per-socket TCP_NODELAY (overrides the stack-wide default when set).
   void SetNodelay(bool enabled) { nodelay_ = enabled; }
   const std::optional<bool>& nodelay_option() const { return nodelay_; }
+
+  // Per-socket congestion-control variant (overrides the stack-wide default
+  // when set). On a listener it is inherited by accepted connections.
+  void SetCongestion(CongestionVariant variant) { congestion_ = variant; }
+  const std::optional<CongestionVariant>& congestion_option() const { return congestion_; }
 
   // Per-socket delayed-ACK controls (override the stack-wide defaults when
   // set): enable/disable the delayed-ACK machinery and its timer value.
@@ -188,6 +197,7 @@ class Socket {
   bool integrated_copyin_ = false;
   size_t cluster_threshold_ = kClusterThreshold;
   std::optional<bool> nodelay_;
+  std::optional<CongestionVariant> congestion_;
   std::optional<bool> delack_;
   std::optional<SimDuration> delack_timeout_;
   WaitChannel state_chan_;

@@ -1,0 +1,320 @@
+#include "src/tcp/congestion.h"
+
+#include <algorithm>
+
+namespace tcplat {
+
+namespace {
+// The seed's hard window ceiling (no window scaling).
+constexpr uint32_t kMaxWindow = 65535;
+}  // namespace
+
+const char* CongestionVariantName(CongestionVariant v) {
+  switch (v) {
+    case CongestionVariant::kLegacy:
+      return "legacy";
+    case CongestionVariant::kReno:
+      return "reno";
+    case CongestionVariant::kNewReno:
+      return "newreno";
+    case CongestionVariant::kSack:
+      return "sack";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SackScoreboard
+// ---------------------------------------------------------------------------
+
+void SackScoreboard::Reset() { blocks_.clear(); }
+
+void SackScoreboard::Add(uint32_t una, uint32_t start, uint32_t end) {
+  if (SeqGeq(start, end)) {
+    return;  // empty or inverted block
+  }
+  if (SeqLeq(end, una)) {
+    return;  // entirely below the cumulative ACK point
+  }
+  start = SeqMax(start, una);
+  // Merge with any overlapping or adjacent blocks, keeping the list sorted
+  // and disjoint. Linear scan: the receiver reports at most 3 blocks and the
+  // scoreboard stays small (one entry per hole in flight).
+  std::vector<TcpSackBlock> merged;
+  merged.reserve(blocks_.size() + 1);
+  bool inserted = false;
+  for (const TcpSackBlock& b : blocks_) {
+    if (SeqLt(b.end, start) || (b.end == start && SeqLt(b.start, start))) {
+      if (b.end == start) {
+        start = b.start;  // adjacent below: absorb
+        continue;
+      }
+      merged.push_back(b);
+    } else if (SeqGt(b.start, end) || (b.start == end && SeqGt(b.end, end))) {
+      if (b.start == end) {
+        end = b.end;  // adjacent above: absorb
+        continue;
+      }
+      if (!inserted) {
+        merged.push_back({start, end});
+        inserted = true;
+      }
+      merged.push_back(b);
+    } else {
+      // Overlap: widen the incoming block.
+      start = SeqMin(start, b.start);
+      end = SeqMax(end, b.end);
+    }
+  }
+  if (!inserted) {
+    merged.push_back({start, end});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TcpSackBlock& a, const TcpSackBlock& b) { return SeqLt(a.start, b.start); });
+  blocks_ = std::move(merged);
+}
+
+void SackScoreboard::AdvanceTo(uint32_t una) {
+  std::vector<TcpSackBlock> kept;
+  kept.reserve(blocks_.size());
+  for (TcpSackBlock& b : blocks_) {
+    if (SeqLeq(b.end, una)) {
+      continue;
+    }
+    b.start = SeqMax(b.start, una);
+    kept.push_back(b);
+  }
+  blocks_ = std::move(kept);
+}
+
+bool SackScoreboard::Covers(uint32_t seq) const {
+  for (const TcpSackBlock& b : blocks_) {
+    if (SeqGeq(seq, b.start) && SeqLt(seq, b.end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t SackScoreboard::NextHole(uint32_t from, uint32_t limit) const {
+  uint32_t seq = from;
+  while (SeqLt(seq, limit)) {
+    bool covered = false;
+    for (const TcpSackBlock& b : blocks_) {
+      if (SeqGeq(seq, b.start) && SeqLt(seq, b.end)) {
+        seq = b.end;  // jump past the sacked block
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return seq;
+    }
+  }
+  return limit;
+}
+
+uint64_t SackScoreboard::sacked_bytes() const {
+  uint64_t total = 0;
+  for (const TcpSackBlock& b : blocks_) {
+    total += b.end - b.start;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// CongestionControl
+// ---------------------------------------------------------------------------
+
+void CongestionControl::Reset(CongestionVariant variant, uint32_t maxseg) {
+  variant_ = variant;
+  maxseg_ = maxseg;
+  cwnd_ = maxseg;
+  ssthresh_ = kMaxWindow;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  recover_ = 0;
+  sack_rexmt_next_ = 0;
+  pipe_ = 0;
+  scoreboard_.Reset();
+}
+
+void CongestionControl::SetMss(uint32_t maxseg) {
+  maxseg_ = maxseg;
+  cwnd_ = maxseg;  // seed behavior: cwnd re-seeded when the SYN fixes the MSS
+}
+
+uint32_t CongestionControl::HalvedPipe(uint32_t snd_wnd) const {
+  // The 4.3BSD formula the seed used: half the effective window, floored at
+  // two segments.
+  return std::max<uint32_t>(2 * maxseg_, std::min(snd_wnd, cwnd_) / 2);
+}
+
+void CongestionControl::Grow() {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += maxseg_;  // slow start: one MSS per ACK
+  } else {
+    // Congestion avoidance: ~one MSS per RTT.
+    cwnd_ += std::max<uint32_t>(1, maxseg_ * maxseg_ / std::max<uint32_t>(cwnd_, 1));
+  }
+  cwnd_ = std::min(cwnd_, kMaxWindow);
+}
+
+CongestionControl::LossAction CongestionControl::OnDupAck(uint32_t snd_una, uint32_t snd_max,
+                                                          uint32_t snd_wnd) {
+  LossAction action;
+  if (variant_ == CongestionVariant::kLegacy) {
+    // Seed behavior, preserved exactly: deflate to ssthresh and rewind. No
+    // recovery state is kept, so a burst of losses costs a timeout.
+    if (++dup_acks_ == 3) {
+      ssthresh_ = HalvedPipe(snd_wnd);
+      cwnd_ = ssthresh_;
+      action.fast_retransmit = true;
+      action.rexmt_seq = snd_una;
+      action.cwnd_changed = true;
+    }
+    return action;
+  }
+
+  if (in_recovery_) {
+    if (variant_ == CongestionVariant::kSack) {
+      // RFC 6675 pipe gating: each duplicate ACK proves one more segment
+      // left the network, but a repair only goes out once the pipe estimate
+      // has drained below cwnd. Without this the repairs burst out in the
+      // same RTT the loss was detected — straight into the still-full
+      // bottleneck buffer — and get discarded again. Only holes *below* the
+      // highest sacked block are provably lost (RFC 3517); everything above
+      // may simply still be in flight.
+      pipe_ = pipe_ > maxseg_ ? pipe_ - maxseg_ : 0;
+      if (!scoreboard_.empty() && pipe_ + maxseg_ <= cwnd_) {
+        const uint32_t limit = SeqMin(scoreboard_.highest_end(), snd_max);
+        const uint32_t hole = scoreboard_.NextHole(sack_rexmt_next_, limit);
+        if (SeqLt(hole, limit)) {
+          action.fast_retransmit = true;
+          action.rexmt_seq = hole;
+          sack_rexmt_next_ = hole + maxseg_;
+          pipe_ += maxseg_;
+        }
+      }
+      return action;
+    }
+    // Reno/NewReno: inflate so new data can be clocked out (RFC 5681
+    // step 4) — each duplicate ACK licenses one segment.
+    cwnd_ = std::min(cwnd_ + maxseg_, kMaxWindow + 3 * maxseg_);
+    action.send_more = true;
+    return action;
+  }
+
+  if (++dup_acks_ == 3) {
+    in_recovery_ = true;
+    recover_ = snd_max;
+    ssthresh_ = HalvedPipe(snd_wnd);
+    // Fast recovery: ssthresh plus the three segments the dup ACKs buffered.
+    cwnd_ = ssthresh_ + 3 * maxseg_;
+    action.fast_retransmit = true;
+    action.rexmt_seq = snd_una;
+    action.cwnd_changed = true;
+    if (variant_ == CongestionVariant::kSack) {
+      // RFC 6675: cwnd collapses to ssthresh (no +3 inflation) and the pipe
+      // estimate gates every transmission for the rest of the recovery. The
+      // three duplicate ACKs already proved three departures, and the
+      // immediate fast retransmit puts one segment back.
+      cwnd_ = ssthresh_;
+      const uint32_t flight = snd_max - snd_una;
+      pipe_ = flight > 3 * maxseg_ ? flight - 3 * maxseg_ : 0;
+      pipe_ += maxseg_;
+      // snd_una is the first hole by definition; the walk resumes above it.
+      sack_rexmt_next_ = action.rexmt_seq + maxseg_;
+    }
+  }
+  return action;
+}
+
+CongestionControl::AckAction CongestionControl::OnNewAck(uint32_t old_una, uint32_t ack,
+                                                         uint32_t snd_max, uint32_t snd_wnd) {
+  (void)old_una;
+  (void)snd_wnd;
+  AckAction action;
+  scoreboard_.AdvanceTo(ack);
+
+  if (variant_ == CongestionVariant::kLegacy) {
+    dup_acks_ = 0;
+    Grow();
+    return action;
+  }
+
+  if (in_recovery_) {
+    if (SeqLt(ack, recover_) && variant_ != CongestionVariant::kReno) {
+      // Partial ACK (RFC 6582): the retransmission was received but another
+      // hole remains. Retransmit it now and stay in recovery. Plain Reno
+      // has no partial-ACK logic and must wait for timeouts instead.
+      uint32_t hole = ack;
+      if (variant_ == CongestionVariant::kSack && !scoreboard_.empty()) {
+        const uint32_t limit = SeqMin(scoreboard_.highest_end(), snd_max);
+        hole = scoreboard_.NextHole(ack, limit);
+        if (SeqGeq(hole, limit)) {
+          hole = ack;  // everything below the board is sacked: repair at ack
+        }
+        // The walk never moves backward inside one recovery: a partial ACK
+        // below holes already repaired must not make the dup-ACK walk
+        // re-retransmit them.
+        sack_rexmt_next_ = SeqMax(sack_rexmt_next_, hole + maxseg_);
+      }
+      action.partial_retransmit = true;
+      action.rexmt_seq = hole;
+      const uint32_t acked = ack - old_una;
+      if (variant_ == CongestionVariant::kSack) {
+        // cwnd stays at ssthresh; the acked bytes leave the pipe estimate
+        // and the repair puts one segment back (RFC 6675 section 5).
+        pipe_ = pipe_ > acked ? pipe_ - acked : 0;
+        pipe_ += maxseg_;
+      } else {
+        // Deflate by the amount acked; re-inflate one MSS so the retransmit
+        // itself fits (RFC 6582 section 3.2 step 3).
+        cwnd_ = (cwnd_ > acked) ? cwnd_ - acked : 0;
+        cwnd_ = std::max(cwnd_ + maxseg_, maxseg_);
+        action.cwnd_changed = true;
+      }
+      return action;
+    }
+    if (SeqLt(ack, recover_)) {
+      // Reno partial ACK: leave recovery anyway (classic Reno deflates on
+      // the first new ACK), taking the goodput hit NewReno repairs.
+      in_recovery_ = false;
+      dup_acks_ = 0;
+      cwnd_ = ssthresh_;
+      action.exited_recovery = true;
+      action.cwnd_changed = true;
+      return action;
+    }
+    // Full ACK: recovery complete, deflate to ssthresh.
+    in_recovery_ = false;
+    dup_acks_ = 0;
+    pipe_ = 0;
+    cwnd_ = std::min(ssthresh_, kMaxWindow);
+    action.exited_recovery = true;
+    action.cwnd_changed = true;
+    return action;
+  }
+
+  dup_acks_ = 0;
+  Grow();
+  return action;
+}
+
+void CongestionControl::OnTimeout(uint32_t snd_wnd) {
+  ssthresh_ = HalvedPipe(snd_wnd);
+  cwnd_ = maxseg_;
+  if (variant_ != CongestionVariant::kLegacy) {
+    // The seed left the dup-ACK counter alone across timeouts; keep that
+    // quirk for kLegacy so its packet timing stays bit-identical.
+    dup_acks_ = 0;
+    in_recovery_ = false;
+    recover_ = 0;
+    sack_rexmt_next_ = 0;
+    pipe_ = 0;
+    scoreboard_.Reset();
+  }
+}
+
+}  // namespace tcplat

@@ -1,0 +1,137 @@
+// Pluggable per-connection congestion control.
+//
+// The seed stack carried a 4.3BSD-era loss response inlined in
+// TcpConnection: slow start, congestion avoidance, and a fast retransmit on
+// the third duplicate ACK that simply deflates cwnd to ssthresh and rewinds
+// snd_nxt — no fast *recovery*, no partial-ACK handling, no selective
+// acknowledgment. That behavior is preserved bit-for-bit as
+// CongestionVariant::kLegacy (the default), and three loss-recovery eras
+// are layered on top of the same state machine:
+//
+//  * kReno    — RFC 5681 fast retransmit + fast recovery: on the third
+//               duplicate ACK halve the pipe, retransmit the hole, inflate
+//               cwnd by one segment per further duplicate ACK (each one
+//               proves a packet left the network), deflate to ssthresh when
+//               the recovery ACK arrives.
+//  * kNewReno — RFC 6582 partial-ACK recovery: a new ACK that does not
+//               reach `recover_` (snd_max at loss time) retransmits the
+//               *next* hole immediately and stays in recovery, repairing
+//               one loss per round trip without waiting for a timeout.
+//  * kSack    — RFC 2018 selective acknowledgments: negotiated on the SYN
+//               (kTcpOptSackPermitted), the receiver reports received
+//               out-of-order blocks (kTcpOptSack), the sender keeps a
+//               scoreboard and retransmits only the bytes the scoreboard
+//               proves missing — multiple holes per round trip, none of
+//               the sacked data resent.
+//
+// The class owns cwnd / ssthresh / dup-ack / recovery state and returns
+// *actions* (retransmit this sequence, call tcp_output, trace a cwnd
+// change); TcpConnection executes them so all socket-buffer, stats, and
+// trace side effects stay in one place.
+
+#ifndef SRC_TCP_CONGESTION_H_
+#define SRC_TCP_CONGESTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/tcp/tcp_seq.h"
+
+namespace tcplat {
+
+enum class CongestionVariant : uint8_t {
+  kLegacy = 0,  // seed behavior: fast retransmit without fast recovery
+  kReno,
+  kNewReno,
+  kSack,
+};
+
+const char* CongestionVariantName(CongestionVariant v);
+
+// The sender-side SACK scoreboard: sorted, disjoint [start, end) blocks the
+// peer has reported holding above snd_una. All comparisons are mod-2^32
+// sequence arithmetic relative to the caller-supplied `una`.
+class SackScoreboard {
+ public:
+  void Reset();
+  // Merges one reported block (ignores blocks at/below `una`).
+  void Add(uint32_t una, uint32_t start, uint32_t end);
+  // Drops blocks cumulatively acked at/below `una`.
+  void AdvanceTo(uint32_t una);
+  // True if byte `seq` lies inside a sacked block.
+  bool Covers(uint32_t seq) const;
+  // First sequence in [from, limit) not covered by any block; returns
+  // `limit` when everything in range is sacked.
+  uint32_t NextHole(uint32_t from, uint32_t limit) const;
+  uint64_t sacked_bytes() const;
+  bool empty() const { return blocks_.empty(); }
+  // One past the highest sacked byte; only holes *below* this are provably
+  // lost (RFC 3517's retransmission bound). 0 when the board is empty.
+  uint32_t highest_end() const { return blocks_.empty() ? 0 : blocks_.back().end; }
+  const std::vector<TcpSackBlock>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<TcpSackBlock> blocks_;  // sorted by start, disjoint
+};
+
+class CongestionControl {
+ public:
+  // What the connection must do after a duplicate ACK.
+  struct LossAction {
+    bool fast_retransmit = false;  // rewind-retransmit one segment at rexmt_seq
+    uint32_t rexmt_seq = 0;
+    bool send_more = false;   // window inflation may have opened room: Output()
+    bool cwnd_changed = false;  // trace kCwndChange
+  };
+  // What the connection must do after an ACK that advances snd_una.
+  struct AckAction {
+    bool partial_retransmit = false;  // NewReno/SACK hole repair at rexmt_seq
+    uint32_t rexmt_seq = 0;
+    bool exited_recovery = false;
+    bool cwnd_changed = false;
+  };
+
+  // (Re)initializes for a (re)negotiated MSS at connection setup. Keeps the
+  // seed's constants: cwnd = 1 MSS, ssthresh = 65535.
+  void Reset(CongestionVariant variant, uint32_t maxseg);
+  // MSS renegotiated by the SYN exchange without restarting the connection.
+  void SetMss(uint32_t maxseg);
+
+  CongestionVariant variant() const { return variant_; }
+  uint32_t cwnd() const { return cwnd_; }
+  uint32_t ssthresh() const { return ssthresh_; }
+  int dup_acks() const { return dup_acks_; }
+  bool in_recovery() const { return in_recovery_; }
+  uint32_t recover() const { return recover_; }
+  SackScoreboard& scoreboard() { return scoreboard_; }
+  const SackScoreboard& scoreboard() const { return scoreboard_; }
+
+  // A duplicate ACK arrived (ack == snd_una, data outstanding).
+  LossAction OnDupAck(uint32_t snd_una, uint32_t snd_max, uint32_t snd_wnd);
+  // An ACK advanced snd_una from `old_una` to `ack`. Handles window growth
+  // (slow start / congestion avoidance) and recovery exit/partial-ACK.
+  AckAction OnNewAck(uint32_t old_una, uint32_t ack, uint32_t snd_max, uint32_t snd_wnd);
+  // The retransmission timer fired: collapse to slow start.
+  void OnTimeout(uint32_t snd_wnd);
+
+ private:
+  uint32_t HalvedPipe(uint32_t snd_wnd) const;
+  void Grow();
+
+  CongestionVariant variant_ = CongestionVariant::kLegacy;
+  uint32_t maxseg_ = 512;
+  uint32_t cwnd_ = 512;
+  uint32_t ssthresh_ = 65535;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  uint32_t recover_ = 0;        // snd_max when recovery was entered
+  uint32_t sack_rexmt_next_ = 0;  // next hole the SACK repair walk considers
+  uint32_t pipe_ = 0;  // SACK recovery: estimated bytes still in the network
+  SackScoreboard scoreboard_;
+};
+
+}  // namespace tcplat
+
+#endif  // SRC_TCP_CONGESTION_H_

@@ -101,7 +101,11 @@ void TcpConnection::Connect(SockAddr local, SockAddr remote) {
   iss_ = stack_->NextIss();
   snd_una_ = snd_nxt_ = snd_max_ = iss_;
   t_maxseg_ = stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
-  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  if (stack_->config().mss_clamp > 0) {
+    t_maxseg_ = std::min(t_maxseg_, stack_->config().mss_clamp);
+  }
+  cc_.Reset(ResolveVariant(socket_), static_cast<uint32_t>(t_maxseg_));
+  request_sack_ = cc_.variant() == CongestionVariant::kSack;
   request_no_checksum_ = stack_->config().checksum == ChecksumMode::kNone;
   state_ = TcpState::kSynSent;
   socket_->set_trace_flow(TraceFlow());
@@ -131,10 +135,17 @@ void TcpConnection::AcceptSyn(SockAddr local, SockAddr remote, Socket* listener_
 
   iss_ = stack_->NextIss();
   snd_una_ = snd_nxt_ = snd_max_ = iss_;
-  const size_t our_mss =
-      stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
+  size_t our_mss = stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
+  if (stack_->config().mss_clamp > 0) {
+    our_mss = std::min(our_mss, stack_->config().mss_clamp);
+  }
   t_maxseg_ = std::min(our_mss, static_cast<size_t>(syn.options.mss.value_or(536)));
-  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  cc_.Reset(ResolveVariant(listener_socket), static_cast<uint32_t>(t_maxseg_));
+
+  // SACK negotiation (RFC 2018): on only when the SYN offered it and this
+  // side runs the SACK variant; the SYN|ACK echoes the option.
+  sack_enabled_ = syn.options.sack_permitted && cc_.variant() == CongestionVariant::kSack;
+  request_sack_ = sack_enabled_;
 
   // Alternate-checksum negotiation (§4.2): disabled only when both ends ask.
   const bool peer_wants = syn.options.alt_checksum == kTcpAltChecksumNone;
@@ -262,7 +273,14 @@ bool TcpConnection::TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size
   if (data_len == 0) {
     // Case 1: "As the sender in a unidirectional transfer, header prediction
     // succeeds when receiving an in-sequence acknowledgment with no data."
-    if (SeqGt(th.ack, snd_una_) && SeqLeq(th.ack, snd_max_) && snd_cwnd_ >= snd_wnd_) {
+    // The recovery-capable variants must fall to the slow path while dup-ACK
+    // or recovery state is live (the fast path skips all of it); kLegacy
+    // keeps the seed predicate untouched.
+    const bool recovery_clear =
+        cc_.variant() == CongestionVariant::kLegacy ||
+        (cc_.dup_acks() == 0 && !cc_.in_recovery() && !sack_enabled_);
+    if (SeqGt(th.ack, snd_una_) && SeqLeq(th.ack, snd_max_) && cc_.cwnd() >= snd_wnd_ &&
+        recovery_clear) {
       ++stats.predict_ack_hits;
       cpu.Charge(cpu.profile().tcp_input_fast);
       if (rtt_timing_ && SeqGt(th.ack, rtt_seq_)) {
@@ -442,7 +460,7 @@ void TcpConnection::Input(MbufPtr chain, const TcpHeader& th, const Ipv4Header& 
     CompleteEstablishment();
   }
 
-  ProcessAck(th);
+  ProcessAck(th, len);
 
   // Window update (BSD wl1/wl2 rules).
   if (SeqLt(snd_wl1_, seq) || (snd_wl1_ == seq && SeqLeq(snd_wl2_, th.ack)) ||
@@ -496,8 +514,9 @@ void TcpConnection::InputSynSent(const TcpHeader& th) {
   if (th.options.mss.has_value()) {
     t_maxseg_ = std::min(t_maxseg_, static_cast<size_t>(*th.options.mss));
   }
-  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  cc_.SetMss(static_cast<uint32_t>(t_maxseg_));
   no_checksum_ = request_no_checksum_ && th.options.alt_checksum == kTcpAltChecksumNone;
+  sack_enabled_ = request_sack_ && th.options.sack_permitted;
 
   snd_wnd_ = th.window;
   max_sndwnd_ = std::max(max_sndwnd_, snd_wnd_);
@@ -530,25 +549,27 @@ void TcpConnection::CompleteEstablishment() {
   }
 }
 
-void TcpConnection::ProcessAck(const TcpHeader& th) {
+void TcpConnection::ProcessAck(const TcpHeader& th, size_t data_len) {
   Host& host = stack_->host();
   Cpu& cpu = host.cpu();
   const TcpSeq ack = th.ack;
 
+  if (sack_enabled_ && !th.options.sack.empty()) {
+    IngestSackBlocks(th);
+  }
+
   if (SeqLeq(ack, snd_una_)) {
-    // Duplicate ACK; three in a row trigger fast retransmit.
+    // Duplicate ACK; three in a row trigger fast retransmit. What happens
+    // next is the congestion variant's call: kLegacy deflates and rewinds,
+    // Reno-era variants enter (or continue) fast recovery.
     if (ack == snd_una_ && snd_una_ != snd_max_) {
-      ++stack_->stats().dup_acks_received;
-      if (++dup_acks_ == 3) {
-        snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
-                                           std::min(snd_wnd_, snd_cwnd_) / 2);
-        snd_cwnd_ = snd_ssthresh_;
-        snd_nxt_ = snd_una_;
-        ++stack_->stats().retransmits;
-        ++stack_->stats().fast_retransmits;
-        host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
-                         snd_una_ - iss_);
-        Output();
+      // kLegacy keeps the seed's loose predicate bit-for-bit. The RFC 5681
+      // variants require a *pure* duplicate — no payload, no window change —
+      // so receiver window updates cannot masquerade as loss signals.
+      const bool pure_dup = data_len == 0 && th.window == snd_wnd_;
+      if (cc_.variant() == CongestionVariant::kLegacy || pure_dup) {
+        ++stack_->stats().dup_acks_received;
+        ApplyLossAction(cc_.OnDupAck(snd_una_, snd_max_, snd_wnd_));
       }
     }
     return;
@@ -558,7 +579,6 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
     return;
   }
 
-  dup_acks_ = 0;
   host.TracePacket(TraceLayer::kTcp, TraceEventKind::kAck, TraceFlow(), ack - iss_,
                    ack - snd_una_);
   cpu.Charge(cpu.profile().tcp_ack_proc);
@@ -570,14 +590,9 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
     rtt_timing_ = false;
   }
 
-  // Congestion window opening.
-  if (snd_cwnd_ < snd_ssthresh_) {
-    snd_cwnd_ += static_cast<uint32_t>(t_maxseg_);  // slow start
-  } else {
-    snd_cwnd_ += std::max<uint32_t>(
-        1, static_cast<uint32_t>(t_maxseg_ * t_maxseg_ / std::max<uint32_t>(snd_cwnd_, 1)));
-  }
-  snd_cwnd_ = std::min(snd_cwnd_, kMaxWindow);
+  // Congestion window opening / recovery bookkeeping.
+  const CongestionControl::AckAction ack_action =
+      cc_.OnNewAck(snd_una_, ack, snd_max_, snd_wnd_);
 
   const uint32_t acked = ack - snd_una_;
   const size_t sb_drop = std::min<size_t>(acked, socket_->snd().cc());
@@ -596,6 +611,7 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
     ArmRexmt();
   }
   socket_->WriteWakeup();
+  ApplyAckAction(ack_action);
 
   switch (state_) {
     case TcpState::kFinWait1:
@@ -615,6 +631,99 @@ void TcpConnection::ProcessAck(const TcpHeader& th) {
       break;
     default:
       break;
+  }
+}
+
+CongestionVariant TcpConnection::ResolveVariant(const Socket* option_source) const {
+  if (option_source != nullptr && option_source->congestion_option().has_value()) {
+    return *option_source->congestion_option();
+  }
+  return stack_->config().congestion;
+}
+
+void TcpConnection::IngestSackBlocks(const TcpHeader& th) {
+  SackScoreboard& board = cc_.scoreboard();
+  const uint64_t before = board.sacked_bytes();
+  for (const TcpSackBlock& b : th.options.sack) {
+    board.Add(snd_una_, b.start, b.end);
+  }
+  stack_->stats().sack_blocks_received += th.options.sack.size();
+  stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kSackBlock, TraceFlow(),
+                             th.options.sack.front().start - iss_,
+                             board.sacked_bytes() - before);
+}
+
+void TcpConnection::TraceCwnd() {
+  stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kCwndChange, TraceFlow(),
+                             cc_.cwnd(), cc_.ssthresh());
+  stack_->NoteCwnd(cc_.cwnd(), cc_.ssthresh());
+}
+
+void TcpConnection::RewindRetransmit(TcpSeq seq) {
+  if (SeqGeq(seq, snd_max_)) {
+    return;  // nothing outstanding at or above the requested hole
+  }
+  // BSD's `onxt` trick: point snd_nxt at the hole, force one segment out
+  // (EmitSegment counts it as a retransmission), then resume where we were.
+  const TcpSeq onxt = snd_nxt_;
+  snd_nxt_ = seq;
+  force_rexmt_ = true;
+  Output();
+  force_rexmt_ = false;
+  if (SeqGt(onxt, snd_nxt_)) {
+    snd_nxt_ = onxt;
+  }
+}
+
+void TcpConnection::ApplyLossAction(const CongestionControl::LossAction& action) {
+  Host& host = stack_->host();
+  TcpStats& stats = stack_->stats();
+  if (cc_.variant() == CongestionVariant::kLegacy) {
+    // Seed side effects, in the seed's order (note the double retransmit
+    // count: once here, once when EmitSegment sees snd_nxt < snd_max).
+    if (action.fast_retransmit) {
+      snd_nxt_ = snd_una_;
+      ++stats.retransmits;
+      ++stats.fast_retransmits;
+      host.TracePacket(TraceLayer::kTcp, TraceEventKind::kRetransmit, TraceFlow(),
+                       snd_una_ - iss_);
+      Output();
+    }
+    return;
+  }
+  if (action.cwnd_changed) {
+    // Entering fast recovery.
+    ++stats.fast_retransmits;
+    ++stats.fast_recovery_episodes;
+    host.TracePacket(TraceLayer::kTcp, TraceEventKind::kFastRetransmit, TraceFlow(),
+                     action.rexmt_seq - iss_);
+    TraceCwnd();
+  } else if (action.fast_retransmit && cc_.variant() == CongestionVariant::kSack) {
+    ++stats.sack_retransmits;  // in-recovery hole repair
+  }
+  if (action.fast_retransmit) {
+    RewindRetransmit(action.rexmt_seq);
+  }
+  if (action.send_more) {
+    Output();  // window inflation may let new data out
+  }
+}
+
+void TcpConnection::ApplyAckAction(const CongestionControl::AckAction& action) {
+  if (cc_.variant() == CongestionVariant::kLegacy) {
+    return;
+  }
+  if (action.cwnd_changed) {
+    TraceCwnd();
+  }
+  if (action.partial_retransmit) {
+    ++stack_->stats().newreno_partial_acks;
+    if (cc_.variant() == CongestionVariant::kSack) {
+      ++stack_->stats().sack_retransmits;
+    }
+    stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kFastRetransmit, TraceFlow(),
+                               action.rexmt_seq - iss_);
+    RewindRetransmit(action.rexmt_seq);
   }
 }
 
@@ -654,6 +763,8 @@ void TcpConnection::ProcessData(MbufPtr data, TcpSeq seq, size_t len, bool fin) 
       if (it == reassembly_.end() || it->seq != seq) {
         reassembly_.insert(it, ReasmSegment{seq, len, fin, std::move(data)});
         data = nullptr;
+        recent_sack_start_ = seq;
+        recent_sack_end_ = seq + static_cast<uint32_t>(len);
       }
     }
     if (data != nullptr) {
@@ -768,7 +879,7 @@ TcpConnection::SegmentPlan TcpConnection::PlanSegment() {
   }
 
   const size_t avail = socket_->snd().cc();
-  const uint32_t win = std::min(snd_wnd_, snd_cwnd_);
+  const uint32_t win = std::min(snd_wnd_, cc_.cwnd());
 
   size_t len = 0;
   const size_t usable = std::min<size_t>(avail, win);
@@ -776,6 +887,17 @@ TcpConnection::SegmentPlan TcpConnection::PlanSegment() {
   size_t data_off = snd_nxt_ - snd_una_;
   if (SeqLt(snd_una_, iss_ + 1)) {
     data_off = SeqGt(snd_nxt_, iss_ + 1) ? snd_nxt_ - (iss_ + 1) : 0;
+  }
+
+  if (force_rexmt_) {
+    // RewindRetransmit: one segment at snd_nxt, regardless of what the
+    // congestion/peer window would otherwise allow — the variant asking for
+    // it already accounted the segment against the pipe.
+    if (avail > data_off) {
+      p.len = std::min(avail - data_off, t_maxseg_);
+      p.send = p.len > 0;
+    }
+    return p;
   }
   if (usable > data_off) {
     len = usable - data_off;
@@ -898,6 +1020,34 @@ uint32_t TcpConnection::AnnounceWindow() const {
   return static_cast<uint32_t>(announce);
 }
 
+void TcpConnection::AttachSackBlocks(TcpOptions* options) const {
+  // Coalesce the reassembly queue (kept sorted by sequence) into contiguous
+  // blocks, then report the block holding the most recent arrival first
+  // (RFC 2018 section 4) and the rest in ascending order.
+  std::vector<TcpSackBlock> blocks;
+  for (const ReasmSegment& seg : reassembly_) {
+    const uint32_t start = seg.seq;
+    const uint32_t end = seg.seq + static_cast<uint32_t>(seg.len);
+    if (!blocks.empty() && blocks.back().end == start) {
+      blocks.back().end = end;
+    } else {
+      blocks.push_back({start, end});
+    }
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const bool recent = SeqLeq(blocks[i].start, recent_sack_start_) &&
+                        SeqGeq(blocks[i].end, recent_sack_end_);
+    if (recent && i != 0) {
+      std::rotate(blocks.begin(), blocks.begin() + i, blocks.begin() + i + 1);
+      break;
+    }
+  }
+  if (blocks.size() > kTcpMaxSackBlocks) {
+    blocks.resize(kTcpMaxSackBlocks);
+  }
+  options->sack = std::move(blocks);
+}
+
 void TcpConnection::EmitSegment(const SegmentPlan& plan) {
   Host& host = stack_->host();
   Cpu& cpu = host.cpu();
@@ -919,11 +1069,19 @@ void TcpConnection::EmitSegment(const SegmentPlan& plan) {
   const uint32_t announce = AnnounceWindow();
   th.window = static_cast<uint16_t>(announce);
   if (plan.flags.syn) {
-    th.options.mss = static_cast<uint16_t>(
-        stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes);
+    size_t adv_mss = stack_->ip().netif()->mtu() - kIpv4HeaderBytes - kTcpMinHeaderBytes;
+    if (stack_->config().mss_clamp > 0) {
+      adv_mss = std::min(adv_mss, stack_->config().mss_clamp);
+    }
+    th.options.mss = static_cast<uint16_t>(adv_mss);
     if (request_no_checksum_) {
       th.options.alt_checksum = kTcpAltChecksumNone;
     }
+    if (request_sack_) {
+      th.options.sack_permitted = true;
+    }
+  } else if (sack_enabled_ && plan.flags.ack && !reassembly_.empty()) {
+    AttachSackBlocks(&th.options);
   }
   if (plan.len > 0 && plan.flags.ack) {
     th.flags.psh = true;
@@ -1104,8 +1262,12 @@ SimDuration TcpConnection::CurrentRto() const {
 
 void TcpConnection::ArmRexmt() {
   CancelRexmt();
-  rexmt_timer_ = stack_->host().After(CurrentRto(), [this] {
+  const SimDuration rto = CurrentRto();
+  rexmt_timer_ = stack_->host().After(rto, [this, rto] {
     rexmt_timer_ = kInvalidEventId;
+    // The interval that just elapsed is dead air: the ACK clock stopped when
+    // this timer was (re)armed and only the timeout restarts transmission.
+    stack_->stats().rexmt_stall_ns += static_cast<uint64_t>(rto.nanos());
     RexmtTimeout();
   });
 }
@@ -1125,9 +1287,10 @@ void TcpConnection::RexmtTimeout() {
     return;
   }
   // Slow-start restart.
-  snd_ssthresh_ = std::max<uint32_t>(2 * static_cast<uint32_t>(t_maxseg_),
-                                     std::min(snd_wnd_, snd_cwnd_) / 2);
-  snd_cwnd_ = static_cast<uint32_t>(t_maxseg_);
+  cc_.OnTimeout(snd_wnd_);
+  if (cc_.variant() != CongestionVariant::kLegacy) {
+    TraceCwnd();
+  }
   snd_nxt_ = snd_una_;
   rtt_timing_ = false;
   if (snd_wnd_ == 0 && socket_->snd().cc() > 0) {

@@ -12,6 +12,7 @@
 #include "src/buf/mbuf.h"
 #include "src/net/wire.h"
 #include "src/sock/socket.h"
+#include "src/tcp/congestion.h"
 #include "src/tcp/pcb.h"
 #include "src/tcp/tcp_seq.h"
 
@@ -68,6 +69,13 @@ struct TcpConfig {
   // silly-window-syndrome scenario to force tiny window advertisements and
   // exercise the sender-side SWS avoidance rule.
   size_t rcv_window_clamp = 0;
+  // Loss-recovery era (overridable per socket). kLegacy reproduces the
+  // seed's fast-retransmit-without-recovery behavior exactly.
+  CongestionVariant congestion = CongestionVariant::kLegacy;
+  // Clamp on the MSS this end derives/advertises (0 = off). The congestion
+  // benchmarks use it to get Ethernet-era segments over the 9180-byte ATM
+  // MTU so a window holds many segments.
+  size_t mss_clamp = 0;
   SimDuration rexmt_min = SimDuration::FromMillis(300);
   SimDuration rexmt_max = SimDuration::FromSeconds(64);
   SimDuration msl = SimDuration::FromMillis(500);  // shortened 2MSL basis
@@ -116,7 +124,10 @@ class TcpConnection : public ProtocolOps {
   TcpSeq snd_una() const { return snd_una_; }
   TcpSeq snd_nxt() const { return snd_nxt_; }
   TcpSeq rcv_nxt() const { return rcv_nxt_; }
-  uint32_t cwnd() const { return snd_cwnd_; }
+  uint32_t cwnd() const { return cc_.cwnd(); }
+  uint32_t ssthresh() const { return cc_.ssthresh(); }
+  CongestionVariant congestion_variant() const { return cc_.variant(); }
+  bool sack_enabled() const { return sack_enabled_; }
 
  private:
   // Flow id carried on this connection's trace events.
@@ -128,7 +139,22 @@ class TcpConnection : public ProtocolOps {
   bool VerifyChecksum(const Mbuf* chain, const TcpHeader& th, const Ipv4Header& iph);
   bool TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size_t data_len);
   void InputSynSent(const TcpHeader& th);
-  void ProcessAck(const TcpHeader& th);
+  void ProcessAck(const TcpHeader& th, size_t data_len);
+  // The congestion variant this connection should run: socket option if set,
+  // else the stack-wide config default.
+  CongestionVariant ResolveVariant(const Socket* option_source) const;
+  // Feeds received SACK blocks into the sender scoreboard (traces them).
+  void IngestSackBlocks(const TcpHeader& th);
+  // Receiver side: reports the reassembly queue as SACK blocks on an ACK.
+  void AttachSackBlocks(TcpOptions* options) const;
+  // BSD's "rewind" retransmission: temporarily point snd_nxt at `seq`, emit
+  // one clamped segment, then restore. Used by fast retransmit and by
+  // NewReno/SACK hole repair.
+  void RewindRetransmit(TcpSeq seq);
+  // Executes the side effects a CongestionControl action asks for.
+  void ApplyLossAction(const CongestionControl::LossAction& action);
+  void ApplyAckAction(const CongestionControl::AckAction& action);
+  void TraceCwnd();
   void ProcessData(MbufPtr data, TcpSeq seq, size_t len, bool fin);
   void AppendInOrder(MbufPtr data);
   bool DrainReassembly();  // returns true if a queued FIN was consumed
@@ -188,8 +214,7 @@ class TcpConnection : public ProtocolOps {
   uint32_t snd_wnd_ = 0;
   TcpSeq snd_wl1_ = 0;
   TcpSeq snd_wl2_ = 0;
-  uint32_t snd_cwnd_ = 0;
-  uint32_t snd_ssthresh_ = 65535;
+  CongestionControl cc_;      // cwnd / ssthresh / dup-ACK / recovery state
   uint32_t max_sndwnd_ = 0;  // largest window the peer has offered
 
   // Receive sequence state.
@@ -204,9 +229,15 @@ class TcpConnection : public ProtocolOps {
   bool fin_sent_ = false;
   bool no_checksum_ = false;       // negotiated for this connection
   bool request_no_checksum_ = false;
+  bool request_sack_ = false;      // offer SACK-permitted on our SYN
+  bool sack_enabled_ = false;      // both ends agreed (RFC 2018)
   bool force_probe_ = false;       // zero-window probe forced by the timer
-  int dup_acks_ = 0;
+  bool force_rexmt_ = false;       // RewindRetransmit forcing one segment out
   int rexmt_shift_ = 0;
+  // Receiver side of SACK: the most recently arrived out-of-order block,
+  // reported first in the option (RFC 2018 section 4).
+  TcpSeq recent_sack_start_ = 0;
+  TcpSeq recent_sack_end_ = 0;
 
   // Round-trip timing (coarse BSD-style smoothing).
   bool rtt_timing_ = false;

@@ -30,6 +30,12 @@ TcpStack::TcpStack(IpStack* ip, TcpConfig config)
     m.AddCounterView("tcp.rexmt_timeouts", &stats_.rexmt_timeouts);
     m.AddCounterView("tcp.dup_acks_received", &stats_.dup_acks_received);
     m.AddCounterView("tcp.fast_retransmits", &stats_.fast_retransmits);
+    m.AddCounterView("tcp.fast_recovery_episodes", &stats_.fast_recovery_episodes);
+    m.AddCounterView("tcp.newreno_partial_acks", &stats_.newreno_partial_acks);
+    m.AddCounterView("tcp.sack_blocks_received", &stats_.sack_blocks_received);
+    m.AddCounterView("tcp.sack_retransmits", &stats_.sack_retransmits);
+    m.AddGaugeView("tcp.cwnd_last", &cwnd_last_);
+    m.AddGaugeView("tcp.ssthresh_last", &ssthresh_last_);
     m.AddCounterView("tcp.zero_window_probes", &stats_.zero_window_probes);
     m.AddCounterView("tcp.delayed_acks_fired", &stats_.delayed_acks_fired);
     m.AddCounterView("tcp.nagle_holds", &stats_.nagle_holds);
@@ -71,6 +77,14 @@ Socket* TcpStack::Listen(uint16_t port, size_t backlog) {
 
 Socket* TcpStack::Connect(SockAddr remote) {
   Socket* s = CreateSocket();
+  auto* conn = static_cast<TcpConnection*>(conns_.back().get());
+  conn->Connect(SockAddr{ip_->addr(), NextEphemeralPort()}, remote);
+  return s;
+}
+
+Socket* TcpStack::Connect(SockAddr remote, CongestionVariant congestion) {
+  Socket* s = CreateSocket();
+  s->SetCongestion(congestion);
   auto* conn = static_cast<TcpConnection*>(conns_.back().get());
   conn->Connect(SockAddr{ip_->addr(), NextEphemeralPort()}, remote);
   return s;

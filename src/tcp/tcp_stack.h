@@ -28,8 +28,17 @@ struct TcpStats {
   uint64_t checksum_fallbacks = 0;  // combined mode had to recompute fully
   uint64_t retransmits = 0;
   uint64_t rexmt_timeouts = 0;
+  // Simulated time spent waiting for retransmission timers that actually
+  // fired (each firing contributes the interval it was armed with). This is
+  // the "timeout stall" stage the congestion tail-blame report charges a
+  // slow flow's completion deficit to.
+  uint64_t rexmt_stall_ns = 0;
   uint64_t dup_acks_received = 0;
   uint64_t fast_retransmits = 0;    // triggered by the third duplicate ACK
+  uint64_t fast_recovery_episodes = 0;  // Reno-era recovery entries
+  uint64_t newreno_partial_acks = 0;    // partial-ACK hole repairs in recovery
+  uint64_t sack_blocks_received = 0;    // kind-5 blocks fed to the scoreboard
+  uint64_t sack_retransmits = 0;        // scoreboard-driven retransmissions
   uint64_t zero_window_probes = 0;  // rexmt timer fired against a closed window
   uint64_t delayed_acks_fired = 0;
   uint64_t nagle_holds = 0;  // tcp_output held small data behind unacked data
@@ -67,6 +76,9 @@ class TcpStack : public IpProtocolHandler {
 
   // Active open toward `remote`; complete with `co_await s->WaitConnected()`.
   Socket* Connect(SockAddr remote);
+  // Active open with a per-connection congestion-control variant, set on the
+  // socket before the SYN is built so the variant drives SACK negotiation.
+  Socket* Connect(SockAddr remote, CongestionVariant congestion);
 
   // Populates the PCB list with `n` inert "daemon" PCBs so that lookup cost
   // is realistic (the paper's machines ran the standard ULTRIX daemons).
@@ -90,6 +102,12 @@ class TcpStack : public IpProtocolHandler {
   // Registry-owned distribution of transmitted payload sizes (null when a
   // second stack on the host lost the registration race).
   Histogram* tx_bytes_histogram() { return tx_bytes_hist_; }
+  // Records the most recent congestion-window transition (exported as the
+  // tcp.cwnd_last / tcp.ssthresh_last gauges).
+  void NoteCwnd(uint32_t cwnd, uint32_t ssthresh) {
+    cwnd_last_ = cwnd;
+    ssthresh_last_ = ssthresh;
+  }
 
  private:
   // Answers a segment that reached no connection (RFC 793 RESET rules).
@@ -101,6 +119,8 @@ class TcpStack : public IpProtocolHandler {
   PcbTable pcbs_;
   TcpStats stats_;
   Histogram* tx_bytes_hist_ = nullptr;
+  int64_t cwnd_last_ = 0;
+  int64_t ssthresh_last_ = 0;
   uint32_t iss_ = 1;
   uint16_t next_port_ = 20000;
   std::vector<std::unique_ptr<Socket>> sockets_;

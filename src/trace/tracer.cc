@@ -62,7 +62,8 @@ constexpr std::array<std::string_view, static_cast<size_t>(TraceEventKind::kCoun
     "pdu.tx", "pdu.rx", "cell.drop", "tx.stall", "cell.switch",
     "frame.tx", "frame.rx",
     "impair.drop", "impair.dup", "impair.delay",
-    "nagle.hold"};
+    "nagle.hold",
+    "cwnd.change", "fast.retransmit", "sack.block"};
 
 template <size_t N>
 constexpr bool AllDistinctNonEmpty(const std::array<std::string_view, N>& names) {
@@ -349,6 +350,9 @@ void Tracer::CommitSlow(const TraceEvent& ev) {
     case TraceEventKind::kAck:
     case TraceEventKind::kDelayedAck:
     case TraceEventKind::kNagleHold:
+    case TraceEventKind::kCwndChange:
+    case TraceEventKind::kFastRetransmit:
+    case TraceEventKind::kSackBlock:
       if (ev.flow != 0) {
         const bool keep = KeepFlow(ev.flow);
         st.keep = keep ? 1 : 0;

@@ -97,7 +97,15 @@ enum class TraceEventKind : uint8_t {
   // keep their values.
   kNagleHold,  // tcp_output left data unsent (Nagle / silly-window
                // avoidance); packet = relative seq, bytes = held length
-  kCount,      // sentinel — keep last
+  // Congestion-control era (appended so existing binary kind tags keep
+  // their values).
+  kCwndChange,      // loss event / recovery transition; packet = new cwnd,
+                    // bytes = ssthresh
+  kFastRetransmit,  // Reno/NewReno/SACK fast retransmit decision;
+                    // packet = relative seq being resent
+  kSackBlock,       // SACK blocks arrived on an ACK; packet = first block
+                    // start (relative), bytes = newly sacked bytes
+  kCount,           // sentinel — keep last
 };
 
 std::string_view TraceLayerName(TraceLayer layer);

@@ -82,8 +82,28 @@ size_t SweepMaxConcurrent(const RunState& state) {
   return peak;
 }
 
-SimTask ServerProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+// Creates the flow's listener, applying the per-flow congestion variant so
+// accepted connections inherit it (the SYN arrives strictly later, after at
+// least one propagation delay).
+Socket* ListenFlow(RunState* state, const FlowSpec* spec, uint16_t port) {
   Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  if (spec->congestion.has_value()) {
+    listener->SetCongestion(*spec->congestion);
+  }
+  return listener;
+}
+
+// Opens the flow's client connection; the congestion variant must ride on
+// the socket before Connect builds the SYN (it drives SACK negotiation).
+Socket* ConnectFlow(RunState* state, const FlowSpec* spec, uint16_t port) {
+  TcpStack& stack = state->tb->client_tcp(spec->client);
+  const SockAddr remote{StarServerAddr(spec->server), port};
+  return spec->congestion.has_value() ? stack.Connect(remote, *spec->congestion)
+                                      : stack.Connect(remote);
+}
+
+SimTask ServerProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Socket* listener = ListenFlow(state, spec, port);
   while (true) {
     Socket* conn = listener->Accept();
     if (conn != nullptr) {
@@ -129,8 +149,7 @@ SimTask ClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t 
   if (spec->start_delay.nanos() > 0) {
     co_await host.SleepFor(spec->start_delay);
   }
-  const Ipv4Addr server_addr = StarServerAddr(spec->server);
-  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  Socket* sock = ConnectFlow(state, spec, port);
   while (!sock->connected() && !sock->has_error()) {
     co_await sock->WaitConnected();
   }
@@ -223,7 +242,7 @@ void ApplyServerOptions(const FlowSpec* spec, Socket* conn) {
 // false if the connection died first.
 SimTask InteractiveServerProc(RunState* state, const FlowSpec* spec, size_t flow,
                               uint16_t port) {
-  Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  Socket* listener = ListenFlow(state, spec, port);
   while (true) {
     Socket* conn = listener->Accept();
     if (conn != nullptr) {
@@ -276,8 +295,7 @@ SimTask InteractiveClientProc(RunState* state, const FlowSpec* spec, size_t flow
   if (spec->start_delay.nanos() > 0) {
     co_await host.SleepFor(spec->start_delay);
   }
-  const Ipv4Addr server_addr = StarServerAddr(spec->server);
-  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  Socket* sock = ConnectFlow(state, spec, port);
   if (spec->client_nodelay.has_value()) {
     sock->SetNodelay(*spec->client_nodelay);
   }
@@ -351,7 +369,7 @@ SimTask InteractiveClientProc(RunState* state, const FlowSpec* spec, size_t flow
 // --- streaming (steady small appends, sink-side latency) -------------------
 
 SimTask StreamSinkProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
-  Socket* listener = state->tb->server_tcp(spec->server).Listen(port);
+  Socket* listener = ListenFlow(state, spec, port);
   while (true) {
     Socket* conn = listener->Accept();
     if (conn != nullptr) {
@@ -386,8 +404,7 @@ SimTask StreamClientProc(RunState* state, const FlowSpec* spec, size_t flow, uin
   if (spec->start_delay.nanos() > 0) {
     co_await host.SleepFor(spec->start_delay);
   }
-  const Ipv4Addr server_addr = StarServerAddr(spec->server);
-  Socket* sock = state->tb->client_tcp(spec->client).Connect(SockAddr{server_addr, port});
+  Socket* sock = ConnectFlow(state, spec, port);
   if (spec->client_nodelay.has_value()) {
     sock->SetNodelay(*spec->client_nodelay);
   }
@@ -427,6 +444,215 @@ SimTask StreamClientProc(RunState* state, const FlowSpec* spec, size_t flow, uin
   co_return;
 }
 
+// --- bulk transfer (one-way push, congestion-era goodput) -------------------
+
+SimTask BulkSinkProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Socket* listener = ListenFlow(state, spec, port);
+  while (true) {
+    Socket* conn = listener->Accept();
+    if (conn != nullptr) {
+      ApplyServerOptions(spec, conn);
+      std::vector<uint8_t> buf(8192);
+      uint64_t got = 0;
+      while (got < spec->bulk_bytes) {
+        const size_t n = conn->Read({buf.data(), buf.size()});
+        got += n;
+        if (n == 0) {
+          if (conn->eof() || conn->has_error()) {
+            state->server_done[flow] = true;
+            co_return;
+          }
+          co_await conn->WaitReadable();
+        }
+      }
+      // The 1-byte completion token: its arrival back at the client marks
+      // the last payload byte as delivered and ACK-visible.
+      uint8_t token = 0x5a;
+      while (conn->Write({&token, 1}) == 0) {
+        if (conn->has_error()) {
+          state->server_done[flow] = true;
+          co_return;
+        }
+        co_await conn->WaitWritable();
+      }
+      conn->Close();
+      state->server_done[flow] = true;
+      co_return;
+    }
+    co_await listener->WaitAcceptable();
+  }
+}
+
+SimTask BulkClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Host& host = state->tb->client_host(spec->client);
+  FlowResult& result = state->results[flow];
+  if (spec->start_delay.nanos() > 0) {
+    co_await host.SleepFor(spec->start_delay);
+  }
+  Socket* sock = ConnectFlow(state, spec, port);
+  if (spec->client_nodelay.has_value()) {
+    sock->SetNodelay(*spec->client_nodelay);
+  }
+  while (!sock->connected() && !sock->has_error()) {
+    co_await sock->WaitConnected();
+  }
+  if (sock->has_error() && spec->tolerate_errors) {
+    result.aborted = true;
+    state->client_done[flow] = true;
+    co_return;
+  }
+  TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " failed to connect";
+
+  std::vector<uint8_t> out(static_cast<size_t>(std::min<uint64_t>(spec->bulk_bytes, 8192)));
+  FillPattern(out, 0);
+  const SimTime t0 = host.CurrentTime();
+  BeginInterval(state, flow, t0);
+  uint64_t sent = 0;
+  while (sent < spec->bulk_bytes) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(out.size(), spec->bulk_bytes - sent));
+    const size_t n = sock->Write({out.data(), chunk});
+    sent += n;
+    if (n == 0) {
+      if (sock->has_error() && spec->tolerate_errors) {
+        result.aborted = true;
+        state->client_done[flow] = true;
+        EndInterval(state, flow, host.CurrentTime());
+        co_return;
+      }
+      TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error during bulk push";
+      co_await sock->WaitWritable();
+    }
+  }
+  uint8_t token = 0;
+  while (sock->Read({&token, 1}) == 0) {
+    if ((sock->eof() || sock->has_error()) && spec->tolerate_errors) {
+      result.aborted = true;
+      state->client_done[flow] = true;
+      EndInterval(state, flow, host.CurrentTime());
+      co_return;
+    }
+    TCPLAT_CHECK(!sock->eof() && !sock->has_error())
+        << "flow " << flow << " died before the completion token";
+    co_await sock->WaitReadable();
+  }
+  const SimTime t1 = host.CurrentTime();
+  EndInterval(state, flow, t1);
+  result.bulk.bytes = spec->bulk_bytes;
+  result.bulk.start_ns = t0.nanos();
+  result.bulk.done_ns = t1.nanos();
+  // One sample: the whole transfer, so merged latency stats stay meaningful.
+  result.rtt.Add(t1.QuantizeToClockTick() - t0.QuantizeToClockTick());
+  sock->Close();
+  result.completed = true;
+  state->client_done[flow] = true;
+  co_return;
+}
+
+// --- keystroke echo (telnet shape: 1-byte writes on a human clock) ----------
+
+SimTask KeystrokeEchoProc(RunState* state, const FlowSpec* spec, size_t flow, uint16_t port) {
+  Socket* listener = ListenFlow(state, spec, port);
+  while (true) {
+    Socket* conn = listener->Accept();
+    if (conn != nullptr) {
+      ApplyServerOptions(spec, conn);
+      std::vector<uint8_t> buf(64);
+      while (true) {
+        const size_t n = conn->Read({buf.data(), buf.size()});
+        if (n > 0) {
+          size_t echoed = 0;
+          while (echoed < n) {
+            const size_t m = conn->Write({buf.data() + echoed, n - echoed});
+            echoed += m;
+            if (m == 0) {
+              if (conn->has_error()) {
+                state->server_done[flow] = true;
+                co_return;
+              }
+              co_await conn->WaitWritable();
+            }
+          }
+        } else {
+          if (conn->eof() || conn->has_error()) {
+            state->server_done[flow] = true;
+            co_return;
+          }
+          co_await conn->WaitReadable();
+        }
+      }
+    }
+    co_await listener->WaitAcceptable();
+  }
+}
+
+// Runs beside the keystroke sender on the same host, stamping each echoed
+// byte's arrival; the sender is open-loop and never blocks on the echo.
+SimTask KeystrokeReaderProc(RunState* state, const FlowSpec* spec, size_t flow, Socket* sock) {
+  Host& host = state->tb->client_host(spec->client);
+  FlowResult& result = state->results[flow];
+  std::vector<uint8_t> buf(64);
+  uint64_t got = 0;
+  const uint64_t total = static_cast<uint64_t>(spec->keystrokes);
+  while (got < total) {
+    const size_t n = sock->Read({buf.data(), buf.size()});
+    if (n > 0) {
+      // Every byte of this read became readable at the same instant (one
+      // segment arrival); stamping them identically is exact, not sloppy.
+      const int64_t now = host.CurrentTime().nanos();
+      for (size_t i = 0; i < n; ++i) {
+        state->stream_recv_ts[flow].push_back(now);
+      }
+      got += n;
+    } else {
+      if (sock->eof() || sock->has_error()) {
+        result.aborted = true;
+        state->client_done[flow] = true;
+        co_return;
+      }
+      co_await sock->WaitReadable();
+    }
+  }
+  sock->Close();
+  result.completed = true;
+  state->client_done[flow] = true;
+  co_return;
+}
+
+SimTask KeystrokeClientProc(RunState* state, const FlowSpec* spec, size_t flow,
+                            uint16_t port) {
+  Host& host = state->tb->client_host(spec->client);
+  if (spec->start_delay.nanos() > 0) {
+    co_await host.SleepFor(spec->start_delay);
+  }
+  Socket* sock = ConnectFlow(state, spec, port);
+  if (spec->client_nodelay.has_value()) {
+    sock->SetNodelay(*spec->client_nodelay);
+  }
+  while (!sock->connected() && !sock->has_error()) {
+    co_await sock->WaitConnected();
+  }
+  TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " failed to connect";
+
+  host.Spawn("keystroke-reader", KeystrokeReaderProc(state, spec, flow, sock));
+
+  for (int k = 0; k < spec->keystrokes; ++k) {
+    uint8_t ch = static_cast<uint8_t>('a' + (k % 26));
+    const SimTime t0 = host.CurrentTime();
+    BeginInterval(state, flow, t0);
+    state->stream_send_ts[flow].push_back(t0.nanos());
+    while (sock->Write({&ch, 1}) == 0) {
+      TCPLAT_CHECK(!sock->has_error()) << "flow " << flow << " error mid-typing";
+      co_await sock->WaitWritable();
+    }
+    EndInterval(state, flow, host.CurrentTime());
+    if (spec->keystroke_interval.nanos() > 0 && k + 1 < spec->keystrokes) {
+      co_await host.SleepFor(spec->keystroke_interval);
+    }
+  }
+  co_return;  // the reader closes the socket and marks the flow done
+}
+
 }  // namespace
 
 WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& specs,
@@ -454,7 +680,9 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   state.stream_send_ts.resize(specs.size());
   state.stream_recv_ts.resize(specs.size());
   for (size_t f = 0; f < specs.size(); ++f) {
-    state.results[f].iterations = static_cast<uint64_t>(specs[f].iterations);
+    state.results[f].iterations = specs[f].keystrokes > 0
+                                      ? static_cast<uint64_t>(specs[f].keystrokes)
+                                      : static_cast<uint64_t>(specs[f].iterations);
   }
 
   // Reset protocol statistics so each run reports its own numbers.
@@ -469,7 +697,11 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
     const uint16_t port =
         specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
     Host& server = testbed.server_host(specs[f].server);
-    if (specs[f].streaming) {
+    if (specs[f].bulk_bytes > 0) {
+      server.Spawn("bulk-sink", BulkSinkProc(&state, &specs[f], f, port));
+    } else if (specs[f].keystrokes > 0) {
+      server.Spawn("keystroke-echo", KeystrokeEchoProc(&state, &specs[f], f, port));
+    } else if (specs[f].streaming) {
       server.Spawn("stream-sink", StreamSinkProc(&state, &specs[f], f, port));
     } else if (specs[f].interactive()) {
       server.Spawn("rr-server", InteractiveServerProc(&state, &specs[f], f, port));
@@ -481,7 +713,11 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
     const uint16_t port =
         specs[f].port != 0 ? specs[f].port : static_cast<uint16_t>(kEchoPort + f);
     Host& client = testbed.client_host(specs[f].client);
-    if (specs[f].streaming) {
+    if (specs[f].bulk_bytes > 0) {
+      client.Spawn("bulk-client", BulkClientProc(&state, &specs[f], f, port));
+    } else if (specs[f].keystrokes > 0) {
+      client.Spawn("keystroke-client", KeystrokeClientProc(&state, &specs[f], f, port));
+    } else if (specs[f].streaming) {
       client.Spawn("stream-client", StreamClientProc(&state, &specs[f], f, port));
     } else if (specs[f].interactive()) {
       client.Spawn("rr-client", InteractiveClientProc(&state, &specs[f], f, port));
@@ -497,9 +733,10 @@ WorkloadResult RunWorkload(StarTestbed& testbed, const std::vector<FlowSpec>& sp
   result.per_client.resize(static_cast<size_t>(testbed.clients()));
   for (size_t f = 0; f < specs.size(); ++f) {
     FlowResult& flow = result.flows[f];
-    if (specs[f].streaming) {
-      // Pair each measured append's send entry with its sink-side delivery;
-      // recorded on separate coroutines, joined only after the run.
+    if (specs[f].streaming || specs[f].keystrokes > 0) {
+      // Pair each measured append's (or keystroke's) send entry with its
+      // delivery-side stamp; recorded on separate coroutines, joined only
+      // after the run.
       const auto& send_ts = state.stream_send_ts[f];
       const auto& recv_ts = state.stream_recv_ts[f];
       for (size_t i = static_cast<size_t>(std::max(specs[f].warmup, 0));

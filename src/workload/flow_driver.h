@@ -59,6 +59,23 @@ struct FlowSpec {
   std::optional<bool> server_delack;
   std::optional<SimDuration> server_delack_timeout;
 
+  // --- congestion-era extensions (all default-off) ---
+  // Congestion-control variant for this flow's connection: set on the client
+  // socket before the active open and on the server's listener (accepted
+  // connections inherit it). Unset = the stack config's variant.
+  std::optional<CongestionVariant> congestion;
+  // Bulk-transfer mode: the client pushes `bulk_bytes` one way as fast as
+  // the windows allow; the server sinks them and answers with a 1-byte
+  // completion token. Goodput is bulk_bytes over first-write to token
+  // arrival. `size`/`iterations`/`warmup` are ignored.
+  uint64_t bulk_bytes = 0;
+  // Keystroke mode: the client sends `keystrokes` 1-byte writes, one every
+  // `keystroke_interval` (open loop — the next keystroke is not gated on the
+  // previous echo), against an echo server; each echo's latency lands in
+  // `rtt`. The telnet shape: pure Nagle/delayed-ACK territory.
+  int keystrokes = 0;
+  SimDuration keystroke_interval = SimDuration::FromMillis(200);
+
   size_t request_bytes() const {
     return request_chunks.empty()
                ? size
@@ -72,12 +89,24 @@ struct FlowSpec {
   }
 };
 
+struct BulkStats {
+  uint64_t bytes = 0;        // payload delivered (the spec's bulk_bytes)
+  int64_t start_ns = -1;     // client's first write entry
+  int64_t done_ns = -1;      // completion token arrival at the client
+  double goodput_bps() const {
+    return done_ns > start_ns ? static_cast<double>(bytes) * 8e9 /
+                                    static_cast<double>(done_ns - start_ns)
+                              : 0.0;
+  }
+};
+
 struct FlowResult {
   LatencyStats rtt;
   uint64_t iterations = 0;
   bool completed = false;  // every iteration finished and the flow closed
   bool aborted = false;    // connection died first (tolerate_errors runs)
   uint64_t data_mismatches = 0;
+  BulkStats bulk;  // populated only in bulk-transfer mode
 };
 
 struct WorkloadOptions {

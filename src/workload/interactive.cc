@@ -33,7 +33,11 @@ std::vector<FlowSpec> BuildInteractiveFlows(const InteractiveCell& cell, int cli
     spec.iterations = cell.iterations;
     spec.warmup = cell.warmup;
     spec.think_time = cell.think_time;
-    if (cell.streaming) {
+    if (cell.keystrokes > 0) {
+      spec.keystrokes = cell.keystrokes;
+      spec.keystroke_interval = cell.keystroke_interval;
+      spec.size = 1;
+    } else if (cell.streaming) {
       spec.streaming = true;
       spec.size = cell.request_chunks[0];
       spec.stream_interval = cell.stream_interval;
@@ -42,7 +46,7 @@ std::vector<FlowSpec> BuildInteractiveFlows(const InteractiveCell& cell, int cli
       spec.response_size = cell.response_size;
       spec.pipeline_depth = cell.pipeline_depth;
     }
-    if (f < cell.clean_flows && !cell.streaming) {
+    if (f < cell.clean_flows && !cell.streaming && cell.keystrokes == 0) {
       // Well-behaved control population: the whole request in one write,
       // sent immediately. These flows dominate p50 in mixed cells.
       size_t total = 0;

@@ -73,6 +73,12 @@ struct InteractiveCell {
   // request/response; latency is send-entry to sink-side delivery.
   bool streaming = false;
   SimDuration stream_interval;
+  // Keystroke variant (telnet shape): each flow types this many 1-byte
+  // writes on an open loop, one every keystroke_interval, against a
+  // per-byte echo server; latency is keystroke entry to echo arrival.
+  // Overrides the request/response and streaming shapes when > 0.
+  int keystrokes = 0;
+  SimDuration keystroke_interval = SimDuration::FromMillis(150);
   uint64_t seed = 1;
   int shards = 0;
   unsigned shard_threads = 0;

@@ -57,6 +57,9 @@ StarTestbed::StarTestbed(StarTestbedConfig config) : config_(std::move(config)) 
   if (config_.network == NetworkKind::kAtm) {
     atm_switch_ = std::make_unique<AtmSwitch>(hub_sim, kTaxiBitsPerSecond, config_.propagation,
                                               config_.switch_latency);
+    if (config_.vc_buffers.buffer_cells > 0) {
+      atm_switch_->ConfigureVcBuffers(config_.vc_buffers);
+    }
     const bool integrated = config_.tcp.checksum == ChecksumMode::kCombined;
     for (int idx = 0; idx < n; ++idx) {
       // Each host owns a private fiber into the switch; the switch creates
@@ -65,7 +68,9 @@ StarTestbed::StarTestbed(StarTestbedConfig config) : config_(std::move(config)) 
           std::make_unique<Wire>(host_sim(idx), kTaxiBitsPerSecond, config_.propagation));
       adapters_.push_back(std::make_unique<Tca100>(hosts_[static_cast<size_t>(idx)].get(),
                                                    fibers_.back().get()));
-      atm_switch_->AttachOutput(idx, adapters_.back().get());
+      const bool server_port = idx >= config_.clients;
+      atm_switch_->AttachOutput(idx, adapters_.back().get(),
+                                server_port ? config_.server_trunk_bps : 0);
       adapters_.back()->ConnectSink(atm_switch_->input(idx));
       if (sharded()) {
         // A cell transmitted "now" cannot arrive before one cell time plus

@@ -41,6 +41,14 @@ struct StarTestbedConfig {
   size_t background_pcbs = 13;
   uint64_t seed = 1;
   SimDuration propagation = SimDuration::FromNanos(300);
+  // Finite per-VC output buffering at the switch (buffer_cells == 0 keeps
+  // the seed's infinite buffers). Only meaningful on ATM.
+  VcBufferConfig vc_buffers;
+  // Line rate of the switch output ports feeding the *server* hosts, in
+  // bits/second (0 = full TAXI rate). A slower server trunk turns the
+  // switch's per-VC output buffers into the shared bottleneck the
+  // congestion cells study, instead of the hosts' protocol CPU.
+  double server_trunk_bps = 0;
   CostProfile profile = CostProfile::Decstation5000_200();
   // Parallel execution: partition the hosts over this many event shards (the
   // switch always gets a shard of its own on top), run by a conservative-

@@ -248,5 +248,78 @@ TEST(InteractiveScenarios, PipelinedRequestsComplete) {
   EXPECT_LT(out.p99.nanos(), 5 * kMs);
 }
 
+// --- keystroke/echo (telnet shape) -----------------------------------------
+
+// A human typing one character every 150 ms against a per-byte echo server:
+// each keystroke finds the connection idle, so Nagle lets it out at once
+// and the echo returns at wire scale — two orders of magnitude below the
+// typing clock. This is the satellite-era telnet baseline the paper's
+// interactive discussion assumes.
+TEST(InteractiveKeystroke, SlowTypingEchoesAtWireScale) {
+  InteractiveCell cell;
+  cell.keystrokes = 24;
+  cell.warmup = 4;
+  const InteractiveOutcome out = RunInteractiveCell(cell);
+  EXPECT_EQ(out.completed, 1u);
+  EXPECT_EQ(out.samples, 20u);
+  // Two orders of magnitude under the 150 ms typing clock.
+  EXPECT_LT(out.p99.nanos(), 5 * kMs);
+  EXPECT_GT(out.p50.nanos(), 0);
+}
+
+// Paste-speed typing (no inter-key gap): byte 1 leaves alone, bytes 2..N
+// pile up behind the client's Nagle rule until its ACK returns, then travel
+// as one coalesced segment — so the echoes coalesce too and the burst
+// clears at wire scale. TCP_NODELAY on the *client* does not rescue the
+// burst: it moves the holds to the echo direction, where the server's
+// Nagle rule collides with the client's delayed ACK and the tail collapses
+// to the 200 ms timer. Shrinking the timer shrinks the tail in lockstep —
+// the latency ≈ timer signature, now in the echo path.
+TEST(InteractiveKeystroke, BurstTypingShiftsNagleHoldsToTheEchoUnderNodelay) {
+  InteractiveCell cell;
+  cell.keystrokes = 32;
+  cell.warmup = 0;
+  cell.keystroke_interval = SimDuration();
+  const InteractiveOutcome nagle = RunInteractiveCell(cell);
+  EXPECT_EQ(nagle.completed, 1u);
+  EXPECT_EQ(nagle.samples, 32u);
+  EXPECT_GE(nagle.nagle_holds, 31u);  // every byte behind the first is held
+  EXPECT_LT(nagle.p99.nanos(), 10 * kMs);
+
+  InteractiveCell nodelay = cell;
+  nodelay.knob = InteractiveKnob::kNodelay;
+  const InteractiveOutcome echo_held = RunInteractiveCell(nodelay);
+  EXPECT_EQ(echo_held.completed, 1u);
+  EXPECT_EQ(echo_held.samples, 32u);
+  // Far fewer holds (echo side only), but each one now waits on the
+  // client's delayed-ACK timer instead of a wire-scale ACK.
+  EXPECT_LT(echo_held.nagle_holds, nagle.nagle_holds);
+  EXPECT_GE(echo_held.p99.nanos(), 150 * kMs);
+  EXPECT_LE(echo_held.p99.nanos(), 260 * kMs);
+
+  InteractiveCell short_timer = nodelay;
+  short_timer.delack_timeout = SimDuration::FromMillis(20);
+  const InteractiveOutcome tracked = RunInteractiveCell(short_timer);
+  EXPECT_EQ(tracked.completed, 1u);
+  EXPECT_GE(tracked.p99.nanos(), 10 * kMs);
+  EXPECT_LE(tracked.p99.nanos(), 40 * kMs);
+}
+
+// Keystroke cells obey the same determinism contract as every other cell:
+// byte-identical rows across repeats and across shard/thread counts.
+TEST(InteractiveKeystroke, CellsAreByteIdenticalAcrossShards) {
+  InteractiveCell cell;
+  cell.keystrokes = 16;
+  cell.warmup = 2;
+  cell.flows = 2;
+  cell.clients = 2;
+  const std::vector<std::string> serial = InteractiveRow(cell, RunInteractiveCell(cell));
+  EXPECT_EQ(serial, InteractiveRow(cell, RunInteractiveCell(cell)));
+  InteractiveCell sharded = cell;
+  sharded.shards = 2;
+  sharded.shard_threads = 2;
+  EXPECT_EQ(serial, InteractiveRow(sharded, RunInteractiveCell(sharded)));
+}
+
 }  // namespace
 }  // namespace tcplat

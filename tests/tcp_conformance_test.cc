@@ -434,5 +434,267 @@ TEST_F(Conformance, NagleAllowsOneOutstandingSmallSegment) {
   EXPECT_GE(tb.client_tcp().stats().nagle_holds, 1u);
 }
 
+// --- Congestion-control era conformance ---
+//
+// The CongestionControl state machine is exercised directly (it is pure
+// state + actions), plus the SACK option's wire round trip and two
+// end-to-end runs over the testbed: SYN-time SACK negotiation and a single
+// mid-stream cell loss repaired by fast retransmit instead of a timeout.
+
+constexpr uint32_t kMss = 1000;
+
+// RFC 5681: the third duplicate ACK halves the pipe (ssthresh = flight/2),
+// retransmits the hole, and enters fast recovery with cwnd = ssthresh + 3.
+TEST(CongestionReno, ThirdDupAckHalvesWindowAndRetransmits) {
+  CongestionControl cc;
+  cc.Reset(CongestionVariant::kReno, kMss);
+  for (int i = 0; i < 20; ++i) {
+    cc.OnNewAck(0, 0, 0, 20 * kMss);  // grow cwnd well past the loss point
+  }
+  const uint32_t una = 5000;
+  const uint32_t snd_max = una + 12 * kMss;
+  auto a1 = cc.OnDupAck(una, snd_max, 12 * kMss);
+  auto a2 = cc.OnDupAck(una, snd_max, 12 * kMss);
+  EXPECT_FALSE(a1.fast_retransmit);
+  EXPECT_FALSE(a2.fast_retransmit);
+  EXPECT_FALSE(cc.in_recovery());
+
+  auto a3 = cc.OnDupAck(una, snd_max, 12 * kMss);
+  ASSERT_TRUE(a3.fast_retransmit);
+  EXPECT_EQ(a3.rexmt_seq, una) << "the hole is the unacked head";
+  EXPECT_TRUE(cc.in_recovery());
+  EXPECT_EQ(cc.ssthresh(), 6 * kMss) << "half the 12-segment flight";
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh() + 3 * kMss) << "inflated by the 3 dup ACKs";
+
+  // Each further duplicate ACK inflates by one segment (it proves a packet
+  // left the network) and asks for more output.
+  auto a4 = cc.OnDupAck(una, snd_max, 12 * kMss);
+  EXPECT_FALSE(a4.fast_retransmit);
+  EXPECT_TRUE(a4.send_more);
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh() + 4 * kMss);
+
+  // The full ACK deflates to ssthresh and leaves recovery.
+  auto full = cc.OnNewAck(una, snd_max, snd_max, 12 * kMss);
+  EXPECT_TRUE(full.exited_recovery);
+  EXPECT_FALSE(cc.in_recovery());
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh());
+}
+
+// RFC 6582: a partial ACK (below `recover`) repairs the next hole and stays
+// in recovery under NewReno; classic Reno bails out on the first new ACK.
+TEST(CongestionNewReno, PartialAckRepairsAndStaysInRecovery) {
+  const uint32_t una = 10000;
+  const uint32_t snd_max = una + 10 * kMss;
+  for (const CongestionVariant v : {CongestionVariant::kReno, CongestionVariant::kNewReno}) {
+    CongestionControl cc;
+    cc.Reset(v, kMss);
+    cc.OnDupAck(una, snd_max, 10 * kMss);
+    cc.OnDupAck(una, snd_max, 10 * kMss);
+    auto a3 = cc.OnDupAck(una, snd_max, 10 * kMss);
+    ASSERT_TRUE(a3.fast_retransmit);
+    EXPECT_EQ(cc.recover(), snd_max);
+
+    // The retransmission is acked, but a second hole remains 3 segments up.
+    const uint32_t partial = una + 3 * kMss;
+    auto ack = cc.OnNewAck(una, partial, snd_max, 10 * kMss);
+    if (v == CongestionVariant::kNewReno) {
+      EXPECT_TRUE(ack.partial_retransmit) << "NewReno repairs the next hole at once";
+      EXPECT_EQ(ack.rexmt_seq, partial);
+      EXPECT_TRUE(cc.in_recovery()) << "recovery persists until snd_una reaches recover";
+    } else {
+      EXPECT_FALSE(ack.partial_retransmit) << "plain Reno has no partial-ACK repair";
+      EXPECT_TRUE(ack.exited_recovery);
+      EXPECT_FALSE(cc.in_recovery());
+    }
+  }
+}
+
+// The scoreboard keeps sorted, disjoint blocks, merges overlap/adjacency,
+// walks holes in order, and drops acked blocks.
+TEST(CongestionSack, ScoreboardTracksHoles) {
+  SackScoreboard sb;
+  const uint32_t una = 1000;
+  sb.Add(una, 3000, 4000);
+  sb.Add(una, 6000, 7000);
+  EXPECT_EQ(sb.blocks().size(), 2u);
+  EXPECT_EQ(sb.NextHole(una, 8000), una) << "first hole is at snd_una";
+  EXPECT_EQ(sb.NextHole(3000, 8000), 4000u) << "walk jumps past the sacked block";
+  EXPECT_EQ(sb.NextHole(6000, 8000), 7000u);
+  EXPECT_TRUE(sb.Covers(3500));
+  EXPECT_FALSE(sb.Covers(4500));
+
+  sb.Add(una, 4000, 6000);  // bridges the two blocks
+  ASSERT_EQ(sb.blocks().size(), 1u);
+  EXPECT_EQ(sb.blocks()[0].start, 3000u);
+  EXPECT_EQ(sb.blocks()[0].end, 7000u);
+  EXPECT_EQ(sb.sacked_bytes(), 4000u);
+  EXPECT_EQ(sb.highest_end(), 7000u);
+
+  sb.AdvanceTo(7000);
+  EXPECT_TRUE(sb.empty());
+}
+
+// RFC 6675: in SACK recovery, cwnd collapses to ssthresh, repairs are gated
+// by the pipe estimate, and only holes below the highest sacked block are
+// retransmitted.
+TEST(CongestionSack, PipeGatedRepairsStopAtHighestSackedBlock) {
+  CongestionControl cc;
+  cc.Reset(CongestionVariant::kSack, kMss);
+  for (int i = 0; i < 20; ++i) {
+    cc.OnNewAck(0, 0, 0, 20 * kMss);
+  }
+  const uint32_t una = 0;
+  const uint32_t snd_max = 12 * kMss;
+  // The receiver holds [2,3) and [5,6) segments; segments 0,1 and 3,4 are
+  // the provable holes, everything >= 6 may still be in flight.
+  cc.scoreboard().Add(una, 2 * kMss, 3 * kMss);
+  cc.scoreboard().Add(una, 5 * kMss, 6 * kMss);
+  cc.OnDupAck(una, snd_max, 12 * kMss);
+  cc.OnDupAck(una, snd_max, 12 * kMss);
+  auto a3 = cc.OnDupAck(una, snd_max, 12 * kMss);
+  ASSERT_TRUE(a3.fast_retransmit);
+  EXPECT_EQ(a3.rexmt_seq, una);
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh()) << "no +3 inflation under RFC 6675";
+
+  // Further dup ACKs drain the pipe; each repair must land on a hole below
+  // highest_end, never on un-sacked in-flight data above it.
+  std::vector<uint32_t> repaired;
+  for (int i = 0; i < 12; ++i) {
+    auto a = cc.OnDupAck(una, snd_max, 12 * kMss);
+    if (a.fast_retransmit) {
+      repaired.push_back(a.rexmt_seq);
+    }
+  }
+  ASSERT_FALSE(repaired.empty());
+  for (const uint32_t seq : repaired) {
+    EXPECT_LT(seq, 6 * kMss) << "RFC 3517 bound: no repair above the highest sacked block";
+    EXPECT_FALSE(cc.scoreboard().Covers(seq)) << "never resend sacked data";
+  }
+}
+
+// A timeout abandons recovery entirely: back to one-segment slow start with
+// a cleared scoreboard.
+TEST(CongestionSack, TimeoutCollapsesToSlowStart) {
+  CongestionControl cc;
+  cc.Reset(CongestionVariant::kSack, kMss);
+  cc.scoreboard().Add(0, 2 * kMss, 3 * kMss);
+  cc.OnDupAck(0, 10 * kMss, 10 * kMss);
+  cc.OnDupAck(0, 10 * kMss, 10 * kMss);
+  cc.OnDupAck(0, 10 * kMss, 10 * kMss);
+  ASSERT_TRUE(cc.in_recovery());
+  cc.OnTimeout(10 * kMss);
+  EXPECT_EQ(cc.cwnd(), kMss);
+  EXPECT_FALSE(cc.in_recovery());
+  EXPECT_TRUE(cc.scoreboard().empty());
+}
+
+// RFC 2018 wire format: SACK-permitted (kind 4) on the SYN and up to three
+// 8-byte blocks (kind 5) must survive a serialize/parse round trip.
+TEST(CongestionSack, OptionsRoundTripOnTheWire) {
+  TcpHeader syn;
+  syn.flags.syn = true;
+  syn.options.mss = 1460;
+  syn.options.sack_permitted = true;
+  std::vector<uint8_t> bytes(syn.HeaderLength());
+  syn.Serialize(bytes);
+  const std::optional<TcpHeader> parsed = TcpHeader::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->options.sack_permitted);
+  ASSERT_TRUE(parsed->options.mss.has_value());
+  EXPECT_EQ(*parsed->options.mss, 1460u);
+
+  TcpHeader ack;
+  ack.flags.ack = true;
+  ack.options.sack = {{1000, 2000}, {5000, 6000}, {9000, 9500}};
+  std::vector<uint8_t> ack_bytes(ack.HeaderLength());
+  ack.Serialize(ack_bytes);
+  const std::optional<TcpHeader> parsed_ack = TcpHeader::Parse(ack_bytes);
+  ASSERT_TRUE(parsed_ack.has_value());
+  ASSERT_EQ(parsed_ack->options.sack.size(), 3u);
+  EXPECT_EQ(parsed_ack->options.sack[0].start, 1000u);
+  EXPECT_EQ(parsed_ack->options.sack[0].end, 2000u);
+  EXPECT_EQ(parsed_ack->options.sack[2].start, 9000u);
+  EXPECT_EQ(parsed_ack->options.sack[2].end, 9500u);
+  EXPECT_FALSE(parsed_ack->options.sack_permitted) << "kind 4 is SYN-only";
+}
+
+// End to end: with both stacks configured for SACK, the client's SYN offers
+// kind 4, the server's SYN|ACK agrees, and the transfer completes.
+TEST(CongestionE2E, SackNegotiatedOnTheSyn) {
+  TestbedConfig cfg;
+  cfg.tcp.congestion = CongestionVariant::kSack;
+  Testbed tb(cfg);
+  SegmentTap tap;
+  tb.client_tcp().set_tap(&tap);
+  RpcOptions opt;
+  opt.size = 100;
+  opt.iterations = 2;
+  opt.warmup = 0;
+  const RpcResult r = RunRpcBenchmark(tb, opt);
+  EXPECT_EQ(r.data_mismatches, 0u);
+  bool syn_offered = false;
+  bool synack_agreed = false;
+  for (const auto& rec : tap.records()) {
+    if (rec.header.flags.syn && !rec.header.flags.ack && rec.outbound) {
+      syn_offered = rec.header.options.sack_permitted;
+    }
+    if (rec.header.flags.syn && rec.header.flags.ack && !rec.outbound) {
+      synack_agreed = rec.header.options.sack_permitted;
+    }
+  }
+  EXPECT_TRUE(syn_offered) << "client SYN must carry SACK-permitted";
+  EXPECT_TRUE(synack_agreed) << "server SYN|ACK must agree";
+}
+
+// A legacy peer never offers SACK, so a SACK-configured server must not
+// enable it either (negotiation is bilateral).
+TEST(CongestionE2E, LegacyClientGetsNoSackOption) {
+  TestbedConfig cfg;  // both stacks default to kLegacy
+  Testbed tb(cfg);
+  SegmentTap tap;
+  tb.client_tcp().set_tap(&tap);
+  RpcOptions opt;
+  opt.size = 100;
+  opt.iterations = 2;
+  opt.warmup = 0;
+  RunRpcBenchmark(tb, opt);
+  for (const auto& rec : tap.records()) {
+    EXPECT_FALSE(rec.header.options.sack_permitted);
+    EXPECT_TRUE(rec.header.options.sack.empty());
+  }
+}
+
+// One mid-stream data cell killed on the client->server fiber: a Reno
+// client repairs it with a fast retransmit triggered by duplicate ACKs —
+// no retransmission timeout — while the seed's timer floor would otherwise
+// stall the transfer.
+TEST(CongestionE2E, SingleLossRepairedByFastRetransmitNotTimeout) {
+  TestbedConfig cfg;
+  cfg.tcp.congestion = CongestionVariant::kReno;
+  // Ethernet-sized segments and windows holding many of them — over the
+  // 9180-byte ATM MTU with 8 KB buffers a "window" is barely two segments,
+  // which can never produce three duplicate ACKs.
+  cfg.tcp.mss_clamp = 1460;
+  cfg.tcp.sndbuf = 32768;
+  cfg.tcp.rcvbuf = 32768;
+  Testbed tb(cfg);
+  int countdown = 400;  // one cell of roughly the 11th data segment: past
+                        // slow start's opening, with a full window behind it
+  tb.atm_link()->dir(0).set_corrupt_hook([&countdown](std::vector<uint8_t>& cell) {
+    if (--countdown == 0) {
+      cell[10] ^= 0xFF;
+    }
+  });
+  RpcOptions opt;
+  opt.size = 30000;  // ~21 MSS-sized segments: plenty of dup-ACK fuel
+  opt.iterations = 2;
+  opt.warmup = 0;
+  const RpcResult r = RunRpcBenchmark(tb, opt);
+  EXPECT_EQ(r.data_mismatches, 0u);
+  EXPECT_GE(tb.client_tcp().stats().fast_retransmits, 1u);
+  EXPECT_EQ(tb.client_tcp().stats().rexmt_timeouts, 0u)
+      << "a single loss must not cost the retransmission timer";
+}
+
 }  // namespace
 }  // namespace tcplat
