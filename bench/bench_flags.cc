@@ -36,6 +36,30 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags, const char* accep
       flags->trace_sample_flows = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
       continue;
     }
+    if (const char* v = FlagValue(argc, argv, &i, "--trace-sample-reservoir")) {
+      flags->trace_sample_reservoir = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--trace-spill")) {
+      flags->trace_spill_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--trace-spill-segment")) {
+      flags->trace_spill_segment = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--timeline-csv")) {
+      flags->timeline_csv_path = v;
+      continue;
+    }
+    if (const char* v = FlagValue(argc, argv, &i, "--timeline-period-us")) {
+      flags->timeline_period_us = std::strtoll(v, nullptr, 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--timeline") == 0) {
+      flags->timeline = true;
+      continue;
+    }
     if (const char* v = FlagValue(argc, argv, &i, "--bin-out")) {
       flags->bin_out_path = v;
       continue;

@@ -25,12 +25,14 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_flags.h"
 #include "src/core/table.h"
 #include "src/exec/executor.h"
+#include "src/trace/timeseries.h"
 #include "src/trace/tracer.h"
 #include "src/workload/congestion.h"
 
@@ -173,9 +175,10 @@ std::string ToCsv(const std::vector<CellResult>& results) {
 // fairness (gated on a 0.90x floor) plus deterministic counters and the
 // acceptance booleans (gated exactly).
 std::string ToJson(const std::vector<CellResult>& results, const BenchFlags& flags,
-                   bool orderings_hold, bool gap_shrinks, bool all_completed) {
+                   bool orderings_hold, bool gap_shrinks, bool all_completed,
+                   bool sawtooth, bool plateau, bool dead_air) {
   std::string out = "{\n";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf), "  \"quick\": %s,\n  \"flows\": %d,\n  \"seed\": %" PRIu64
                                   ",\n",
                 flags.quick ? "true" : "false", flags.flows, flags.seed);
@@ -199,11 +202,210 @@ std::string ToJson(const std::vector<CellResult>& results, const BenchFlags& fla
   std::snprintf(buf, sizeof(buf),
                 "  \"congestion_sack_epd_beats_reno_tail\": %s,\n"
                 "  \"congestion_gap_shrinks_with_buffer\": %s,\n"
-                "  \"congestion_all_flows_completed\": %s\n}\n",
+                "  \"congestion_all_flows_completed\": %s,\n"
+                "  \"congestion_timeline_sawtooth\": %s,\n"
+                "  \"congestion_timeline_epd_plateau\": %s,\n"
+                "  \"congestion_timeline_dead_air_within_5pct\": %s\n}\n",
                 orderings_hold ? "true" : "false", gap_shrinks ? "true" : "false",
-                all_completed ? "true" : "false");
+                all_completed ? "true" : "false", sawtooth ? "true" : "false",
+                plateau ? "true" : "false", dead_air ? "true" : "false");
   out += buf;
   return out;
+}
+
+// ---- Dynamics timelines -----------------------------------------------------
+//
+// Two extra loss-heavy cells run with the timeseries telemetry plane
+// attached (src/trace/timeseries.h); the resulting cwnd / queue-occupancy
+// timelines must show the congestion era's signatures, not just the right
+// end-of-run aggregates:
+//   * Reno + tail drop: >=3 cwnd sawteeth, each pinned exactly by the
+//     loss-enter edge and its (peak, valley) cwnd edge pair.
+//   * Tail-drop occupancy rides the buffer ceiling; EPD occupancy plateaus
+//     strictly below it (the threshold plus at most one max-size frame).
+//   * RTO dead air: summing the kTcpRtoFire edges reproduces the clients'
+//     rexmt_stall_ns within 5%, and cwnd is flat inside every fired window.
+
+struct TimelineResult {
+  CongestionCell cell;
+  CongestionOutcome outcome;
+  std::vector<TimeseriesPoint> points;  // sorted on (ts, host)
+  std::vector<std::string> host_names;
+  std::string csv;
+};
+
+TimelineResult RunTimelineCell(const CongestionCell& cell) {
+  TimelineResult r;
+  r.cell = cell;
+  Tracer tracer;
+  tracer.EnableTimeseries(TimeseriesConfig{});
+  r.outcome = RunCongestionCell(cell, &tracer);
+  r.points = tracer.SortedTimeseriesPoints();
+  r.host_names = tracer.host_names();
+  r.csv = tracer.TimelineCsv();
+  return r;
+}
+
+bool IsClientHost(const TimelineResult& r, uint8_t host) {
+  return host < r.host_names.size() &&
+         r.host_names[host].compare(0, 6, "client") == 0;
+}
+
+// Counts exact sawtooth corners. A loss-enter edge carries the peak cwnd the
+// window fell from; the matching loss-exit edge (same flow, next in time)
+// carries the deflated post-recovery window — ssthresh, i.e. half the
+// effective window at the loss (4.3BSD's max(2*mss, min(snd_wnd, cwnd)/2)).
+// A corner counts as a halving when the exit valley really is at most half
+// the entry peak (one MSS of integer-division slack), strictly below it.
+int CountHalvings(const TimelineResult& r) {
+  const auto mss = static_cast<int64_t>(r.cell.mss_clamp);
+  int halvings = 0;
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    const TimeseriesPoint& p = r.points[i];
+    if (p.metric != static_cast<uint8_t>(TsMetric::kTcpLossEnter) || !p.edge) {
+      continue;
+    }
+    const int64_t peak = p.value;
+    for (size_t j = i + 1; j < r.points.size(); ++j) {
+      const TimeseriesPoint& q = r.points[j];
+      if (q.host != p.host || q.key != p.key || !q.edge) {
+        continue;
+      }
+      if (q.metric == static_cast<uint8_t>(TsMetric::kTcpLossEnter)) {
+        break;  // next episode began without a traced exit
+      }
+      if (q.metric == static_cast<uint8_t>(TsMetric::kTcpLossExit)) {
+        if (q.value < peak && 2 * q.value <= peak + 2 * mss) {
+          ++halvings;
+        }
+        break;
+      }
+    }
+  }
+  return halvings;
+}
+
+int64_t MaxOccupancy(const TimelineResult& r) {
+  int64_t max_occ = 0;
+  for (const TimeseriesPoint& p : r.points) {
+    if (p.metric == static_cast<uint8_t>(TsMetric::kVcOccupancy) ||
+        p.metric == static_cast<uint8_t>(TsMetric::kVcHiwat)) {
+      max_occ = std::max(max_occ, p.value);
+    }
+  }
+  return max_occ;
+}
+
+// Sum of fired-RTO dead air visible in the timeline (client hosts only, to
+// match the per-flow stack counters), plus the flat-cwnd verification: no
+// cwnd movement for the flow inside any fired window. The window opens when
+// the retransmit timer was armed, but the arming ACK's own processing tail
+// (wakeup + ACK bookkeeping CPU charges) lands a few microseconds past that
+// instant, so a 1 ms boundary guard — against windows that are >=300 ms by
+// construction — separates the arming event from genuine ACK-clock progress.
+void DeadAirFromTimeline(const TimelineResult& r, int64_t* rto_sum_ns, bool* cwnd_flat) {
+  constexpr int64_t kArmGuardNs = 1'000'000;
+  *rto_sum_ns = 0;
+  *cwnd_flat = true;
+  for (const TimeseriesPoint& p : r.points) {
+    if (p.metric != static_cast<uint8_t>(TsMetric::kTcpRtoFire) || !p.edge) {
+      continue;
+    }
+    if (IsClientHost(r, p.host)) {
+      *rto_sum_ns += p.value;
+    }
+    const int64_t window_start = p.ts_ns - p.value;
+    for (const TimeseriesPoint& q : r.points) {
+      if (q.ts_ns >= p.ts_ns) {
+        break;  // points are ts-sorted
+      }
+      if (q.ts_ns > window_start + kArmGuardNs && q.host == p.host && q.key == p.key &&
+          q.metric == static_cast<uint8_t>(TsMetric::kTcpCwnd)) {
+        *cwnd_flat = false;
+      }
+    }
+  }
+}
+
+size_t EpdThresholdCells(const CongestionCell& cell) {
+  if (cell.epd_threshold != 0) {
+    return cell.epd_threshold;
+  }
+  constexpr size_t kFrameHeadroomCells = 36;
+  const size_t cap = cell.buffer_cells;
+  return std::max(cap / 2, cap > kFrameHeadroomCells ? cap - kFrameHeadroomCells : 0);
+}
+
+// Runs the timeline cells, applies the era-signature checks, and reports
+// the acceptance booleans for the regression-gate JSON. Writes the
+// tail-drop cell's timeline CSV to `csv_path` when non-empty.
+bool RunTimelineSection(const BenchFlags& flags, bool* sawtooth, bool* plateau,
+                        bool* dead_air_ok, const std::string& csv_path) {
+  CongestionCell tail_cell;
+  tail_cell.variant = CongestionVariant::kReno;
+  tail_cell.policy = DropPolicy::kTailDrop;
+  tail_cell.buffer_cells = 128;  // congested enough that losses recur
+  tail_cell.flows = flags.flows;
+  tail_cell.seed = flags.seed;
+  CongestionCell epd_cell = tail_cell;
+  epd_cell.policy = DropPolicy::kEpd;
+
+  std::vector<CongestionCell> cells = {tail_cell, epd_cell};
+  const std::vector<TimelineResult> tl = ParallelMap<TimelineResult>(
+      cells.size(), [&](size_t i) { return RunTimelineCell(cells[i]); });
+  const TimelineResult& tail = tl[0];
+  const TimelineResult& epd = tl[1];
+
+  std::printf("\ntimeline checks (reno, buf=%zu, %d flows; %zu tail / %zu epd points):\n",
+              tail_cell.buffer_cells, tail_cell.flows, tail.points.size(),
+              epd.points.size());
+  char what[220];
+
+  const int halvings = CountHalvings(tail);
+  std::snprintf(what, sizeof(what),
+                "reno+tail cwnd shows >=3 exact halving sawteeth (%d loss-enter corners)",
+                halvings);
+  *sawtooth = halvings >= 3;
+  Check(*sawtooth, what);
+
+  const int64_t tail_max = MaxOccupancy(tail);
+  const int64_t epd_max = MaxOccupancy(epd);
+  const auto threshold = static_cast<int64_t>(EpdThresholdCells(epd_cell));
+  constexpr int64_t kFrameCells = 36;  // one max-size AAL frame past the BOM test
+  const bool rides = tail_max == static_cast<int64_t>(tail_cell.buffer_cells);
+  const bool plateaus = epd_max < tail_max && epd_max <= threshold + kFrameCells;
+  std::snprintf(what, sizeof(what),
+                "tail occupancy rides the %zu-cell ceiling (max %" PRId64
+                "); epd plateaus at its threshold (max %" PRId64 " <= %" PRId64 "+%" PRId64
+                ")",
+                tail_cell.buffer_cells, tail_max, epd_max, threshold, kFrameCells);
+  *plateau = rides && plateaus;
+  Check(*plateau, what);
+
+  int64_t rto_sum_ns = 0;
+  bool cwnd_flat = true;
+  DeadAirFromTimeline(tail, &rto_sum_ns, &cwnd_flat);
+  int64_t stall_ns = 0;
+  for (const CongestionFlowStats& fs : tail.outcome.flow_stats) {
+    stall_ns += static_cast<int64_t>(fs.rexmt_stall_ns);
+  }
+  const int64_t err = std::abs(rto_sum_ns - stall_ns);
+  const bool within =
+      stall_ns > 0 && err * 20 <= stall_ns;  // within 5% of rexmt_stall_ns
+  std::snprintf(what, sizeof(what),
+                "timeline RTO dead air matches rexmt_stall_ns within 5%% "
+                "(%.2f ms vs %.2f ms) with flat cwnd inside every fired window",
+                static_cast<double>(rto_sum_ns) / 1e6, static_cast<double>(stall_ns) / 1e6);
+  *dead_air_ok = within && cwnd_flat;
+  Check(*dead_air_ok, what);
+
+  if (!csv_path.empty()) {
+    if (!WriteTextFile(csv_path, tail.csv)) {
+      return false;
+    }
+    std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+  }
+  return true;
 }
 
 int Run(const BenchFlags& flags) {
@@ -395,6 +597,13 @@ int Run(const BenchFlags& flags) {
     Check(false, "at least one cell saw a retransmission timeout");
   }
 
+  bool sawtooth = false;
+  bool plateau = false;
+  bool dead_air = false;
+  if (!RunTimelineSection(flags, &sawtooth, &plateau, &dead_air, flags.timeline_csv_path)) {
+    return 1;
+  }
+
   if (!flags.csv_path.empty()) {
     if (!WriteTextFile(flags.csv_path, ToCsv(results))) {
       return 1;
@@ -406,7 +615,8 @@ int Run(const BenchFlags& flags) {
   }
   if (!flags.out_path.empty()) {
     if (!WriteTextFile(flags.out_path,
-                       ToJson(results, flags, orderings_hold, gap_shrinks, all_completed))) {
+                       ToJson(results, flags, orderings_hold, gap_shrinks, all_completed,
+                              sawtooth, plateau, dead_air))) {
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", flags.out_path.c_str());
@@ -422,7 +632,7 @@ int main(int argc, char** argv) {
   flags.flows = 8;
   if (!tcplat::ParseBenchFlags(argc, argv, &flags,
                                "[--seed N] [--jobs N] [--quick] [--flows N] [--csv PATH] "
-                               "[--out PATH]")) {
+                               "[--out PATH] [--timeline-csv PATH]")) {
     return 2;
   }
   return tcplat::Run(flags);

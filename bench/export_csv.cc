@@ -16,6 +16,14 @@
 // vector, so arbitrarily large captures convert in constant memory.
 //
 //   $ ./export_csv --trace --from-binary capture.tlbt > trace.csv
+//
+// With --timeline it runs one congested-bottleneck cell with the timeseries
+// telemetry plane attached (src/trace/timeseries.h) and emits the long-
+// format timeline CSV (ts_ns,host,metric,key,value,edge) — cwnd sawteeth,
+// per-VC queue occupancy, per-flow goodput — byte-identical across
+// TCPLAT_JOBS and shard counts at a fixed seed.
+//
+//   $ ./export_csv --timeline --seed 1 > timeline.csv
 
 #include <cinttypes>
 #include <cstdio>
@@ -30,7 +38,9 @@
 #include "src/core/table.h"
 #include "src/core/testbed.h"
 #include "src/trace/binary_trace.h"
+#include "src/trace/timeseries.h"
 #include "src/trace/tracer.h"
+#include "src/workload/congestion.h"
 
 namespace tcplat {
 namespace {
@@ -135,6 +145,23 @@ int RunTraceFromBinary(const std::string& path) {
   return 0;
 }
 
+void RunTimeline(const BenchFlags& flags) {
+  CongestionCell cell;
+  cell.variant = CongestionVariant::kReno;
+  cell.policy = DropPolicy::kTailDrop;
+  cell.flows = flags.flows > 0 ? flags.flows : 4;
+  cell.bulk_bytes = flags.quick ? 24 * 1024 : 48 * 1024;
+  cell.seed = flags.seed;
+  Tracer tracer;
+  TimeseriesConfig ts;
+  if (flags.timeline_period_us > 0) {
+    ts.period_ns = flags.timeline_period_us * 1000;
+  }
+  tracer.EnableTimeseries(ts);
+  RunCongestionCell(cell, &tracer);
+  std::fputs(tracer.TimelineCsv().c_str(), stdout);
+}
+
 void RunTrace(size_t size) {
   TestbedConfig cfg;
   Testbed tb(cfg);
@@ -155,13 +182,17 @@ int main(int argc, char** argv) {
   tcplat::BenchFlags flags;
   flags.size = 1400;
   if (!tcplat::ParseBenchFlags(argc, argv, &flags,
-                               "[--trace [--size N] [--from-binary PATH]]")) {
+                               "[--trace [--size N] [--from-binary PATH]] "
+                               "[--timeline [--seed N] [--flows N] "
+                               "[--timeline-period-us N]]")) {
     return 2;
   }
   if (flags.trace && !flags.from_binary_path.empty()) {
     return tcplat::RunTraceFromBinary(flags.from_binary_path);
   }
-  if (flags.trace) {
+  if (flags.timeline) {
+    tcplat::RunTimeline(flags);
+  } else if (flags.trace) {
     tcplat::RunTrace(flags.size);
   } else {
     tcplat::Run();

@@ -26,6 +26,17 @@
 //      memory drops >= 4x versus the full binary trace while the sampled
 //      p99 stage blame tracks the full-trace blame per stage.
 //
+// Part three covers the PR 10 additions:
+//
+//    9. mid-run TLBT disk spill (BinaryTraceWriter::EnableSpill) seals the
+//       same byte stream an unspilled capture produces;
+//   10. deterministic bottom-K reservoir flow sampling keeps the same flow
+//       set and event stream run to run and across shard thread counts;
+//   11. the timeseries hooks cost nothing when no sampler is attached
+//       (timeseries_overhead_pct, gated on an absolute ceiling);
+//   12. the default-period timeseries plane stays frugal
+//       (timeseries_points_per_flow, gated on a 1.10x ceiling).
+//
 // Writes a flat metrics JSON (the regression-gate input) to
 // BENCH_trace.json — override with --out — and the reference Perfetto
 // trace next to it (<out>_perfetto.json) for ui.perfetto.dev. --bin-out
@@ -33,6 +44,7 @@
 // nonzero on any failure.
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +54,7 @@
 
 #include "bench/bench_flags.h"
 
+#include "src/base/check.h"
 #include "src/core/rpc_benchmark.h"
 #include "src/core/testbed.h"
 #include "src/exec/executor.h"
@@ -49,6 +62,7 @@
 #include "src/trace/binary_trace.h"
 #include "src/trace/causal_graph.h"
 #include "src/trace/stream_attribution.h"
+#include "src/trace/timeseries.h"
 #include "src/trace/tracer.h"
 #include "src/workload/capacity.h"
 
@@ -158,18 +172,28 @@ TracedRun RunOnce(size_t size) {
 }
 
 // The same echo recorded straight into the TLBT stream; returns the sealed
-// binary blob.
-std::string RunOnceBinary(size_t size) {
+// binary blob. With a non-empty `spill_path` the writer spills sealed
+// `spill_segment`-byte segments to disk mid-run (and `spill_segments_out`
+// reports how many it sealed): the returned blob must be byte-identical
+// either way.
+std::string RunOnceBinary(size_t size, const std::string& spill_path = "",
+                          size_t spill_segment = 0, uint64_t* spill_segments_out = nullptr) {
   TestbedConfig cfg;
   Testbed tb(cfg);
   Tracer tracer;
   tracer.EnableBinaryRecording();
+  if (!spill_path.empty()) {
+    TCPLAT_CHECK(tracer.mutable_binary_records()->EnableSpill(spill_path, spill_segment));
+  }
   tb.AttachTracer(&tracer);
   RpcOptions opt;
   opt.size = size;
   opt.iterations = 50;
   opt.warmup = 16;
   RunRpcBenchmark(tb, opt);
+  if (spill_segments_out != nullptr) {
+    *spill_segments_out = tracer.binary_records().spill_segments();
+  }
   return SealBinaryTrace(tracer.host_names(), tracer.binary_records());
 }
 
@@ -215,6 +239,69 @@ BinaryCellRun RunBinaryCell(const CapacityCell& cell, uint32_t sample_one_in,
   out.flows_seen = tracer.flows_seen().size();
   out.flows_kept = tracer.flows_kept().size();
   return out;
+}
+
+// Runs `cell` with deterministic bottom-K reservoir flow sampling on
+// `shard_threads` workers; returns the final kept set and the kept event
+// stream as CSV — both must be pure functions of (cell, k).
+struct ReservoirRun {
+  std::vector<uint64_t> kept;
+  std::string csv;
+};
+
+ReservoirRun RunReservoirCell(const CapacityCell& cell, uint32_t k, unsigned shard_threads) {
+  CapacityCell c = cell;
+  c.shard_threads = shard_threads;
+  Tracer tracer;
+  tracer.EnableFlowReservoir(k, cell.seed);
+  RunCapacityCell(c, &tracer);
+  ReservoirRun out;
+  out.kept.assign(tracer.flows_kept().begin(), tracer.flows_kept().end());
+  out.csv = tracer.ToCsv();
+  return out;
+}
+
+// Wall-clock echo rate with the given tracer attached (nullptr = none);
+// the timeseries-overhead probe, mirroring perf_selfcheck's
+// MeasureTraceDisabledOverheadPct.
+double MeasureEchoEventRate(int iterations, Tracer* tracer) {
+  TestbedConfig cfg;
+  Testbed tb(cfg);
+  if (tracer != nullptr) {
+    tb.AttachTracer(tracer);
+  }
+  RpcOptions opt;
+  opt.size = 1400;
+  opt.iterations = iterations;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunRpcBenchmark(tb, opt);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(tb.sim().events_dispatched()) / wall;
+}
+
+// The timeseries hooks must cost nothing when no sampler records: both
+// sides attach a full tracer; one also enables the timeseries plane with a
+// non-positive period, which keeps every producer hook live (TcpConnection,
+// AtmSwitch, FlowDriver all reach TimeseriesSampler::Push) but records no
+// points. Best-of-3 each side to shave scheduler noise.
+double MeasureTimeseriesOverheadPct(int iterations) {
+  double base = 0;
+  double hooked = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      Tracer tracer;
+      base = std::max(base, MeasureEchoEventRate(iterations, &tracer));
+    }
+    {
+      Tracer tracer;
+      TimeseriesConfig cfg;
+      cfg.period_ns = 0;  // hooks live, sampler records nothing
+      tracer.EnableTimeseries(cfg);
+      hooked = std::max(hooked, MeasureEchoEventRate(iterations, &tracer));
+    }
+  }
+  return 100.0 * (base - hooked) / base;
 }
 
 // Decodes `blob` and runs the batch CausalGraph + AttributeRtts path on it.
@@ -427,6 +514,57 @@ int Run(const BenchFlags& flags) {
                 full_blame.hi_rtt_ns, sampled_blame.hi_rtt_ns);
   Check(blame_matches, line);
 
+  // (9) mid-run TLBT disk spill: tiny segments force many seals; the
+  // consolidated (spilled + resident) stream must equal the unspilled one.
+  const std::string spill_path = flags.out_path + "_spill.tmp";
+  uint64_t spill_segments = 0;
+  const std::string spilled_blob =
+      RunOnceBinary(1400, spill_path, /*spill_segment=*/16 * 1024, &spill_segments);
+  const bool spill_identical = spill_segments >= 2 && spilled_blob == echo_blob;
+  std::snprintf(line, sizeof(line),
+                "mid-run TLBT spill (%" PRIu64
+                " segments) seals the unspilled byte stream exactly",
+                spill_segments);
+  Check(spill_identical, line);
+  std::remove(spill_path.c_str());
+
+  // (10) reservoir flow sampling: the bottom-K kept set and the kept event
+  // stream are pure functions of (cell, K) — run to run and across shard
+  // thread counts.
+  const uint32_t reservoir_k = 3;
+  const ReservoirRun res_a = RunReservoirCell(small_cell, reservoir_k, /*threads=*/1);
+  const ReservoirRun res_b = RunReservoirCell(small_cell, reservoir_k, /*threads=*/1);
+  const ReservoirRun res_c = RunReservoirCell(small_cell, reservoir_k, /*threads=*/4);
+  const bool reservoir_deterministic =
+      res_a.kept.size() == reservoir_k && res_a.kept == res_b.kept &&
+      res_a.kept == res_c.kept && res_a.csv == res_b.csv && res_a.csv == res_c.csv &&
+      !res_a.csv.empty();
+  std::snprintf(line, sizeof(line),
+                "bottom-%u reservoir keeps an identical flow set and event stream "
+                "run to run and with 1 vs 4 shard threads",
+                reservoir_k);
+  Check(reservoir_deterministic, line);
+
+  // (11) timeseries hook overhead with no sampler recording.
+  const double ts_overhead_pct = MeasureTimeseriesOverheadPct(flags.quick ? 400 : 2000);
+  std::snprintf(line, sizeof(line),
+                "timeseries hooks with recording off cost <= 10%% (measured %.2f%%)",
+                ts_overhead_pct);
+  Check(ts_overhead_pct <= 10.0, line);
+
+  // (12) default-period plane on the sharded 8-flow cell: points per flow
+  // is a deterministic simulated quantity the gate holds to a ceiling.
+  Tracer ts_tracer;
+  ts_tracer.EnableTimeseries(TimeseriesConfig{});
+  RunCapacityCell(small_cell, &ts_tracer);
+  const double points_per_flow =
+      static_cast<double>(ts_tracer.timeseries()->points().size()) /
+      static_cast<double>(small_cell.flows);
+  std::snprintf(line, sizeof(line),
+                "default-period timeseries stays frugal (%.1f points/flow on the 8-flow cell)",
+                points_per_flow);
+  Check(points_per_flow > 0, line);
+
   // Reference Perfetto trace next to the metrics file.
   std::string perfetto_path = flags.out_path;
   const char* suffix = ".json";
@@ -463,7 +601,15 @@ int Run(const BenchFlags& flags) {
   std::snprintf(buf, sizeof(buf), "  \"sampled_memory_ratio\": %.2f,\n", memory_ratio);
   metrics += buf;
   metrics += std::string("  \"sampled_blame_within_tolerance\": ") +
-             (blame_matches ? "true" : "false") + "\n";
+             (blame_matches ? "true" : "false") + ",\n";
+  metrics += std::string("  \"spill_roundtrip_identical\": ") +
+             (spill_identical ? "true" : "false") + ",\n";
+  metrics += std::string("  \"reservoir_deterministic\": ") +
+             (reservoir_deterministic ? "true" : "false") + ",\n";
+  std::snprintf(buf, sizeof(buf), "  \"timeseries_overhead_pct\": %.2f,\n", ts_overhead_pct);
+  metrics += buf;
+  std::snprintf(buf, sizeof(buf), "  \"timeseries_points_per_flow\": %.1f\n", points_per_flow);
+  metrics += buf;
   metrics += "}\n";
   Check(WriteTextFile(flags.out_path, metrics), "metrics written to " + flags.out_path);
 

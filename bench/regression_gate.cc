@@ -25,10 +25,13 @@
 //    trace bytes/event-count/FNV-1a hash, binary-pipeline and sampling
 //    results) must match the committed baseline exactly — the values are
 //    pure simulated data, so any drift is a real behavior change — except
-//    the two capacity-class metrics binary_trace_bytes_per_event and
-//    streaming_graph_peak_nodes, which gate on a 1.10x growth ceiling:
-//    encoding or arena regressions trip, small drifts from new events do
-//    not, and shrinking is always fine.
+//    the capacity-class metrics binary_trace_bytes_per_event,
+//    streaming_graph_peak_nodes, and timeseries_points_per_flow, which
+//    gate on a 1.10x growth ceiling (encoding, arena, or sampler-frugality
+//    regressions trip, small drifts from new events do not, and shrinking
+//    is always fine), and timeseries_overhead_pct, which is wall-clock and
+//    gates on an absolute ceiling like trace_disabled_overhead_pct: the
+//    timeseries hooks must stay cheap when no sampler records.
 //
 // Modes: default gates; --write-baseline refreshes the committed files;
 // --selftest runs the gate logic on synthetic data (pass + perturbed-fail)
@@ -210,11 +213,12 @@ void GatePerf(const std::map<std::string, std::string>& fresh,
 }
 
 // Trace metrics gating on a growth ceiling rather than exact equality:
-// binary stream density and the streaming arena's high-water mark may creep
-// as event kinds are added, but a >10% jump is an encoding or retention
-// regression.
+// binary stream density, the streaming arena's high-water mark, and the
+// timeline's point budget may creep as event kinds are added, but a >10%
+// jump is an encoding, retention, or sampler-thinning regression.
 bool IsCeilinged(const std::string& key) {
-  return key == "binary_trace_bytes_per_event" || key == "streaming_graph_peak_nodes";
+  return key == "binary_trace_bytes_per_event" || key == "streaming_graph_peak_nodes" ||
+         key == "timeseries_points_per_flow";
 }
 
 void GateTrace(const std::map<std::string, std::string>& fresh,
@@ -223,6 +227,17 @@ void GateTrace(const std::map<std::string, std::string>& fresh,
     auto it = fresh.find(key);
     if (it == fresh.end()) {
       Result("FAIL", key, "missing from fresh trace metrics");
+      continue;
+    }
+    if (key == "timeseries_overhead_pct") {
+      // Wall-clock, so never exact: the hooks with no recording sampler
+      // must stay under the same absolute ceiling as the detached-tracer
+      // hooks.
+      const double pct = std::strtod(it->second.c_str(), nullptr);
+      char detail[160];
+      std::snprintf(detail, sizeof(detail), "%.2f%% (ceiling %.1f%%)", pct,
+                    kMaxTraceOverheadPct);
+      Result(pct <= kMaxTraceOverheadPct ? "ok" : "FAIL", key, detail);
       continue;
     }
     if (IsCeilinged(key)) {
@@ -311,6 +326,10 @@ int SelfTest() {
       {"streaming_graph_peak_nodes", "20"},
       {"trace_sampled_flows", "20"},
       {"sampled_blame_within_tolerance", "true"},
+      {"spill_roundtrip_identical", "true"},
+      {"reservoir_deterministic", "true"},
+      {"timeseries_overhead_pct", "1.20"},
+      {"timeseries_points_per_flow", "113.0"},
   };
 
   const std::map<std::string, std::string> congestion = {
@@ -425,6 +444,26 @@ int SelfTest() {
   g_failures = 0;
   GateTrace(broken, trace);
   expected += g_failures == 2 ? 0 : 1;
+
+  // Timeseries: wall-clock overhead drift under the absolute ceiling
+  // passes, and the deterministic point budget may shrink freely...
+  std::map<std::string, std::string> ts_drift = trace;
+  ts_drift["timeseries_overhead_pct"] = "7.80";
+  ts_drift["timeseries_points_per_flow"] = "90.0";
+  g_failures = 0;
+  GateTrace(ts_drift, trace);
+  expected += g_failures == 0 ? 0 : 1;
+
+  // ...but hooks past the ceiling, a bloated point budget, or a lost spill
+  // or reservoir property all fail.
+  std::map<std::string, std::string> ts_broken = trace;
+  ts_broken["timeseries_overhead_pct"] = "25.00";
+  ts_broken["timeseries_points_per_flow"] = "140.0";
+  ts_broken["spill_roundtrip_identical"] = "false";
+  ts_broken["reservoir_deterministic"] = "false";
+  g_failures = 0;
+  GateTrace(ts_broken, trace);
+  expected += g_failures == 4 ? 0 : 1;
 
   // Congestion floors: goodput/efficiency/fairness within 10% of baseline
   // (or better) pass...

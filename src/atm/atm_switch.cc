@@ -103,7 +103,11 @@ void AtmSwitch::SwitchCell(int /*in_port*/, SimTime arrival, std::vector<uint8_t
                          sink->DeliverCell(t, std::move(data));
                        });
     if (buffered) {
-      sim_->ScheduleAt(done, [this, vci] { --vc_states_[vci].occupancy; });
+      sim_->ScheduleAt(done, [this, vci] {
+        VcState& vc = vc_states_[vci];
+        --vc.occupancy;
+        Sample(TsMetric::kVcOccupancy, vci, sim_->Now(), vc.occupancy);
+      });
     }
   });
 }
@@ -162,6 +166,7 @@ bool AtmSwitch::AdmitCell(uint16_t vci, SimTime arrival,
         vc.early_discard = true;
         ++vc.frames_discarded;
         ++stats_.frames_discarded;
+        SampleEdge(TsMetric::kVcEpdRefusal, vci, arrival, vc.occupancy);
       }
     }
   }
@@ -213,12 +218,15 @@ bool AtmSwitch::AdmitCell(uint16_t vci, SimTime arrival,
       tracer_->RecordPacket(trace_id_, TraceLayer::kAtm, TraceEventKind::kDrop, arrival, vci,
                             static_cast<uint64_t>(vc.occupancy), wire_bytes.size());
     }
+    Sample(TsMetric::kVcDropsCum, vci, arrival, static_cast<int64_t>(vc.cells_dropped));
     return false;
   }
 
   ++vc.occupancy;
   vc.hiwat = std::max(vc.hiwat, vc.occupancy);
   ++vc.cells_forwarded;
+  Sample(TsMetric::kVcOccupancy, vci, arrival, vc.occupancy);
+  Sample(TsMetric::kVcHiwat, vci, arrival, vc.hiwat);
   return true;
 }
 

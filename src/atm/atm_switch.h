@@ -159,6 +159,19 @@ class AtmSwitch {
   bool AdmitCell(uint16_t vci, SimTime arrival, const std::vector<uint8_t>& wire_bytes);
   VcState& EnsureVc(uint16_t vci);
 
+  // Timeseries pushes, keyed by VCI (the switch has no Host, so it feeds
+  // the sampler through its own tracer attachment).
+  void Sample(TsMetric metric, uint16_t vci, SimTime ts, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSample(trace_id_, metric, vci, ts, value);
+    }
+  }
+  void SampleEdge(TsMetric metric, uint16_t vci, SimTime ts, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSampleEdge(trace_id_, metric, vci, ts, value);
+    }
+  }
+
   Simulator* sim_;
   double bits_per_second_;
   SimDuration propagation_;

@@ -103,6 +103,20 @@ class Host {
     }
   }
 
+  // Timeseries hooks (src/trace/timeseries.h), same cost model as
+  // TracePacket: one pointer test when no tracer is attached, one extra
+  // null test when the attached tracer has no timeseries plane.
+  void TraceSample(TsMetric metric, uint64_t key, int64_t value) {
+    if (Tracer* t = tracer(); t != nullptr) [[unlikely]] {
+      t->RecordSample(trace_id_, metric, key, CurrentTime(), value);
+    }
+  }
+  void TraceSampleEdge(TsMetric metric, uint64_t key, int64_t value) {
+    if (Tracer* t = tracer(); t != nullptr) [[unlikely]] {
+      t->RecordSampleEdge(trace_id_, metric, key, CurrentTime(), value);
+    }
+  }
+
   // The current time as visible to code on this host: the CPU cursor during
   // a run, the global simulation clock otherwise.
   SimTime CurrentTime() const;

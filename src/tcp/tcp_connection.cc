@@ -288,6 +288,8 @@ bool TcpConnection::TryHeaderPrediction(MbufPtr& data, const TcpHeader& th, size
         srtt_ = srtt_.nanos() == 0 ? sample
                                    : SimDuration::FromNanos((7 * srtt_.nanos() + sample.nanos()) / 8);
         rtt_timing_ = false;
+        host.TraceSample(TsMetric::kTcpSrttUs, TraceFlow(), srtt_.nanos() / 1000);
+        host.TraceSample(TsMetric::kTcpRtoUs, TraceFlow(), CurrentRto().nanos() / 1000);
       }
       const uint32_t acked = th.ack - snd_una_;
       host.TracePacket(TraceLayer::kTcp, TraceEventKind::kAck, TraceFlow(), th.ack - iss_,
@@ -588,6 +590,8 @@ void TcpConnection::ProcessAck(const TcpHeader& th, size_t data_len) {
     srtt_ = srtt_.nanos() == 0 ? sample
                                : SimDuration::FromNanos((7 * srtt_.nanos() + sample.nanos()) / 8);
     rtt_timing_ = false;
+    host.TraceSample(TsMetric::kTcpSrttUs, TraceFlow(), srtt_.nanos() / 1000);
+    host.TraceSample(TsMetric::kTcpRtoUs, TraceFlow(), CurrentRto().nanos() / 1000);
   }
 
   // Congestion window opening / recovery bookkeeping.
@@ -654,9 +658,36 @@ void TcpConnection::IngestSackBlocks(const TcpHeader& th) {
 }
 
 void TcpConnection::TraceCwnd() {
-  stack_->host().TracePacket(TraceLayer::kTcp, TraceEventKind::kCwndChange, TraceFlow(),
-                             cc_.cwnd(), cc_.ssthresh());
+  Host& host = stack_->host();
+  host.TracePacket(TraceLayer::kTcp, TraceEventKind::kCwndChange, TraceFlow(),
+                   cc_.cwnd(), cc_.ssthresh());
   stack_->NoteCwnd(cc_.cwnd(), cc_.ssthresh());
+
+  const uint64_t flow = TraceFlow();
+  const auto cwnd = static_cast<int64_t>(cc_.cwnd());
+  const bool recovery = cc_.in_recovery();
+  if (recovery && !traced_recovery_) {
+    // Loss-episode entry: pin the sawtooth corner exactly — the peak the
+    // window fell from and the value it was cut to, at the same instant.
+    host.TraceSampleEdge(TsMetric::kTcpLossEnter, flow, last_traced_cwnd_);
+    host.TraceSampleEdge(TsMetric::kTcpCwnd, flow, last_traced_cwnd_);
+    host.TraceSampleEdge(TsMetric::kTcpCwnd, flow, cwnd);
+  } else if (!recovery && traced_recovery_) {
+    host.TraceSampleEdge(TsMetric::kTcpLossExit, flow, cwnd);
+    host.TraceSampleEdge(TsMetric::kTcpCwnd, flow, cwnd);
+  } else {
+    host.TraceSample(TsMetric::kTcpCwnd, flow, cwnd);
+  }
+  host.TraceSample(TsMetric::kTcpSsthresh, flow, static_cast<int64_t>(cc_.ssthresh()));
+  host.TraceSample(TsMetric::kTcpPipe, flow, static_cast<int64_t>(snd_max_ - snd_una_));
+  traced_recovery_ = recovery;
+  last_traced_cwnd_ = cwnd;
+}
+
+void TcpConnection::SampleCwnd() {
+  const auto cwnd = static_cast<int64_t>(cc_.cwnd());
+  stack_->host().TraceSample(TsMetric::kTcpCwnd, TraceFlow(), cwnd);
+  last_traced_cwnd_ = cwnd;
 }
 
 void TcpConnection::RewindRetransmit(TcpSeq seq) {
@@ -711,10 +742,13 @@ void TcpConnection::ApplyLossAction(const CongestionControl::LossAction& action)
 
 void TcpConnection::ApplyAckAction(const CongestionControl::AckAction& action) {
   if (cc_.variant() == CongestionVariant::kLegacy) {
+    SampleCwnd();
     return;
   }
   if (action.cwnd_changed) {
     TraceCwnd();
+  } else {
+    SampleCwnd();  // slow start / congestion avoidance growth
   }
   if (action.partial_retransmit) {
     ++stack_->stats().newreno_partial_acks;
@@ -1268,6 +1302,9 @@ void TcpConnection::ArmRexmt() {
     // The interval that just elapsed is dead air: the ACK clock stopped when
     // this timer was (re)armed and only the timeout restarts transmission.
     stack_->stats().rexmt_stall_ns += static_cast<uint64_t>(rto.nanos());
+    // The edge value is the dead-air length, so a timeline can reconstruct
+    // rexmt_stall_ns exactly by summing kTcpRtoFire edges.
+    stack_->host().TraceSampleEdge(TsMetric::kTcpRtoFire, TraceFlow(), rto.nanos());
     RexmtTimeout();
   });
 }

@@ -155,6 +155,10 @@ class TcpConnection : public ProtocolOps {
   void ApplyLossAction(const CongestionControl::LossAction& action);
   void ApplyAckAction(const CongestionControl::AckAction& action);
   void TraceCwnd();
+  // Timeline-only cwnd sample for growth paths (slow start / congestion
+  // avoidance) that emit no kCwndChange packet event; keeps the exact-peak
+  // tracking behind the loss-enter edge fresh between recovery episodes.
+  void SampleCwnd();
   void ProcessData(MbufPtr data, TcpSeq seq, size_t len, bool fin);
   void AppendInOrder(MbufPtr data);
   bool DrainReassembly();  // returns true if a queued FIN was consumed
@@ -244,6 +248,12 @@ class TcpConnection : public ProtocolOps {
   TcpSeq rtt_seq_ = 0;
   SimTime rtt_started_;
   SimDuration srtt_;
+
+  // Timeseries state (src/trace/timeseries.h): the last cwnd value pushed
+  // and whether it was pushed inside a recovery episode, so TraceCwnd can
+  // emit exact peak/valley edge pairs at the sawtooth corners.
+  int64_t last_traced_cwnd_ = 0;
+  bool traced_recovery_ = false;
 
   EventId rexmt_timer_ = kInvalidEventId;
   EventId delack_timer_ = kInvalidEventId;

@@ -62,6 +62,12 @@ bool GetByte(std::string_view data, size_t* pos, uint8_t* out) {
 
 }  // namespace
 
+BinaryTraceWriter::~BinaryTraceWriter() {
+  if (spill_file_ != nullptr) {
+    std::fclose(spill_file_);
+  }
+}
+
 void BinaryTraceWriter::Append(const TraceEvent& ev) {
   PutZigzag(&data_, ev.ts_ns - prev_ts_);
   prev_ts_ = ev.ts_ns;
@@ -75,12 +81,74 @@ void BinaryTraceWriter::Append(const TraceEvent& ev) {
   PutZigzag(&data_, ev.dur_ns);
   PutZigzag(&data_, ev.self_ns);
   ++count_;
+  MaybeSpill();
+}
+
+void BinaryTraceWriter::Clear() {
+  std::string().swap(data_);
+  prev_ts_ = 0;
+  count_ = 0;
+  if (spill_file_ != nullptr) {
+    // Truncate the spill file so the writer restarts from an empty capture.
+    std::FILE* reopened = std::freopen(spill_path_.c_str(), "wb", spill_file_);
+    TCPLAT_CHECK(reopened != nullptr);
+    spill_file_ = reopened;
+    spilled_bytes_ = 0;
+    spill_segments_ = 0;
+  }
+}
+
+bool BinaryTraceWriter::EnableSpill(const std::string& path, size_t segment_bytes) {
+  TCPLAT_CHECK(spill_file_ == nullptr);
+  TCPLAT_CHECK(segment_bytes > 0);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  spill_file_ = file;
+  spill_path_ = path;
+  spill_segment_bytes_ = segment_bytes;
+  MaybeSpill();  // the buffer may already be over the threshold
+  return true;
+}
+
+void BinaryTraceWriter::MaybeSpill() {
+  if (spill_file_ == nullptr || data_.size() < spill_segment_bytes_) {
+    return;
+  }
+  const size_t written = std::fwrite(data_.data(), 1, data_.size(), spill_file_);
+  TCPLAT_CHECK(written == data_.size());
+  spilled_bytes_ += data_.size();
+  ++spill_segments_;
+  // swap with a fresh string (rather than clear()) so the capacity is
+  // actually released — bounding memory is the whole point of spilling.
+  std::string().swap(data_);
+}
+
+std::string BinaryTraceWriter::ConsolidatedRecords() const {
+  if (spill_file_ == nullptr) {
+    return data_;
+  }
+  TCPLAT_CHECK(std::fflush(spill_file_) == 0);
+  std::string out;
+  out.reserve(spilled_bytes_ + data_.size());
+  std::FILE* in = std::fopen(spill_path_.c_str(), "rb");
+  TCPLAT_CHECK(in != nullptr);
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(in);
+  TCPLAT_CHECK(out.size() == spilled_bytes_);
+  out += data_;
+  return out;
 }
 
 std::string SealBinaryTrace(const std::vector<std::string>& host_names,
                             const BinaryTraceWriter& records) {
   std::string out;
-  out.reserve(32 + records.data().size());
+  out.reserve(32 + records.TotalBytes());
   out.append(kBinaryTraceMagic, sizeof(kBinaryTraceMagic));
   out.push_back(static_cast<char>(kBinaryTraceVersion & 0xff));
   out.push_back(static_cast<char>(kBinaryTraceVersion >> 8));
@@ -90,7 +158,7 @@ std::string SealBinaryTrace(const std::vector<std::string>& host_names,
     out += name;
   }
   PutVarint(&out, records.count());
-  out += records.data();
+  out += records.ConsolidatedRecords();
   return out;
 }
 
@@ -215,9 +283,19 @@ bool MergeBinaryShards(const std::vector<BinaryShardStream>& shards, BinaryTrace
   };
   std::vector<Head> heads;
   heads.reserve(shards.size());
-  for (const BinaryShardStream& s : shards) {
+  // Spilled shards are consolidated (spill file + resident bytes) into
+  // backing storage that must outlive the cursors; unspilled shards are
+  // cursored in place.
+  std::vector<std::string> consolidated(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const BinaryShardStream& s = shards[i];
     TCPLAT_CHECK(s.records != nullptr);
-    Head h{BinaryRecordCursor(s.records->data(), s.records->count()), TraceEvent{}, false};
+    std::string_view records = s.records->data();
+    if (s.records->spilling()) {
+      consolidated[i] = s.records->ConsolidatedRecords();
+      records = consolidated[i];
+    }
+    Head h{BinaryRecordCursor(records, s.records->count()), TraceEvent{}, false};
     h.live = h.cursor.Next(&h.ev);
     if (!h.live && h.cursor.error()) return false;
     heads.push_back(std::move(h));

@@ -41,6 +41,7 @@
 #define SRC_TRACE_BINARY_TRACE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,28 +55,62 @@ inline constexpr uint16_t kBinaryTraceVersion = 1;
 
 // Append-only encoder for the record section (no header). One lives inside
 // each recording Tracer; the full stream is assembled by SealBinaryTrace.
+//
+// Mid-run disk spill: EnableSpill bounds the resident buffer. Whenever the
+// buffer reaches the segment threshold, the full segment is appended to the
+// spill file and the buffer is freed. The timestamp-delta chain runs across
+// the segment boundary untouched (prev_ts_ survives the spill), so
+// spilled-segments + resident-bytes re-concatenate to the exact byte stream
+// an unspilled writer would have produced — readers and the shard merge see
+// no difference, and memory stays O(segment) for arbitrarily long captures.
 class BinaryTraceWriter {
  public:
-  void Append(const TraceEvent& ev);
-  void Clear() {
-    data_.clear();
-    prev_ts_ = 0;
-    count_ = 0;
-  }
+  BinaryTraceWriter() = default;
+  ~BinaryTraceWriter();
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
 
+  void Append(const TraceEvent& ev);
+  void Clear();
+
+  // Spills full segments to `path` once the resident buffer reaches
+  // `segment_bytes`. Returns false if the file cannot be created. Must be
+  // enabled at most once per writer.
+  bool EnableSpill(const std::string& path, size_t segment_bytes);
+  bool spilling() const { return spill_file_ != nullptr; }
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+  uint64_t spill_segments() const { return spill_segments_; }
+
+  // Resident (not yet spilled) record bytes.
   const std::string& data() const { return data_; }
+  // The full record section: spilled segments read back from disk, followed
+  // by the resident bytes. Identical to data() when spill is off. CHECKs on
+  // spill-file I/O errors (the file is this writer's own output).
+  std::string ConsolidatedRecords() const;
   uint64_t count() const { return count_; }
-  // Buffer footprint by content size (not capacity), so the number is
-  // identical across platforms/allocators and can be gated exactly.
+  // Resident-buffer footprint by content size (not capacity), so the number
+  // is identical across platforms/allocators and can be gated exactly.
+  // Spilled bytes are deliberately excluded: they no longer occupy memory.
   size_t SizeBytes() const { return data_.size(); }
+  // Total encoded bytes, spilled + resident.
+  size_t TotalBytes() const { return spilled_bytes_ + data_.size(); }
 
  private:
+  void MaybeSpill();
+
   std::string data_;
   int64_t prev_ts_ = 0;
   uint64_t count_ = 0;
+
+  std::FILE* spill_file_ = nullptr;
+  std::string spill_path_;
+  size_t spill_segment_bytes_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t spill_segments_ = 0;
 };
 
-// Full stream = header(hosts, records.count()) + records.data().
+// Full stream = header(hosts, records.count()) + the full record section
+// (spilled segments + resident bytes — identical to the unspilled bytes).
 std::string SealBinaryTrace(const std::vector<std::string>& host_names,
                             const BinaryTraceWriter& records);
 

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstddef>
 #include <cstdio>
+#include <map>
+#include <utility>
 
 #include "src/base/check.h"
 #include "src/trace/binary_trace.h"
@@ -46,6 +48,15 @@ void AppendEscaped(std::string* out, std::string_view s) {
 constexpr int kTidSpans = 0;      // nested B/E charge-attributed spans
 constexpr int kTidIntervals = 1;  // wall-interval spans (X events)
 constexpr int kTidPackets = 2;    // packet-lifecycle instants
+constexpr int kTidFlowBase = 3;   // per-flow tracks, first-appearance order
+
+// Congestion-era kinds render on their owning flow's track (one tid per
+// (host, flow), allocated past the reserved tracks) so a flow's cwnd
+// changes, fast retransmits and SACK arrivals line up on one timeline.
+bool IsFlowTrackKind(TraceEventKind kind) {
+  return kind == TraceEventKind::kCwndChange || kind == TraceEventKind::kFastRetransmit ||
+         kind == TraceEventKind::kSackBlock;
+}
 
 // Name tables are indexed by enum value, one entry per enumerator, so a new
 // layer/kind without a name is a compile error instead of an empty string in
@@ -80,7 +91,9 @@ static_assert(AllDistinctNonEmpty(kKindNames), "every TraceEventKind needs a uni
 
 // One trace_event object for `ev`, no separators — shared by the full-trace
 // and anomaly exporters so both stay byte-stable and format-identical.
-void AppendEventJson(std::string* out, const TraceEvent& ev) {
+// `packet_tid` places instant events (the default case): the shared packets
+// track normally, a per-flow track for congestion-era kinds.
+void AppendEventJson(std::string* out, const TraceEvent& ev, int packet_tid = kTidPackets) {
   char buf[256];
   const int pid = ev.host;
   switch (ev.kind) {
@@ -121,7 +134,7 @@ void AppendEventJson(std::string* out, const TraceEvent& ev) {
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s.%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":",
                     std::string(TraceLayerName(ev.layer)).c_str(),
-                    std::string(TraceEventKindName(ev.kind)).c_str(), pid, kTidPackets);
+                    std::string(TraceEventKindName(ev.kind)).c_str(), pid, packet_tid);
       *out += buf;
       AppendMicros(out, ev.ts_ns);
       std::snprintf(buf, sizeof(buf),
@@ -207,6 +220,37 @@ void Tracer::EnableFlowSampling(const FlowSampleConfig& config) {
   sample_ = config;
 }
 
+void Tracer::EnableFlowReservoir(uint32_t k, uint64_t seed) {
+  TCPLAT_CHECK(!flight_enabled_) << "reservoir sampling excludes flight-recorder mode";
+  TCPLAT_CHECK(binary_ == nullptr)
+      << "reservoir sampling keeps in-memory events (FinalizeReservoir prunes them)";
+  TCPLAT_CHECK(!sampling_) << "reservoir and 1-in-N flow sampling are mutually exclusive";
+  TCPLAT_CHECK(events_.empty()) << "reservoir must be enabled before recording starts";
+  TCPLAT_CHECK_GE(k, 1u);
+  sampling_ = true;  // routes commits through the chain-verdict machinery
+  reservoir_k_ = k;
+  sample_.one_in = 1;  // KeepFlow decides via the reservoir, not the bucket
+  sample_.seed = seed;
+}
+
+void Tracer::EnableTimeseries(const TimeseriesConfig& config) {
+  timeseries_config_ = config;
+  timeseries_ = std::make_unique<TimeseriesSampler>(config);
+}
+
+std::vector<TimeseriesPoint> Tracer::SortedTimeseriesPoints() const {
+  if (timeseries_ == nullptr) {
+    return {};
+  }
+  std::vector<TimeseriesPoint> points = timeseries_->points();
+  SortTimeseriesPoints(&points);
+  return points;
+}
+
+std::string Tracer::TimelineCsv() const {
+  return TimeseriesToCsv(SortedTimeseriesPoints(), host_names_);
+}
+
 void Tracer::EnableFlightRecorder(const FlightRecorderConfig& config) {
   TCPLAT_CHECK(binary_ == nullptr) << "flight-recorder mode excludes binary recording";
   TCPLAT_CHECK(!sampling_) << "flight-recorder mode excludes flow sampling";
@@ -219,12 +263,33 @@ void Tracer::EnableFlightRecorder(const FlightRecorderConfig& config) {
 void Tracer::MergeSampleSets(const Tracer& other) {
   flows_seen_.insert(other.flows_seen_.begin(), other.flows_seen_.end());
   flows_kept_.insert(other.flows_kept_.begin(), other.flows_kept_.end());
+  if (reservoir_k_ > 0) {
+    // Re-select the bottom-K over the merged population. A shard's local
+    // bottom-K is a superset of the global bottom-K restricted to the flows
+    // that shard saw (anything globally kept has fewer than K better-ranked
+    // flows anywhere, so also locally), so re-selection never needs events
+    // a shard already dropped.
+    reservoir_.clear();
+    for (uint64_t canonical : flows_seen_) {
+      reservoir_.insert({Mix64(canonical ^ Mix64(sample_.seed)), canonical});
+    }
+    while (reservoir_.size() > reservoir_k_) {
+      reservoir_.erase(std::prev(reservoir_.end()));
+    }
+    flows_kept_.clear();
+    for (const auto& [rank, canonical] : reservoir_) {
+      flows_kept_.insert(canonical);
+    }
+  }
 }
 
 size_t Tracer::ApproxMemoryBytes() const {
   size_t bytes = events_.size() * sizeof(TraceEvent) + deferred_events_ * sizeof(TraceEvent);
   if (binary_ != nullptr) {
     bytes += binary_->SizeBytes();
+  }
+  if (timeseries_ != nullptr) {
+    bytes += timeseries_->ApproxMemoryBytes();
   }
   return bytes;
 }
@@ -244,6 +309,10 @@ void Tracer::Clear() {
   deferred_events_ = 0;
   flows_seen_.clear();
   flows_kept_.clear();
+  reservoir_.clear();
+  if (timeseries_ != nullptr) {
+    timeseries_->Clear();
+  }
   peak_bytes_ = 0;
   child_peak_bytes_ = 0;
   ring_.clear();
@@ -265,12 +334,56 @@ void Tracer::Emit(const TraceEvent& ev) {
 bool Tracer::KeepFlow(uint64_t raw_flow) {
   const uint64_t canonical = CanonicalFlow(raw_flow);
   flows_seen_.insert(canonical);
+  if (reservoir_k_ > 0) {
+    // Bottom-K sketch: a flow is kept while its seeded hash rank is among
+    // the K smallest seen so far. Once the reservoir is full, every insert
+    // evicts the worst rank; evicted flows' events are pruned at finalize.
+    const std::pair<uint64_t, uint64_t> entry = {Mix64(canonical ^ Mix64(sample_.seed)),
+                                                 canonical};
+    const auto [it, inserted] = reservoir_.insert(entry);
+    if (reservoir_.size() > reservoir_k_) {
+      const auto worst = std::prev(reservoir_.end());
+      flows_kept_.erase(worst->second);
+      const bool rejected_self = worst == it;
+      reservoir_.erase(worst);
+      if (rejected_self) {
+        return false;
+      }
+    }
+    flows_kept_.insert(canonical);
+    return true;
+  }
   const bool keep =
       sample_.one_in <= 1 || Mix64(canonical ^ Mix64(sample_.seed)) % sample_.one_in == 0;
   if (keep) {
     flows_kept_.insert(canonical);
   }
   return keep;
+}
+
+void Tracer::FinalizeReservoir() {
+  if (reservoir_k_ == 0) {
+    return;
+  }
+  // Evicted flows were captured while they transiently held a reservoir
+  // slot; prune their flow-identified events so the surviving capture
+  // covers exactly the final bottom-K set. Flow-agnostic causal anchors
+  // (queue hand-offs, reassembly, drops) are kept for every packet, same
+  // as 1-in-N sampling.
+  const auto pruned = [this](const TraceEvent& ev) {
+    const bool flow_kind =
+        IsFlowTrackKind(ev.kind) || ev.kind == TraceEventKind::kUserWrite ||
+        ev.kind == TraceEventKind::kUserRead || ev.kind == TraceEventKind::kSegTx ||
+        ev.kind == TraceEventKind::kSegRx || ev.kind == TraceEventKind::kRetransmit ||
+        ev.kind == TraceEventKind::kAck || ev.kind == TraceEventKind::kDelayedAck ||
+        ev.kind == TraceEventKind::kNagleHold ||
+        (ev.kind == TraceEventKind::kWakeup && ev.layer == TraceLayer::kSock);
+    if (!flow_kind || ev.flow == 0) {
+      return false;
+    }
+    return flows_kept_.count(CanonicalFlow(ev.flow)) == 0;
+  };
+  events_.erase(std::remove_if(events_.begin(), events_.end(), pruned), events_.end());
 }
 
 void Tracer::ResolveDeferred(size_t host, bool keep) {
@@ -429,12 +542,88 @@ std::string Tracer::ToPerfettoJson() const {
   out.reserve(128 + events_.size() * 96);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   bool first = true;
+  char buf[256];
   AppendProcessMetadata(&out, host_names_, &first);
+
+  // Per-flow tracks for the congestion-era kinds: tids allocated per host in
+  // first-appearance order (deterministic — events_ is already in canonical
+  // order), named after the flow's port pair.
+  std::map<std::pair<uint8_t, uint64_t>, int> flow_tids;
+  std::vector<int> next_tid(host_names_.size(), kTidFlowBase);
+  for (const TraceEvent& ev : events_) {
+    if (!IsFlowTrackKind(ev.kind) || ev.flow == 0 || ev.host >= next_tid.size()) {
+      continue;
+    }
+    if (flow_tids.emplace(std::make_pair(ev.host, ev.flow), next_tid[ev.host]).second) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                    "\"args\":{\"name\":\"flow %u:%u\"}}",
+                    static_cast<int>(ev.host), next_tid[ev.host],
+                    static_cast<unsigned>((ev.flow >> 16) & 0xffff),
+                    static_cast<unsigned>(ev.flow & 0xffff));
+      out += buf;
+      ++next_tid[ev.host];
+    }
+  }
+
   for (const TraceEvent& ev : events_) {
     if (!first) out += ",\n";
     first = false;
-    AppendEventJson(&out, ev);
+    int tid = kTidPackets;
+    if (IsFlowTrackKind(ev.kind) && ev.flow != 0) {
+      const auto it = flow_tids.find(std::make_pair(ev.host, ev.flow));
+      if (it != flow_tids.end()) {
+        tid = it->second;
+      }
+    }
+    AppendEventJson(&out, ev, tid);
   }
+
+  // Timeseries plane: periodic points become Perfetto counter tracks ("C",
+  // one counter per (host, metric, key)); edge-only points become instants,
+  // landing on the owning flow's track when one exists (RTO fires and loss
+  // transitions line up under the flow's cwnd changes).
+  for (const TimeseriesPoint& p : SortedTimeseriesPoints()) {
+    if (!first) out += ",\n";
+    first = false;
+    const TsMetric metric = static_cast<TsMetric>(p.metric);
+    char key_label[48];
+    if (metric >= TsMetric::kVcOccupancy && metric <= TsMetric::kVcDropsCum) {
+      std::snprintf(key_label, sizeof(key_label), "vc%" PRIu64, p.key);
+    } else if (metric == TsMetric::kFlowGoodputBps || metric == TsMetric::kFlowInflightBytes) {
+      std::snprintf(key_label, sizeof(key_label), "flow%" PRIu64, p.key);
+    } else {
+      std::snprintf(key_label, sizeof(key_label), "f%u:%u",
+                    static_cast<unsigned>((p.key >> 16) & 0xffff),
+                    static_cast<unsigned>(p.key & 0xffff));
+    }
+    const bool instant = metric >= TsMetric::kTcpLossEnter;
+    if (instant) {
+      int tid = kTidPackets;
+      const auto it = flow_tids.find(std::make_pair(p.host, p.key));
+      if (it != flow_tids.end()) {
+        tid = it->second;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s %s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                    "\"ts\":",
+                    TsMetricName(metric), key_label, static_cast<int>(p.host), tid);
+      out += buf;
+      AppendMicros(&out, p.ts_ns);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRId64 "}}", p.value);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "{\"name\":\"%s %s\",\"ph\":\"C\",\"pid\":%d,\"ts\":",
+                    TsMetricName(metric), key_label, static_cast<int>(p.host));
+      out += buf;
+      AppendMicros(&out, p.ts_ns);
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRId64 "}}", p.value);
+      out += buf;
+    }
+  }
+
   out += "\n]}\n";
   return out;
 }

@@ -34,10 +34,12 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
 #include "src/trace/span.h"
+#include "src/trace/timeseries.h"
 
 namespace tcplat {
 
@@ -219,6 +221,38 @@ class Tracer {
     Emit(ev);
   }
 
+  // ---- Time-series telemetry plane (src/trace/timeseries.h) -------------
+  //
+  // Orthogonal to event recording: producers push counter samples through
+  // Host::TraceSample into a per-tracer sampler (per-shard in sharded runs,
+  // no cross-shard sync). Disabled-tracer cost is the same single pointer
+  // test as TracePacket; attached-but-not-enabled cost is one extra null
+  // test here.
+
+  void EnableTimeseries(const TimeseriesConfig& config);
+  bool timeseries_enabled() const { return timeseries_ != nullptr; }
+  const TimeseriesConfig& timeseries_config() const { return timeseries_config_; }
+  TimeseriesSampler* timeseries() { return timeseries_.get(); }
+  const TimeseriesSampler* timeseries() const { return timeseries_.get(); }
+
+  void RecordSample(uint8_t host, TsMetric metric, uint64_t key, SimTime ts,
+                    int64_t value) {
+    if (!enabled_ || timeseries_ == nullptr) return;
+    timeseries_->Push(host, metric, key, ts, value);
+  }
+  void RecordSampleEdge(uint8_t host, TsMetric metric, uint64_t key, SimTime ts,
+                        int64_t value) {
+    if (!enabled_ || timeseries_ == nullptr) return;
+    timeseries_->PushEdge(host, metric, key, ts, value);
+  }
+
+  // The finalized timeline: points stable-sorted on (ts_ns, host), which is
+  // byte-identical across TCPLAT_JOBS, shard counts, and serial-vs-sharded
+  // execution. Empty when the plane is off.
+  std::vector<TimeseriesPoint> SortedTimeseriesPoints() const;
+  // Long-format timeline CSV over the finalized points.
+  std::string TimelineCsv() const;
+
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<std::string>& host_names() const { return host_names_; }
 
@@ -253,6 +287,20 @@ class Tracer {
   bool flow_sampling() const { return sampling_; }
   uint32_t sample_one_in() const { return sampling_ ? sample_.one_in : 1; }
   const FlowSampleConfig& sample_config() const { return sample_; }
+
+  // Reservoir variant for open-ended flow populations: keeps the K flows
+  // whose seeded canonical-flow hash ranks lowest (a bottom-K sketch — the
+  // deterministic equivalent of reservoir sampling, sharing the 1-in-N
+  // sampler's verdict machinery). Verdicts are transient while the run is
+  // live (a better-ranked late flow evicts a worse one); FinalizeReservoir
+  // prunes evicted flows' events so the surviving capture covers exactly
+  // the final bottom-K set, which is a pure function of the flows seen —
+  // deterministic across runs, thread counts, and shard layouts. In-memory
+  // event recording only (excludes binary and flight-recorder modes).
+  void EnableFlowReservoir(uint32_t k, uint64_t seed);
+  bool flow_reservoir() const { return reservoir_k_ > 0; }
+  uint32_t reservoir_k() const { return reservoir_k_; }
+  void FinalizeReservoir();
   // Canonical flow ids observed on flow-identifying events / kept by the
   // sampler. seen/kept sizes give the blame scale factor.
   const std::set<uint64_t>& flows_seen() const { return flows_seen_; }
@@ -375,6 +423,14 @@ class Tracer {
   size_t deferred_events_ = 0;  // total queued across sample_hosts_
   std::set<uint64_t> flows_seen_;
   std::set<uint64_t> flows_kept_;
+
+  // Reservoir (bottom-K) state: the kept set ordered by hash rank, so the
+  // worst-ranked member is O(log K) to evict.
+  uint32_t reservoir_k_ = 0;
+  std::set<std::pair<uint64_t, uint64_t>> reservoir_;  // (rank, canonical)
+
+  std::unique_ptr<TimeseriesSampler> timeseries_;
+  TimeseriesConfig timeseries_config_;
 
   size_t peak_bytes_ = 0;
   size_t child_peak_bytes_ = 0;

@@ -513,6 +513,20 @@ SimTask BulkClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint1
         static_cast<size_t>(std::min<uint64_t>(out.size(), spec->bulk_bytes - sent));
     const size_t n = sock->Write({out.data(), chunk});
     sent += n;
+    if (n > 0) {
+      // Per-flow timeline: bytes still sitting in the send buffer, and
+      // goodput over the ACK-cleared bytes (accepted minus still-buffered)
+      // since the transfer began. Keyed by the flow index.
+      const SimTime now = host.CurrentTime();
+      const uint64_t cleared = sent - std::min<uint64_t>(sent, sock->snd().cc());
+      host.TraceSample(TsMetric::kFlowInflightBytes, flow,
+                       static_cast<int64_t>(sock->snd().cc()));
+      if (now.nanos() > t0.nanos()) {
+        host.TraceSample(TsMetric::kFlowGoodputBps, flow,
+                         static_cast<int64_t>(cleared * 8 * 1'000'000'000 /
+                                              static_cast<uint64_t>(now.nanos() - t0.nanos())));
+      }
+    }
     if (n == 0) {
       if (sock->has_error() && spec->tolerate_errors) {
         result.aborted = true;
@@ -538,6 +552,13 @@ SimTask BulkClientProc(RunState* state, const FlowSpec* spec, size_t flow, uint1
   }
   const SimTime t1 = host.CurrentTime();
   EndInterval(state, flow, t1);
+  if (t1.nanos() > t0.nanos()) {
+    // Final point: the whole transfer delivered and token-acknowledged.
+    host.TraceSample(TsMetric::kFlowInflightBytes, flow, 0);
+    host.TraceSample(TsMetric::kFlowGoodputBps, flow,
+                     static_cast<int64_t>(spec->bulk_bytes * 8 * 1'000'000'000 /
+                                          static_cast<uint64_t>(t1.nanos() - t0.nanos())));
+  }
   result.bulk.bytes = spec->bulk_bytes;
   result.bulk.start_ns = t0.nanos();
   result.bulk.done_ns = t1.nanos();

@@ -202,8 +202,15 @@ void StarTestbed::AttachTracer(Tracer* tracer) {
     if (tracer->binary_recording()) {
       shard_tracer->EnableBinaryRecording();
     }
-    if (tracer->flow_sampling()) {
+    if (tracer->flow_reservoir()) {
+      // Reservoir before plain sampling: a reservoir tracer reports
+      // flow_sampling() too (it shares the sampler machinery).
+      shard_tracer->EnableFlowReservoir(tracer->reservoir_k(), tracer->sample_config().seed);
+    } else if (tracer->flow_sampling()) {
       shard_tracer->EnableFlowSampling(tracer->sample_config());
+    }
+    if (tracer->timeseries_enabled()) {
+      shard_tracer->EnableTimeseries(tracer->timeseries_config());
     }
   }
   const auto remap = [&](size_t shard, uint8_t local, uint8_t canonical) {
@@ -275,11 +282,33 @@ void StarTestbed::MergeShardTraces() {
       user_tracer_->Append(ev);
     }
   }
+  // Timeseries points concatenate in shard order with hosts remapped; the
+  // export-time stable sort on (ts, host) makes the result independent of
+  // the shard layout, because a host's points stay contiguous and in push
+  // order whatever shard it lived on.
+  if (user_tracer_->timeseries_enabled()) {
+    TimeseriesSampler* merged = user_tracer_->timeseries();
+    for (size_t shard = 0; shard < shard_tracers_.size(); ++shard) {
+      const TimeseriesSampler* src = shard_tracers_[shard]->timeseries();
+      if (src == nullptr) {
+        continue;
+      }
+      for (TimeseriesPoint p : src->points()) {
+        p.host = trace_remap_[shard][p.host];
+        merged->Append(p);
+      }
+    }
+  }
   for (auto& shard_tracer : shard_tracers_) {
     user_tracer_->MergeSampleSets(*shard_tracer);
     user_tracer_->AddChildPeakBytes(shard_tracer->peak_memory_bytes());
     shard_tracer->Clear();
   }
+  // Under reservoir sampling the shard merge can carry events of flows the
+  // global bottom-K evicted (each shard keeps its local bottom-K, a superset
+  // of the global set restricted to its flows); prune them now that the
+  // merged kept set is final.
+  user_tracer_->FinalizeReservoir();
 }
 
 void StarTestbed::ResetTrackers() {

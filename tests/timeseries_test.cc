@@ -1,0 +1,238 @@
+// Contract of the time-series telemetry plane (src/trace/timeseries.h and
+// its producers): timelines are a pure function of the seed — byte-identical
+// across repeat runs, shard counts, worker threads and TCPLAT_JOBS — edge
+// samples land exactly on the discontinuities they mark (summing kTcpRtoFire
+// edges reconstructs rexmt_stall_ns to the nanosecond, loss-enter/exit pairs
+// carry the exact peak and deflated window), mid-run TLBT disk spill
+// reproduces the unspilled stream byte for byte, and reservoir flow sampling
+// keeps the same bottom-K set no matter how the run was threaded. The bench
+// self-checks (bench/congestion --timeline, bench/observability_selfcheck)
+// exercise the same paths at full scale; these tests pin the invariants on
+// cells small enough for the tier-1 suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/trace/binary_trace.h"
+#include "src/trace/timeseries.h"
+#include "src/trace/tracer.h"
+#include "src/workload/capacity.h"
+#include "src/workload/congestion.h"
+
+namespace tcplat {
+namespace {
+
+// Congested enough (Reno + tail drop, small per-VC buffers) that the
+// timeline contains real loss episodes and fired RTOs, small enough to
+// keep the suite fast.
+CongestionCell LossyCell() {
+  CongestionCell cell;
+  cell.flows = 4;
+  cell.bulk_bytes = 48 * 1024;
+  cell.buffer_cells = 128;
+  cell.variant = CongestionVariant::kReno;
+  cell.policy = DropPolicy::kTailDrop;
+  return cell;
+}
+
+struct TimelineRun {
+  CongestionOutcome outcome;
+  std::vector<TimeseriesPoint> points;  // sorted on (ts, host)
+  std::vector<std::string> host_names;
+  std::string csv;
+};
+
+TimelineRun RunTimeline(const CongestionCell& cell) {
+  Tracer tracer;
+  tracer.EnableTimeseries(TimeseriesConfig{});
+  TimelineRun run;
+  run.outcome = RunCongestionCell(cell, &tracer);
+  run.points = tracer.SortedTimeseriesPoints();
+  run.host_names = tracer.host_names();
+  run.csv = tracer.TimelineCsv();
+  return run;
+}
+
+bool IsClientHost(const TimelineRun& run, uint8_t host) {
+  return host < run.host_names.size() &&
+         run.host_names[host].compare(0, 6, "client") == 0;
+}
+
+TEST(Timeseries, TimelineByteIdenticalAcrossShardsThreadsAndRepeats) {
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{7}}) {
+    CongestionCell cell = LossyCell();
+    cell.seed = seed;
+    const TimelineRun serial = RunTimeline(cell);
+    ASSERT_FALSE(serial.csv.empty()) << "seed " << seed;
+    EXPECT_EQ(serial.csv, RunTimeline(cell).csv)
+        << "repeat run diverged, seed " << seed;
+
+    CongestionCell sharded = cell;
+    sharded.shards = 2;
+    EXPECT_EQ(serial.csv, RunTimeline(sharded).csv)
+        << "2-shard run diverged, seed " << seed;
+
+    sharded.shard_threads = 2;
+    EXPECT_EQ(serial.csv, RunTimeline(sharded).csv)
+        << "threaded 2-shard run diverged, seed " << seed;
+  }
+}
+
+TEST(Timeseries, TimelineIgnoresTcplatJobs) {
+  // Sharded cell with the thread count left to TCPLAT_JOBS: the env var may
+  // change how many workers drive the shard engine, never the bytes.
+  CongestionCell cell = LossyCell();
+  cell.shards = 2;
+  setenv("TCPLAT_JOBS", "1", 1);
+  const std::string one_job = RunTimeline(cell).csv;
+  setenv("TCPLAT_JOBS", "4", 1);
+  const std::string four_jobs = RunTimeline(cell).csv;
+  unsetenv("TCPLAT_JOBS");
+  ASSERT_FALSE(one_job.empty());
+  EXPECT_EQ(one_job, four_jobs);
+}
+
+// Summing the kTcpRtoFire edge values of one client host reconstructs that
+// flow's rexmt_stall_ns exactly: the edge is emitted by the same callback
+// that accumulates the stall, carrying the fired RTO's length.
+TEST(Timeseries, RtoFireEdgesReconstructRexmtStallExactly) {
+  const TimelineRun run = RunTimeline(LossyCell());
+  ASSERT_GT(run.outcome.rexmt_timeouts, 0u)
+      << "cell no longer fires RTOs; edge-exactness is vacuous";
+
+  std::map<uint8_t, uint64_t> stall_by_host;
+  for (const TimeseriesPoint& p : run.points) {
+    if (p.edge && p.metric == static_cast<uint8_t>(TsMetric::kTcpRtoFire)) {
+      EXPECT_GT(p.value, 0) << "RTO edge with non-positive dead-air length";
+      stall_by_host[p.host] += static_cast<uint64_t>(p.value);
+    }
+  }
+
+  uint64_t edge_total = 0;
+  uint64_t expected_total = 0;
+  for (const auto& [host, stall] : stall_by_host) {
+    EXPECT_TRUE(IsClientHost(run, host))
+        << "RTO edge on non-client host " << static_cast<int>(host);
+    edge_total += stall;
+  }
+  for (const CongestionFlowStats& fs : run.outcome.flow_stats) {
+    expected_total += fs.rexmt_stall_ns;
+  }
+  EXPECT_EQ(edge_total, expected_total);
+}
+
+// Loss-enter edges carry the exact cwnd peak the window fell from; the
+// matching loss-exit edge (same host, next in time) carries the deflated
+// post-recovery window — ssthresh, i.e. half the effective window at the
+// loss with one MSS of integer-division slack.
+TEST(Timeseries, LossEdgePairsCarryExactPeakAndDeflatedWindow) {
+  const CongestionCell cell = LossyCell();
+  const TimelineRun run = RunTimeline(cell);
+  const auto mss = static_cast<int64_t>(cell.mss_clamp);
+
+  int pairs = 0;
+  for (size_t i = 0; i < run.points.size(); ++i) {
+    const TimeseriesPoint& p = run.points[i];
+    if (!p.edge || p.metric != static_cast<uint8_t>(TsMetric::kTcpLossEnter)) {
+      continue;
+    }
+    EXPECT_TRUE(IsClientHost(run, p.host));
+    for (size_t j = i + 1; j < run.points.size(); ++j) {
+      const TimeseriesPoint& q = run.points[j];
+      if (q.host != p.host || q.key != p.key || !q.edge) {
+        continue;
+      }
+      if (q.metric == static_cast<uint8_t>(TsMetric::kTcpLossEnter)) {
+        break;  // recovery ended via RTO, no exit edge for this episode
+      }
+      if (q.metric == static_cast<uint8_t>(TsMetric::kTcpLossExit)) {
+        EXPECT_LT(q.value, p.value) << "exit valley not below entry peak";
+        EXPECT_LE(2 * q.value, p.value + 2 * mss)
+            << "exit valley above half the entry peak";
+        ++pairs;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(pairs, 0) << "no loss enter/exit pairs in a lossy cell";
+}
+
+CapacityCell SmallCapacityCell() {
+  CapacityCell cell;
+  cell.flows = 8;
+  cell.clients = 4;
+  cell.servers = 2;
+  cell.size = 200;
+  cell.iterations = 8;
+  cell.warmup = 2;
+  cell.seed = 3;
+  return cell;
+}
+
+// A binary capture that spills sealed TLBT segments to disk mid-run must
+// reproduce the unspilled stream byte for byte once re-sealed.
+TEST(Timeseries, SpilledBinaryTraceMatchesResidentByteForByte) {
+  const CapacityCell cell = SmallCapacityCell();
+
+  Tracer resident;
+  resident.EnableBinaryRecording();
+  RunCapacityCell(cell, &resident);
+  const std::string resident_blob =
+      SealBinaryTrace(resident.host_names(), resident.binary_records());
+
+  const std::string spill_path =
+      testing::TempDir() + "/timeseries_test_spill.tlbt";
+  Tracer spilled;
+  spilled.EnableBinaryRecording();
+  ASSERT_TRUE(spilled.mutable_binary_records()->EnableSpill(spill_path,
+                                                            8 * 1024));
+  RunCapacityCell(cell, &spilled);
+  EXPECT_GE(spilled.binary_records().spill_segments(), 2u)
+      << "segment size too large to exercise mid-run spilling";
+  const std::string spilled_blob =
+      SealBinaryTrace(spilled.host_names(), spilled.binary_records());
+  std::remove(spill_path.c_str());
+
+  ASSERT_FALSE(resident_blob.empty());
+  EXPECT_EQ(resident_blob, spilled_blob);
+}
+
+// Reservoir flow sampling (bottom-K over seeded per-flow hashes) keeps the
+// same flows and yields the same pruned event stream across repeat runs and
+// across shard-engine thread counts.
+TEST(Timeseries, ReservoirKeptSetAndCsvAreDeterministic) {
+  auto run_reservoir = [](unsigned shard_threads) {
+    CapacityCell cell = SmallCapacityCell();
+    cell.shards = 3;
+    cell.shard_threads = shard_threads;
+    Tracer tracer;
+    tracer.EnableFlowReservoir(3, cell.seed);
+    RunCapacityCell(cell, &tracer);
+    return std::make_pair(
+        std::vector<uint64_t>(tracer.flows_kept().begin(),
+                              tracer.flows_kept().end()),
+        tracer.ToCsv());
+  };
+
+  const auto serial = run_reservoir(1);
+  EXPECT_EQ(serial.first.size(), 3u);
+  ASSERT_FALSE(serial.second.empty());
+
+  const auto repeat = run_reservoir(1);
+  EXPECT_EQ(serial.first, repeat.first);
+  EXPECT_EQ(serial.second, repeat.second);
+
+  const auto threaded = run_reservoir(4);
+  EXPECT_EQ(serial.first, threaded.first);
+  EXPECT_EQ(serial.second, threaded.second);
+}
+
+}  // namespace
+}  // namespace tcplat
